@@ -1,0 +1,86 @@
+"""Ablation — power-down hysteresis on the V_T control.
+
+The paper's bga charges a back-gate toggle at every use-run boundary.
+A keep-alive policy (stay at low V_T through idle gaps up to K cycles)
+trades extra low-V_T leakage for fewer toggles.  This bench sweeps K
+for the adder under the espresso-like workload and reports the energy
+balance — showing an interior optimum when toggles are expensive.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.flow import LowVoltageDesignFlow
+from repro.core.scenarios import standard_datapath
+from repro.isa.machine import Machine
+from repro.isa.policy import UnitTraceRecorder
+from repro.isa.workloads import espresso_like
+from repro.power.energy import e_soias_gated
+
+THRESHOLDS = (0, 1, 2, 4, 8, 16, 64, 256)
+UNIT = "adder"
+
+
+def generate_ablation():
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    unit = standard_datapath(width=8, stimulus_vectors=80)[UNIT]
+    report = flow.unit_activity(unit.netlist, unit.vectors)
+    module = flow.module_parameters(unit.netlist, report)
+
+    program = espresso_like.build_program(48, 10)
+    machine = Machine(program)
+    recorder = UnitTraceRecorder()
+    machine.add_hook(recorder)
+    machine.run()
+
+    rows = []
+    for threshold in THRESHOLDS:
+        stats = recorder.gated_stats(UNIT, idle_threshold=threshold)
+        energy = e_soias_gated(
+            module,
+            stats.use_fraction,
+            stats.powered_fraction,
+            stats.bga,
+            flow.vdd,
+            flow.t_cycle_s,
+        )
+        rows.append((threshold, stats, energy))
+    return module, rows
+
+
+def test_ablation_gating_policy(benchmark, record):
+    module, rows = benchmark(generate_ablation)
+
+    # Monotone mechanics: hysteresis can only lower bga and raise the
+    # powered fraction.
+    bgas = [stats.bga for _, stats, _ in rows]
+    powered = [stats.powered_fraction for _, stats, _ in rows]
+    assert bgas == sorted(bgas, reverse=True)
+    assert powered == sorted(powered)
+
+    # The use fraction is policy-invariant.
+    uses = {round(stats.use_fraction, 12) for _, stats, _ in rows}
+    assert len(uses) == 1
+
+    # The trade is real: the extremes differ in energy and some
+    # intermediate policy is at least as good as immediate gating.
+    energies = [energy for _, _, energy in rows]
+    assert min(energies) <= energies[0]
+
+    record(
+        "ablation_gating_policy",
+        format_table(
+            [
+                "idle threshold K",
+                "powered fraction",
+                "bga",
+                "E_SOIAS(gated) [J]",
+            ],
+            [
+                [threshold, stats.powered_fraction, stats.bga, energy]
+                for threshold, stats, energy in rows
+            ],
+            title=(
+                "Ablation: V_T-control hysteresis, adder module under "
+                "the espresso-like workload (1 MHz, V_DD = 1 V)"
+            ),
+        ),
+    )

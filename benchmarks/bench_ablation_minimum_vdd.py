@@ -1,0 +1,78 @@
+"""Ablation — the static limit of supply scaling (noise margins).
+
+Section 3's optimum supplies land well below 1 V (Fig. 4), which only
+makes sense if logic still *regenerates* there.  This bench sweeps the
+inverter voltage-transfer characteristics down the supply axis and
+finds the minimum workable V_DD for several noise-margin budgets —
+landing at the classic few-times-``n kT/q`` floor, far below the
+Fig. 4 optima (so the optimizer, not regeneration, is the binding
+constraint).
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.dc import InverterDcAnalysis
+from repro.device.technology import soi_low_vt
+from repro.units import LN10, thermal_voltage
+
+SUPPLIES = (1.0, 0.5, 0.3, 0.2, 0.12, 0.08)
+BUDGETS = (0.25, 0.3, 0.35)
+
+
+def generate_ablation():
+    dc = InverterDcAnalysis(soi_low_vt())
+    rows = []
+    for vdd in SUPPLIES:
+        margins = dc.noise_margins(vdd)
+        rows.append(
+            [
+                vdd,
+                dc.switching_threshold(vdd),
+                dc.peak_gain(vdd),
+                margins.low,
+                margins.high,
+                margins.worst / vdd,
+            ]
+        )
+    floors = {budget: dc.minimum_supply(budget) for budget in BUDGETS}
+    return rows, floors
+
+
+def test_ablation_minimum_vdd(benchmark, record):
+    rows, floors = benchmark(generate_ablation)
+
+    # Regeneration holds across the whole sweep (all margins positive).
+    for row in rows:
+        assert row[3] > 0.0 and row[4] > 0.0
+
+    # Peak gain exceeds 1 everywhere swept.
+    assert all(row[2] > 1.0 for row in rows)
+
+    # Stricter budgets raise the floor; floors are in the
+    # ~100 mV (few n*kT/q) class, below the Fig. 4 optimum V_DD.
+    ordered = [floors[b] for b in sorted(floors)]
+    assert ordered == sorted(ordered)
+    n_phi_t = (
+        soi_low_vt().transistors.nmos.subthreshold_swing / LN10
+    )
+    for floor in floors.values():
+        assert floor < 0.25
+        assert floor > 1.0 * n_phi_t  # above one thermal decade unit
+
+    record(
+        "ablation_minimum_vdd",
+        format_table(
+            ["V_DD [V]", "V_M [V]", "peak gain", "NM_L [V]", "NM_H [V]",
+             "worst/V_DD"],
+            rows,
+            title="Ablation: inverter VTC metrics vs supply (low-V_T SOI)",
+        )
+        + "\n\n"
+        + format_table(
+            ["margin budget", "minimum V_DD [V]"],
+            [[b, floors[b]] for b in sorted(floors)],
+            title=(
+                "Minimum workable supply (kT/q = "
+                f"{thermal_voltage() * 1e3:.1f} mV)"
+            ),
+        ),
+    )

@@ -1,0 +1,92 @@
+"""Ablation — MTCMOS sleep-transistor sizing.
+
+Section 4 of the paper introduces multiple-threshold gating "assuming
+proper device sizing".  This bench makes the sizing trade explicit on
+an 8-bit adder: sleep width vs virtual-rail droop, delay penalty,
+standby leakage and area overhead — and solves widths for three delay
+budgets.
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.builders import ripple_carry_adder
+from repro.device.technology import mtcmos_technology
+from repro.power.mtcmos import SleepTransistorSizer, estimate_peak_current
+
+WIDTHS_UM = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0)
+BUDGETS = (0.02, 0.05, 0.10)
+
+
+def generate_ablation():
+    technology = mtcmos_technology()
+    adder = ripple_carry_adder(8)
+    peak = estimate_peak_current(adder, technology, vdd=1.0)
+    logic_width = sum(
+        instance.cell.nmos_count * instance.cell.input_nmos_width_um
+        + instance.cell.pmos_count * instance.cell.input_pmos_width_um
+        for instance in adder.instances.values()
+    )
+    sizer = SleepTransistorSizer(
+        technology, peak, vdd=1.0, logic_width_um=logic_width
+    )
+    sweep = [sizer.solution(w) for w in WIDTHS_UM]
+    sized = {budget: sizer.size_for_penalty(budget) for budget in BUDGETS}
+    logic_leakage = technology.nmos(logic_width).off_current(1.0)
+    return sweep, sized, logic_leakage
+
+
+def test_ablation_mtcmos_sizing(benchmark, record):
+    sweep, sized, logic_leakage = benchmark(generate_ablation)
+
+    # Wider devices: less droop/penalty, more leakage and area.
+    penalties = [s.delay_penalty for s in sweep]
+    leakages = [s.standby_leakage_a for s in sweep]
+    assert penalties == sorted(penalties, reverse=True)
+    assert leakages == sorted(leakages)
+
+    # Every sized solution meets its budget and the tightest budget
+    # needs the widest device.
+    for budget, solution in sized.items():
+        assert solution.delay_penalty <= budget * 1.001
+    widths = [sized[b].sleep_width_um for b in sorted(sized)]
+    assert widths == sorted(widths, reverse=True)
+
+    # The scheme is worth having: even the widest sleep device leaks
+    # orders of magnitude less than the ungated low-V_T logic.
+    assert sweep[-1].standby_leakage_a < logic_leakage / 30.0
+
+    record(
+        "ablation_mtcmos_sizing",
+        format_table(
+            [
+                "W_sleep [um]",
+                "droop [V]",
+                "delay penalty",
+                "standby leak [A]",
+                "area overhead",
+            ],
+            [
+                [
+                    s.sleep_width_um,
+                    s.virtual_rail_droop_v,
+                    s.delay_penalty,
+                    s.standby_leakage_a,
+                    s.area_overhead_fraction,
+                ]
+                for s in sweep
+            ],
+            title=(
+                "Ablation: MTCMOS sleep-device sizing, 8-bit adder "
+                f"(ungated logic leakage {logic_leakage:.3e} A)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["penalty budget", "W_sleep [um]", "standby leak [A]"],
+            [
+                [budget, sized[budget].sleep_width_um,
+                 sized[budget].standby_leakage_a]
+                for budget in BUDGETS
+            ],
+            title="Sized for delay budgets",
+        ),
+    )

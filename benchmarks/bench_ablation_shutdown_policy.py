@@ -1,0 +1,114 @@
+"""Ablation — system shutdown policies on an X-session-like trace.
+
+The paper motivates burst-mode technologies with X-server traces
+(>95 % idle "under ideal shutdown conditions", citing predictive
+shutdown).  This bench evaluates timeout vs predictive vs oracle
+policies on a synthetic heavy-tailed session, using state powers taken
+from the SOIAS energy model (active / idle-low-V_T / off-high-V_T).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.flow import LowVoltageDesignFlow
+from repro.core.scenarios import standard_datapath
+from repro.core.shutdown import (
+    OraclePolicy,
+    PredictivePolicy,
+    ShutdownCosts,
+    TimeoutPolicy,
+    evaluate_policy,
+    synthetic_session_trace,
+)
+
+
+def generate_ablation():
+    # Derive the three state powers from the adder module at 1 MHz.
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    unit = standard_datapath(width=8, stimulus_vectors=60)["adder"]
+    report = flow.unit_activity(unit.netlist, unit.vectors)
+    module = flow.module_parameters(unit.netlist, report)
+
+    active = (
+        module.switched_capacitance_f * flow.vdd**2 / flow.t_cycle_s
+        + module.leakage_low_vt_a * flow.vdd
+    )
+    idle = module.leakage_low_vt_a * flow.vdd
+    off = module.leakage_high_vt_a * flow.vdd
+    wakeup = module.back_gate_capacitance_f * module.back_gate_swing_v**2
+    costs = ShutdownCosts(
+        active_power_w=active,
+        idle_power_w=idle,
+        off_power_w=off,
+        wakeup_energy_j=wakeup,
+        wakeup_latency_cycles=2,
+        cycle_time_s=flow.t_cycle_s,
+    )
+
+    trace = synthetic_session_trace(
+        n_periods=400, mean_busy_cycles=50, mean_idle_cycles=800, seed=7
+    )
+    breakeven = costs.breakeven_cycles
+    policies = [
+        ("always-on", TimeoutPolicy(10**12)),
+        ("timeout=1", TimeoutPolicy(1)),
+        ("timeout=break-even", TimeoutPolicy(max(int(breakeven), 1))),
+        ("timeout=10x break-even", TimeoutPolicy(max(int(10 * breakeven), 1))),
+        ("predictive", PredictivePolicy(breakeven)),
+        ("oracle", OraclePolicy(breakeven)),
+    ]
+    reports = {
+        name: evaluate_policy(trace, policy, costs, name)
+        for name, policy in policies
+    }
+    return costs, reports
+
+
+def test_ablation_shutdown_policy(benchmark, record):
+    costs, reports = benchmark(generate_ablation)
+
+    oracle = reports["oracle"]
+    # Oracle dominates every honest policy.
+    for name, report in reports.items():
+        assert oracle.energy_j <= report.energy_j * (1.0 + 1e-9), name
+
+    # Shutdown pays: the break-even timeout policy saves a large
+    # fraction of the always-on energy on this deeply idle trace.
+    assert reports["timeout=break-even"].saving_vs_always_on > 0.4
+
+    # The predictive policy is competitive with the oracle (the cited
+    # paper's claim).
+    assert reports["predictive"].efficiency_vs_oracle > 0.6
+
+    # Longer timeouts waste idle energy relative to the break-even one.
+    assert (
+        reports["timeout=10x break-even"].energy_j
+        >= reports["timeout=break-even"].energy_j * 0.999
+    )
+
+    record(
+        "ablation_shutdown_policy",
+        format_table(
+            [
+                "policy",
+                "energy [J]",
+                "saving vs always-on",
+                "off fraction",
+                "wakeups",
+                "latency [cycles]",
+            ],
+            [
+                [
+                    name,
+                    r.energy_j,
+                    r.saving_vs_always_on,
+                    r.off_fraction,
+                    r.wakeups,
+                    r.latency_penalty_cycles,
+                ]
+                for name, r in reports.items()
+            ],
+            title=(
+                "Ablation: shutdown policies, X-session-like trace "
+                f"(break-even {costs.breakeven_cycles:.0f} cycles)"
+            ),
+        ),
+    )

@@ -1,0 +1,151 @@
+"""Fig. 10 — log10(E_SOIAS/E_SOI) over (fga, bga) with application points.
+
+Paper shape:
+
+* a break-even (zero) contour divides the plane; points below it save
+  energy with SOIAS;
+* continuously-active processor points (clock-gated modules, duty 1.0)
+  sit near or above break-even — "little advantage";
+* X-server points (duty 0.2) sit clearly below, with savings ordered
+  multiplier > shifter > adder (paper: 97 %, 81 %, 43 %).
+"""
+
+import functools
+
+from repro.analysis.tables import format_table
+from repro.core.flow import LowVoltageDesignFlow
+from repro.core.scenarios import standard_datapath
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import espresso_like, idea, li_like
+
+FGA_GRID = [10.0**e for e in (-4, -3, -2, -1, 0)]
+BGA_GRID = [10.0**e for e in (-5, -4, -3, -2, -1)]
+UNITS = ("adder", "shifter", "multiplier")
+
+
+def generate_fig10():
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    datapath = standard_datapath(width=8, stimulus_vectors=100)
+
+    # A mixed interactive session: the three paper workloads back to
+    # back (espresso + li + IDEA), then duty-cycle scaling.
+    session = functools.reduce(
+        lambda a, b: a.merged_with(b),
+        [
+            profile_program(espresso_like.build_program(48, 10)),
+            profile_program(li_like.build_program(64, 40)),
+            profile_program(idea.build_program(idea.random_blocks(8))),
+        ],
+    )
+
+    modules = {}
+    for name, unit in datapath.items():
+        report = flow.unit_activity(unit.netlist, unit.vectors)
+        modules[name] = flow.module_parameters(unit.netlist, report)
+
+    # The surface/contour uses the adder module (the paper plots one
+    # representative surface; application points carry their own
+    # module parameters through the comparator).
+    surface = flow.ratio_surface(modules["adder"], FGA_GRID, BGA_GRID)
+    contour = surface.breakeven_contour(FGA_GRID)
+
+    points = {}
+    for duty, scenario in ((1.0, "continuous"), (0.2, "x-server")):
+        scaled = session.scaled_by_duty_cycle(duty)
+        for name in UNITS:
+            fga, bga = scaled.fga(name), scaled.bga(name)
+            verdict = flow.comparator(modules[name]).verdict(
+                "soias", fga, bga
+            )
+            points[(scenario, name)] = verdict
+    return surface, contour, points
+
+
+def test_fig10_energy_ratio(benchmark, record):
+    surface, contour, points = benchmark(generate_fig10)
+
+    xserver = {
+        name: points[("x-server", name)] for name in UNITS
+    }
+    continuous = {
+        name: points[("continuous", name)] for name in UNITS
+    }
+
+    # Shape 1: X-server savings ordered multiplier > shifter > adder.
+    assert (
+        xserver["multiplier"].saving_percent
+        > xserver["shifter"].saving_percent
+        > xserver["adder"].saving_percent
+    )
+
+    # Shape 2: magnitudes in the paper's band (97 / 81 / 43 %).
+    assert xserver["multiplier"].saving_percent > 90.0
+    assert xserver["shifter"].saving_percent > 60.0
+    assert 20.0 < xserver["adder"].saving_percent < 95.0
+
+    # Shape 3: every X-server point beats its continuous counterpart;
+    # the busiest continuous unit sits near break-even.
+    for name in UNITS:
+        assert (
+            xserver[name].saving_percent > continuous[name].saving_percent
+        )
+    assert abs(continuous["adder"].saving_percent) < 25.0
+
+    # Shape 4: a break-even contour exists within the admissible plane.
+    assert any(b is not None for b in contour)
+
+    # Shape 5: surface increases with bga at fixed fga.
+    for i, fga in enumerate(FGA_GRID):
+        row = [
+            surface.grid.at(i, j)
+            for j in range(len(BGA_GRID))
+            if surface.grid.at(i, j) is not None
+        ]
+        assert row == sorted(row)
+
+    point_rows = [
+        [
+            scenario,
+            name,
+            v.fga,
+            v.bga,
+            v.saving_percent,
+            v.wins,
+        ]
+        for (scenario, name), v in sorted(points.items())
+    ]
+    contour_rows = [
+        [fga, contour[i]] for i, fga in enumerate(FGA_GRID)
+    ]
+    surface_rows = []
+    for i, fga in enumerate(FGA_GRID):
+        surface_rows.append(
+            [fga]
+            + [surface.grid.at(i, j) for j in range(len(BGA_GRID))]
+        )
+    record(
+        "fig10_energy_ratio",
+        format_table(
+            ["fga \\ bga"] + [f"{b:g}" for b in BGA_GRID],
+            surface_rows,
+            title=(
+                "Fig. 10: log10(E_SOIAS/E_SOI) surface (adder module, "
+                "1 MHz, V_DD = 1 V); '-' marks bga > fga"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["fga", "break-even bga"],
+            contour_rows,
+            title="Fig. 10 break-even contour (None = SOIAS always wins)",
+        )
+        + "\n\n"
+        + format_table(
+            ["scenario", "unit", "fga", "bga", "saving %", "SOIAS wins"],
+            point_rows,
+            title=(
+                "Fig. 10 application points (paper: X-server saves "
+                "43% adder / 81% shifter / 97% multiplier)"
+            ),
+        ),
+    )

@@ -1,0 +1,63 @@
+"""Fig. 1 — switched capacitance vs V_DD for three register styles.
+
+Paper shape: all three curves rise with V_DD (the non-linear gate
+capacitance), ordered C2MOS > TSPC > LCLR by clock loading and device
+count.
+"""
+
+from repro.analysis.tables import format_table
+from repro.device.technology import bulk_cmos_06um
+from repro.tech.cells import register_styles
+from repro.units import to_ff
+
+VDD_SWEEP = [1.0 + 0.25 * i for i in range(9)]  # 1.0 .. 3.0 V
+STYLE_ORDER = ["LCLR", "TSPC", "C2MOS"]
+
+
+def generate_fig1():
+    """C_sw(V_DD) per style [F], plus the technology used."""
+    technology = bulk_cmos_06um()
+    styles = register_styles()
+    curves = {
+        name: [
+            styles[name].switched_capacitance(technology, vdd)
+            for vdd in VDD_SWEEP
+        ]
+        for name in STYLE_ORDER
+    }
+    return curves
+
+
+def test_fig1_register_capacitance(benchmark, record):
+    curves = benchmark(generate_fig1)
+
+    # Shape criterion 1: every curve rises monotonically with V_DD.
+    for name, values in curves.items():
+        assert values == sorted(values), f"{name} not monotone"
+
+    # Shape criterion 2: C2MOS > TSPC > LCLR at every supply.
+    for i in range(len(VDD_SWEEP)):
+        assert (
+            curves["C2MOS"][i] > curves["TSPC"][i] > curves["LCLR"][i]
+        )
+
+    # Shape criterion 3: the rise is a real effect, not noise (> 5 %
+    # from 1 V to 3 V).
+    for name, values in curves.items():
+        assert values[-1] > 1.05 * values[0], name
+
+    rows = [
+        [vdd] + [to_ff(curves[name][i]) for name in STYLE_ORDER]
+        for i, vdd in enumerate(VDD_SWEEP)
+    ]
+    record(
+        "fig1_register_capacitance",
+        format_table(
+            ["V_DD [V]"] + [f"{n} C_sw [fF]" for n in STYLE_ORDER],
+            rows,
+            title=(
+                "Fig. 1: switched capacitance vs V_DD "
+                "(bulk 0.6um, data activity 1.0)"
+            ),
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Fig. 2 — subthreshold I_D vs V_gs for V_T = 0.25 V and 0.40 V.
+
+Paper shape: straight lines on a log-current axis below threshold with
+a 60-90 mV/decade slope, and a multi-decade off-current gap between
+the two thresholds at V_gs = 0 (150 mV / 66 mV/dec ~ 2.3 decades; the
+figure's "<1 pA vs 0.1 uA" annotation is not self-consistent with any
+physical swing, so the slope-based gap is the criterion).
+"""
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.device.mosfet import Mosfet
+from repro.device.technology import soi_low_vt
+
+VGS_SWEEP = [0.05 * i for i in range(21)]  # 0 .. 1.0 V
+VDS = 1.0
+THRESHOLDS = (0.25, 0.40)
+
+
+def generate_fig2():
+    """I_D(V_gs) per threshold for a 10 um SOI NMOS."""
+    curves = {}
+    devices = {}
+    for vt in THRESHOLDS:
+        technology = soi_low_vt(vt0=vt)
+        device = Mosfet(technology.transistors.nmos, width_um=10.0)
+        devices[vt] = device
+        curves[vt] = device.iv_curve(VGS_SWEEP, VDS)
+    return curves, devices
+
+
+def test_fig2_subthreshold_iv(benchmark, record):
+    curves, devices = benchmark(generate_fig2)
+
+    low, high = curves[0.25], curves[0.40]
+
+    # Shape 1: both curves strictly increasing in V_gs.
+    assert low == sorted(low)
+    assert high == sorted(high)
+
+    # Shape 2: subthreshold slope within the paper's 60-90 mV/dec band.
+    for vt, device in devices.items():
+        slope = device.subthreshold_slope_mv_per_decade(vds=VDS)
+        assert 60.0 <= slope <= 90.0, (vt, slope)
+
+    # Shape 3: off-current gap at V_gs = 0 equals the V_T difference
+    # over the swing (~2.3 decades for 150 mV at 66 mV/dec).
+    gap_decades = math.log10(low[0] / high[0])
+    assert 1.8 < gap_decades < 2.8, gap_decades
+
+    # Shape 4: high-V_T device is the quieter one everywhere below V_T.
+    assert all(h < l for h, l in zip(high[:8], low[:8]))
+
+    rows = [
+        [vgs, low[i], high[i]] for i, vgs in enumerate(VGS_SWEEP)
+    ]
+    record(
+        "fig2_subthreshold_iv",
+        format_table(
+            ["V_gs [V]", "I_D (V_T=0.25V) [A]", "I_D (V_T=0.40V) [A]"],
+            rows,
+            title=(
+                "Fig. 2: subthreshold conduction, 10um NMOS, V_ds = 1 V "
+                f"(off-current gap {gap_decades:.2f} decades)"
+            ),
+        ),
+    )

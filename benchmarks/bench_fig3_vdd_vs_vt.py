@@ -1,0 +1,75 @@
+"""Fig. 3 — V_DD vs V_T at fixed ring-oscillator delay.
+
+Paper shape: at constant performance, V_DD falls monotonically as V_T
+falls (lower thresholds buy lower supplies); slower delay targets give
+uniformly lower V_DD curves.  The paper's three curves are labelled by
+per-stage delays; we use three delay classes in the same ratios.
+"""
+
+from repro.analysis.tables import format_table
+from repro.device.technology import soi_low_vt
+from repro.power.optimizer import FixedThroughputOptimizer, RingOscillatorModel
+
+VT_SWEEP = [0.05 + 0.05 * i for i in range(8)]  # 0.05 .. 0.40 V
+
+
+def generate_fig3():
+    """V_DD(V_T) for three fixed stage-delay targets."""
+    ring = RingOscillatorModel(soi_low_vt(), stages=101)
+    optimizer = FixedThroughputOptimizer(ring)
+    reference = ring.stage_delay(1.0, 0.2)
+    targets = {
+        "t_pd x1": reference,
+        "t_pd x1.5": 1.5 * reference,
+        "t_pd x2": 2.0 * reference,
+    }
+    loci = {}
+    for label, target in targets.items():
+        points = optimizer.sweep(VT_SWEEP, target)
+        loci[label] = {p.vt: p.vdd for p in points}
+    return loci, targets
+
+
+def test_fig3_vdd_vs_vt(benchmark, record):
+    loci, targets = benchmark(generate_fig3)
+
+    # Shape 1: V_DD increases with V_T along every fixed-delay locus.
+    for label, locus in loci.items():
+        vts = sorted(locus)
+        vdds = [locus[vt] for vt in vts]
+        assert vdds == sorted(vdds), label
+        assert len(vdds) >= 5, label
+
+    # Shape 2: slower targets sit at lower V_DD for every common V_T.
+    for vt in VT_SWEEP:
+        ordered = [
+            loci[label].get(vt)
+            for label in ("t_pd x1", "t_pd x1.5", "t_pd x2")
+        ]
+        present = [v for v in ordered if v is not None]
+        assert present == sorted(present, reverse=True)
+
+    # Shape 3: sub-1V operation is reached at low V_T even for the
+    # fastest target.
+    fast = loci["t_pd x1"]
+    assert min(fast.values()) < 1.0
+
+    rows = [
+        [vt]
+        + [
+            loci[label].get(vt)
+            for label in ("t_pd x1", "t_pd x1.5", "t_pd x2")
+        ]
+        for vt in VT_SWEEP
+    ]
+    record(
+        "fig3_vdd_vs_vt",
+        format_table(
+            ["V_T [V]", "V_DD@x1 [V]", "V_DD@x1.5 [V]", "V_DD@x2 [V]"],
+            rows,
+            title=(
+                "Fig. 3: V_DD vs V_T at fixed delay (101-stage ring, "
+                f"base stage delay {targets['t_pd x1']:.3e} s)"
+            ),
+        ),
+    )

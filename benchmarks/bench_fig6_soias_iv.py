@@ -1,0 +1,73 @@
+"""Fig. 6 — measured I-V of the SOIAS NMOS at two back-gate biases.
+
+Paper numbers: V_T = 0.448 V at V_gb = 0 vs V_T = 0.184 V at 3 V of
+forward back-gate drive; ~4 decades of off-current separation and a
+~1.8x on-current increase at 1 V operation.
+"""
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.device.mosfet import Mosfet
+from repro.device.technology import soias_technology
+
+VGF_SWEEP = [0.05 * i for i in range(31)]  # 0 .. 1.5 V
+VDS = 1.0
+
+
+def generate_fig6():
+    """Front-gate I-V per um at standby and full-drive back bias."""
+    technology = soias_technology()
+    back_gate = technology.back_gate
+    device = Mosfet(technology.transistors.nmos, width_um=1.0)
+    shifts = {
+        "V_gb=0V": 0.0,
+        "V_gb=3V": back_gate.vt_shift_at(3.0),
+    }
+    curves = {
+        label: device.iv_curve(VGF_SWEEP, VDS, vt_shift=shift)
+        for label, shift in shifts.items()
+    }
+    thresholds = {
+        "V_gb=0V": back_gate.vt_at(0.0),
+        "V_gb=3V": back_gate.vt_at(3.0),
+    }
+    return curves, thresholds
+
+
+def test_fig6_soias_iv(benchmark, record):
+    curves, thresholds = benchmark(generate_fig6)
+    standby, active = curves["V_gb=0V"], curves["V_gb=3V"]
+
+    # Shape 1: thresholds match the paper's measured pair.
+    assert abs(thresholds["V_gb=0V"] - 0.448) < 1e-9
+    assert abs(thresholds["V_gb=3V"] - 0.184) < 1e-9
+
+    # Shape 2: ~4 decades of off-current separation at V_gf = 0.
+    off_gap = math.log10(active[0] / standby[0])
+    assert 3.2 < off_gap < 4.8, off_gap
+
+    # Shape 3: ~1.8x on-current increase at 1 V operation.
+    index_1v = VGF_SWEEP.index(1.0)
+    on_ratio = active[index_1v] / standby[index_1v]
+    assert 1.4 < on_ratio < 2.2, on_ratio
+
+    # Shape 4: forward back-gate drive increases the current at every
+    # front-gate bias.
+    assert all(a >= s for a, s in zip(active, standby))
+
+    rows = [
+        [vgf, standby[i], active[i]] for i, vgf in enumerate(VGF_SWEEP)
+    ]
+    record(
+        "fig6_soias_iv",
+        format_table(
+            ["V_gf [V]", "I_D V_gb=0V [A/um]", "I_D V_gb=3V [A/um]"],
+            rows,
+            title=(
+                "Fig. 6: SOIAS NMOS I-V, V_ds = 1 V "
+                f"(off gap {off_gap:.2f} decades, on ratio "
+                f"{on_ratio:.2f}x at 1 V)"
+            ),
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Table 1 — profiling the espresso-like workload.
+
+Paper shape: espresso is dominated by bit-twiddling cube operations —
+heavy adder use (addressing, loops, compares), significant shifter
+use, and essentially zero multiplications; bga << fga for the adder.
+"""
+
+from repro.analysis.tables import format_table
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import espresso_like
+
+UNITS = ("adder", "shifter", "multiplier")
+
+
+def generate_table1():
+    program = espresso_like.build_program(n_cubes=48, n_vars=10, seed=0)
+    return profile_program(program)
+
+
+def test_table1_espresso(benchmark, record):
+    profile = benchmark(generate_table1)
+
+    # Shape criteria (Table 1 signature).
+    assert profile.fga("adder") > 0.5
+    assert profile.fga("shifter") > 0.05
+    assert profile.fga("multiplier") == 0.0
+    assert profile.bga("adder") < 0.5 * profile.fga("adder")
+    for unit in UNITS:
+        assert profile.bga(unit) <= profile.fga(unit) + 1e-12
+
+    rows = [["(total instructions)", profile.total_instructions, "", ""]]
+    for unit in UNITS:
+        stats = profile.stats(unit)
+        rows.append([unit, stats.uses, stats.fga, stats.bga])
+    record(
+        "table1_espresso",
+        format_table(
+            ["unit", "number", "fga", "bga"],
+            rows,
+            title="Table 1: profiling results, espresso-like kernel",
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Table 2 — profiling the li-like list-interpreter workload.
+
+Paper shape: li chases cons cells — very high adder activity (pointer
+arithmetic, loads/stores, eq tests), negligible shifting, zero
+multiplications.
+"""
+
+from repro.analysis.tables import format_table
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import li_like
+
+UNITS = ("adder", "shifter", "multiplier")
+
+
+def generate_table2():
+    program = li_like.build_program(n=64, n_lookups=40)
+    return profile_program(program)
+
+
+def test_table2_li(benchmark, record):
+    profile = benchmark(generate_table2)
+
+    # Shape criteria (Table 2 signature).
+    assert profile.fga("adder") > 0.6
+    assert profile.fga("shifter") == 0.0
+    assert profile.fga("multiplier") == 0.0
+    assert profile.bga("adder") < 0.5 * profile.fga("adder")
+
+    rows = [["(total instructions)", profile.total_instructions, "", ""]]
+    for unit in UNITS:
+        stats = profile.stats(unit)
+        rows.append([unit, stats.uses, stats.fga, stats.bga])
+    record(
+        "table2_li",
+        format_table(
+            ["unit", "number", "fga", "bga"],
+            rows,
+            title="Table 2: profiling results, li-like kernel",
+        ),
+    )

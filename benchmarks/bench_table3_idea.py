@@ -1,0 +1,41 @@
+"""Table 3 — profiling the IDEA encryption workload.
+
+Paper shape: IDEA is the multiplier's workload — its mod-(2^16+1)
+group multiplication makes the multiplier fga far higher than in the
+SPEC integer codes (which barely touch it), while the adder stays busy
+with the mod-2^16 additions and addressing.
+"""
+
+from repro.analysis.tables import format_table
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import idea
+
+UNITS = ("adder", "shifter", "multiplier")
+
+
+def generate_table3():
+    program = idea.build_program(idea.random_blocks(8, seed=0))
+    return profile_program(program)
+
+
+def test_table3_idea(benchmark, record):
+    profile = benchmark(generate_table3)
+
+    # Shape criteria (Table 3 signature).
+    assert profile.fga("multiplier") > 0.03
+    assert profile.fga("adder") > 0.3
+    # IDEA's multiplier dominance relative to the SPEC kernels is
+    # checked cross-table in tests/test_experiments.py.
+
+    rows = [["(total instructions)", profile.total_instructions, "", ""]]
+    for unit in UNITS:
+        stats = profile.stats(unit)
+        rows.append([unit, stats.uses, stats.fga, stats.bga])
+    record(
+        "table3_idea",
+        format_table(
+            ["unit", "number", "fga", "bga"],
+            rows,
+            title="Table 3: profiling results, IDEA encryption",
+        ),
+    )

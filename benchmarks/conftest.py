@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one paper table or figure: it times the
+generating computation with pytest-benchmark, asserts the DESIGN.md
+shape criteria, and records the reproduced rows/series both to stdout
+and to ``benchmarks/output/<experiment>.txt`` so the numbers survive
+the capture-by-default pytest run (EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record():
+    """Write an experiment's rendered output to disk and stdout."""
+
+    def _record(experiment: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {experiment} ===")
+        print(text)
+
+    return _record

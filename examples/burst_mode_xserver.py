@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Burst-mode technology shoot-out for an event-driven system.
+
+Reproduces the Section 5.4 X-server analysis end to end, and extends
+it with the two other Section 4 technologies:
+
+1. Profile a whole interactive "session" (espresso-like + li-like +
+   IDEA back to back) for per-unit fga/bga.
+2. Simulate the adder, shifter and multiplier switch-level for
+   alpha * C_fg.
+3. Evaluate SOIAS (back-gated), MTCMOS (sleep transistors) and VTCMOS
+   (substrate bias) against the fixed-low-V_T SOI baseline at several
+   system duty cycles.
+
+Run:  python examples/burst_mode_xserver.py
+"""
+
+import functools
+
+from repro import (
+    LowVoltageDesignFlow,
+    format_table,
+    profile_program,
+    standard_datapath,
+)
+from repro.isa.workloads import espresso_like, idea, li_like
+
+
+def main():
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    datapath = standard_datapath(width=8, stimulus_vectors=100)
+
+    print("Profiling the session workloads (espresso + li + IDEA)...")
+    session = functools.reduce(
+        lambda a, b: a.merged_with(b),
+        [
+            profile_program(espresso_like.build_program(48, 10)),
+            profile_program(li_like.build_program(64, 40)),
+            profile_program(idea.build_program(idea.random_blocks(8))),
+        ],
+    )
+    print(
+        format_table(
+            ["unit", "fga", "bga", "mean run length"],
+            [
+                [
+                    unit,
+                    session.fga(unit),
+                    session.bga(unit),
+                    session.stats(unit).mean_run_length,
+                ]
+                for unit in ("adder", "shifter", "multiplier")
+            ],
+            title=f"Session profile ({session.total_instructions} instructions)",
+        )
+    )
+
+    print("\nExtracting module electrical parameters (switch-level sim)...")
+    modules = {}
+    for name, unit in datapath.items():
+        report = flow.unit_activity(unit.netlist, unit.vectors)
+        modules[name] = flow.module_parameters(unit.netlist, report)
+
+    for duty, label in ((1.0, "continuous"), (0.5, "50% duty"),
+                        (0.2, "x-server 20% duty"), (0.05, "5% duty")):
+        scaled = session.scaled_by_duty_cycle(duty)
+        rows = []
+        for name in ("adder", "shifter", "multiplier"):
+            comparator = flow.comparator(modules[name])
+            verdicts = comparator.all_verdicts(
+                scaled.fga(name), scaled.bga(name)
+            )
+            rows.append(
+                [
+                    name,
+                    verdicts["soias"].saving_percent,
+                    verdicts["mtcmos"].saving_percent,
+                    verdicts["vtcmos"].saving_percent,
+                ]
+            )
+        print(
+            "\n"
+            + format_table(
+                ["unit", "SOIAS saving %", "MTCMOS saving %",
+                 "VTCMOS saving %"],
+                rows,
+                title=f"Scenario: {label}",
+            )
+        )
+
+    print(
+        "\nPaper reference (X-server, SOIAS): 43% adder, 81% shifter, "
+        "97% multiplier.\nNote VTCMOS trails — the square-root body "
+        "effect forces a large well swing, the caveat the paper raises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: the full low-voltage flow in ~40 lines.
+
+Profiles the IDEA cipher on the bundled RISC ISA, simulates the three
+datapath units switch-level, and asks the paper's question: does a
+dynamically variable-threshold (SOIAS) process beat fixed low-V_T SOI
+for this application — continuously active, and as a 20 %-duty
+X-server-style system?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LowVoltageDesignFlow,
+    format_table,
+    standard_datapath,
+    xserver_scenario,
+)
+from repro.isa.workloads import idea
+
+
+def main():
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    program = idea.build_program(idea.random_blocks(8, seed=7))
+    datapath = standard_datapath(width=8, stimulus_vectors=100)
+
+    print("Profiling IDEA on the bundled RISC ISA...")
+    rows = []
+    for scenario_duty, scenario_name in (
+        (1.0, "continuous"),
+        (xserver_scenario().duty_cycle, "x-server (20% duty)"),
+    ):
+        result = flow.evaluate(program, datapath, duty_cycle=scenario_duty)
+        for unit_name, evaluation in result.units.items():
+            verdict = evaluation.verdicts["soias"]
+            rows.append(
+                [
+                    scenario_name,
+                    unit_name,
+                    evaluation.fga,
+                    evaluation.bga,
+                    verdict.saving_percent,
+                    verdict.wins,
+                ]
+            )
+    print(
+        format_table(
+            ["scenario", "unit", "fga", "bga", "SOIAS saving %", "wins"],
+            rows,
+            title="SOIAS vs fixed-low-V_T SOI (paper Fig. 10 question)",
+        )
+    )
+    print(
+        "\nReading: back-gated V_T control pays off exactly where the "
+        "paper says it does —\nrarely-used blocks in mostly-idle "
+        "systems; a continuously busy adder gains little."
+    )
+
+
+if __name__ == "__main__":
+    main()

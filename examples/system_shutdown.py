@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Event-driven system shutdown and the static limits of scaling.
+
+Two system-level questions around the paper's Section 4:
+
+1. **How much does shutdown buy?**  Evaluate timeout / predictive /
+   oracle shutdown policies on a synthetic X-session trace, with state
+   powers drawn from the SOIAS module model (active, idle-at-low-V_T,
+   off-at-high-V_T).
+2. **How low can the supply go at all?**  Sweep the inverter VTC down
+   the supply axis and find the noise-margin floor — the regeneration
+   limit sitting near a few n*kT/q, far below the paper's ~1 V
+   operating points.
+
+Run:  python examples/system_shutdown.py
+"""
+
+from repro import (
+    InverterDcAnalysis,
+    LowVoltageDesignFlow,
+    format_table,
+    soi_low_vt,
+    standard_datapath,
+)
+from repro.core.shutdown import (
+    OraclePolicy,
+    PredictivePolicy,
+    ShutdownCosts,
+    TimeoutPolicy,
+    evaluate_policy,
+    synthetic_session_trace,
+)
+
+
+def shutdown_study():
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    unit = standard_datapath(width=8, stimulus_vectors=60)["adder"]
+    report = flow.unit_activity(unit.netlist, unit.vectors)
+    module = flow.module_parameters(unit.netlist, report)
+
+    costs = ShutdownCosts(
+        active_power_w=(
+            module.switched_capacitance_f / flow.t_cycle_s
+            + module.leakage_low_vt_a
+        ),
+        idle_power_w=module.leakage_low_vt_a,
+        off_power_w=module.leakage_high_vt_a,
+        wakeup_energy_j=(
+            module.back_gate_capacitance_f * module.back_gate_swing_v**2
+        ),
+        wakeup_latency_cycles=2,
+        cycle_time_s=flow.t_cycle_s,
+    )
+    trace = synthetic_session_trace(n_periods=400, seed=11)
+    breakeven = costs.breakeven_cycles
+    policies = [
+        ("always-on", TimeoutPolicy(10**12)),
+        ("timeout @ break-even", TimeoutPolicy(max(int(breakeven), 1))),
+        ("predictive", PredictivePolicy(breakeven)),
+        ("oracle", OraclePolicy(breakeven)),
+    ]
+    rows = []
+    for name, policy in policies:
+        result = evaluate_policy(trace, policy, costs, name)
+        rows.append(
+            [
+                name,
+                result.energy_j,
+                100.0 * result.saving_vs_always_on,
+                result.off_fraction,
+                result.wakeups,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "energy [J]", "saving %", "off fraction", "wakeups"],
+            rows,
+            title=(
+                "Shutdown policies on an X-session trace "
+                f"(break-even idle = {breakeven:.0f} cycles)"
+            ),
+        )
+    )
+
+
+def minimum_supply_study():
+    dc = InverterDcAnalysis(soi_low_vt())
+    rows = []
+    for vdd in (1.0, 0.5, 0.3, 0.2, 0.12, 0.08):
+        margins = dc.noise_margins(vdd)
+        rows.append(
+            [vdd, dc.peak_gain(vdd), margins.low, margins.high,
+             margins.worst / vdd]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["V_DD [V]", "peak gain", "NM_L [V]", "NM_H [V]", "worst/V_DD"],
+            rows,
+            title="Inverter noise margins down the supply axis",
+        )
+    )
+    floor = dc.minimum_supply(margin_fraction=0.3)
+    print(
+        f"\nMinimum supply for a 30% worst-margin budget: {floor * 1e3:.0f} mV"
+        " — regeneration, not the optimizer, is the last thing to fail."
+    )
+
+
+def main():
+    shutdown_study()
+    minimum_supply_study()
+
+
+if __name__ == "__main__":
+    main()

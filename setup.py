@@ -1,0 +1,16 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this to
+perform a legacy editable install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,191 @@
+"""repro — a low-voltage digital system design toolkit.
+
+Reproduction of A. Chandrakasan, I. Yang, C. Vieri, D. Antoniadis,
+"Design Considerations and Tools for Low-voltage Digital System
+Design", DAC 1996.
+
+The package layers, bottom to top:
+
+* :mod:`repro.device` — MOSFET I-V (subthreshold + alpha-power),
+  threshold modulation (body bias, SOIAS back gate), non-linear
+  capacitance, named process corners.
+* :mod:`repro.tech` — standard-cell templates, characterization
+  (delay/energy/leakage), serializable cell libraries.
+* :mod:`repro.circuits` — netlists, builders (adders, shifter,
+  multiplier, ring oscillator), static timing.
+* :mod:`repro.switchsim` — event-driven switch-level simulation and
+  transition-activity statistics (alpha, the Figs. 8-9 histograms).
+* :mod:`repro.isa` — a small RISC ISA, assembler, interpreter, and
+  ATOM-style functional-unit profiling (fga/bga, Tables 1-3), plus the
+  paper's workloads (espresso-like, li-like, IDEA).
+* :mod:`repro.power` — the Section 2 power components, the Eq. 3/4
+  module energy models, and fixed-throughput (V_DD, V_T) optimization
+  (Figs. 3-4).
+* :mod:`repro.analysis` — sweeps, the Fig. 10 energy-ratio surface and
+  break-even contour, technology comparison, table rendering.
+* :mod:`repro.core` — the end-to-end design flow and canned scenarios
+  (continuous DSP, the 20 %-duty X server).
+
+Quickstart::
+
+    from repro import LowVoltageDesignFlow, standard_datapath
+    from repro.isa.workloads import idea
+
+    flow = LowVoltageDesignFlow(vdd=1.0, clock_hz=1e6)
+    program = idea.build_program(idea.random_blocks(8))
+    result = flow.evaluate(program, standard_datapath(), duty_cycle=0.2)
+    print(result.savings_table())
+"""
+
+from repro.analysis import (
+    ApplicationPoint,
+    RatioSurface,
+    TechnologyComparator,
+    TechnologyVerdict,
+    breakeven_bga,
+    energy_ratio_surface,
+    format_series,
+    format_table,
+)
+from repro.circuits import (
+    InverterDcAnalysis,
+    Netlist,
+    NoiseMargins,
+    StaticTimingAnalyzer,
+    array_multiplier,
+    barrel_shifter,
+    carry_select_adder,
+    equality_comparator,
+    pipelined_adder,
+    ring_oscillator,
+    ripple_carry_adder,
+)
+from repro.core import (
+    ApplicationEvaluation,
+    DatapathUnit,
+    LowVoltageDesignFlow,
+    Scenario,
+    UnitEvaluation,
+    continuous_scenario,
+    standard_datapath,
+    xserver_scenario,
+)
+from repro.device import (
+    BodyBiasModel,
+    Mosfet,
+    MosfetParameters,
+    SoiasBackGateModel,
+    Technology,
+    bulk_cmos_06um,
+    mtcmos_technology,
+    soi_low_vt,
+    soias_from_film_stack,
+    soias_technology,
+)
+from repro.errors import ReproError
+from repro.isa import (
+    Machine,
+    Program,
+    assemble,
+    FunctionalUnitProfile,
+    profile_program,
+)
+from repro.power import (
+    FixedThroughputOptimizer,
+    ModuleEnergyParameters,
+    OperatingPoint,
+    PowerBreakdown,
+    PowerEstimator,
+    RingOscillatorModel,
+    e_mtcmos,
+    e_soi,
+    e_soias,
+    e_vtcmos,
+    energy_ratio_soias_vs_soi,
+    module_parameters_from_activity,
+)
+from repro.switchsim import (
+    ActivityReport,
+    SwitchLevelSimulator,
+    counting_bus_vectors,
+    gray_code_bus_vectors,
+    random_bus_vectors,
+)
+from repro.tech import CellLibrary, register_styles, standard_cells
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # device
+    "Mosfet",
+    "MosfetParameters",
+    "BodyBiasModel",
+    "SoiasBackGateModel",
+    "soias_from_film_stack",
+    "Technology",
+    "bulk_cmos_06um",
+    "soi_low_vt",
+    "soias_technology",
+    "mtcmos_technology",
+    # tech
+    "CellLibrary",
+    "standard_cells",
+    "register_styles",
+    # circuits
+    "Netlist",
+    "StaticTimingAnalyzer",
+    "InverterDcAnalysis",
+    "NoiseMargins",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "barrel_shifter",
+    "array_multiplier",
+    "ring_oscillator",
+    "equality_comparator",
+    "pipelined_adder",
+    # switchsim
+    "SwitchLevelSimulator",
+    "ActivityReport",
+    "random_bus_vectors",
+    "counting_bus_vectors",
+    "gray_code_bus_vectors",
+    # isa
+    "assemble",
+    "Program",
+    "Machine",
+    "FunctionalUnitProfile",
+    "profile_program",
+    # power
+    "PowerBreakdown",
+    "PowerEstimator",
+    "ModuleEnergyParameters",
+    "e_soi",
+    "e_soias",
+    "e_mtcmos",
+    "e_vtcmos",
+    "energy_ratio_soias_vs_soi",
+    "module_parameters_from_activity",
+    "RingOscillatorModel",
+    "FixedThroughputOptimizer",
+    "OperatingPoint",
+    # analysis
+    "RatioSurface",
+    "ApplicationPoint",
+    "energy_ratio_surface",
+    "breakeven_bga",
+    "TechnologyComparator",
+    "TechnologyVerdict",
+    "format_table",
+    "format_series",
+    # core
+    "LowVoltageDesignFlow",
+    "UnitEvaluation",
+    "ApplicationEvaluation",
+    "DatapathUnit",
+    "Scenario",
+    "standard_datapath",
+    "xserver_scenario",
+    "continuous_scenario",
+]

@@ -1,0 +1,93 @@
+"""ASCII rendering of tables and curves for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Human-friendly scalar formatting (engineering-ish)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    if not headers:
+        raise AnalysisError("table needs headers")
+    rendered: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    y_name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Two-column rendering of a figure curve."""
+    if len(xs) != len(ys):
+        raise AnalysisError("xs and ys must have equal length")
+    return format_table(
+        [x_name, y_name],
+        [[x, y] for x, y in zip(xs, ys)],
+        title=title,
+        precision=precision,
+    )

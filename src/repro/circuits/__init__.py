@@ -1,0 +1,48 @@
+"""Structural gate-level netlists and static timing.
+
+The builders here create the circuits the paper's experiments run on:
+
+* ripple-carry and carry-select adders (Figs. 8-9 activity histograms),
+* a logarithmic barrel shifter and an array multiplier (the functional
+  units profiled in Tables 1-3 and compared in Fig. 10),
+* ring oscillators (the fixed-delay V_DD/V_T experiments, Figs. 3-4).
+"""
+
+from repro.circuits.netlist import Instance, Netlist
+from repro.circuits.timing import CriticalPath, StaticTimingAnalyzer
+from repro.circuits.dc import InverterDcAnalysis, NoiseMargins
+from repro.circuits.io import (
+    load_netlist,
+    parse_netlist,
+    save_netlist,
+    write_netlist,
+)
+from repro.circuits.builders import (
+    ripple_carry_adder,
+    carry_select_adder,
+    barrel_shifter,
+    array_multiplier,
+    ring_oscillator,
+    equality_comparator,
+    pipelined_adder,
+)
+
+__all__ = [
+    "Instance",
+    "Netlist",
+    "CriticalPath",
+    "StaticTimingAnalyzer",
+    "InverterDcAnalysis",
+    "NoiseMargins",
+    "write_netlist",
+    "parse_netlist",
+    "save_netlist",
+    "load_netlist",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "barrel_shifter",
+    "array_multiplier",
+    "ring_oscillator",
+    "equality_comparator",
+    "pipelined_adder",
+]

@@ -1,0 +1,169 @@
+"""Structural netlist (de)serialization — the ``.rnet`` text format.
+
+A minimal structural-Verilog-like exchange format so external tools
+(or humans) can bring designs into the flow::
+
+    # 1-bit half adder
+    netlist ha1
+    input a
+    input b
+    constant zero 0
+    gate XOR2 s_gate a b -> sum
+    gate AND2 c_gate a b -> carry
+    register ff carry -> carry_q init 0
+    output sum
+    output carry_q
+
+One statement per line; ``#`` starts a comment; gate input order is
+positional against the cell's pin order.  Cells resolve against the
+standard catalog (or any catalog you pass).  The writer emits a file
+the reader round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+from repro.tech.cells import Cell, standard_cells
+
+__all__ = ["write_netlist", "parse_netlist", "save_netlist", "load_netlist"]
+
+
+def write_netlist(netlist: Netlist) -> str:
+    """Render a netlist to ``.rnet`` text (deterministic order)."""
+    lines: List[str] = [f"netlist {netlist.name}"]
+    for net in netlist.primary_inputs:
+        lines.append(f"input {net}")
+    for net, value in netlist.constants.items():
+        lines.append(f"constant {net} {value}")
+    for instance in netlist.instances.values():
+        inputs = " ".join(instance.inputs)
+        lines.append(
+            f"gate {instance.cell.name} {instance.name} {inputs} "
+            f"-> {instance.output}"
+        )
+    for register in netlist.registers.values():
+        lines.append(
+            f"register {register.name} {register.data_input} "
+            f"-> {register.output} init {register.initial}"
+        )
+    for net in netlist.primary_outputs:
+        lines.append(f"output {net}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_netlist(
+    text: str,
+    cells: Optional[Dict[str, Cell]] = None,
+) -> Netlist:
+    """Parse ``.rnet`` text into a :class:`Netlist`.
+
+    Raises
+    ------
+    NetlistError
+        With a line number for any malformed statement, unknown cell,
+        or structural violation (multiple drivers etc. surface through
+        the netlist builder itself).
+    """
+    catalog = standard_cells() if cells is None else cells
+    netlist: Optional[Netlist] = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "netlist":
+            if netlist is not None:
+                raise NetlistError(
+                    f"line {number}: duplicate 'netlist' statement"
+                )
+            if len(tokens) != 2:
+                raise NetlistError(f"line {number}: usage: netlist <name>")
+            netlist = Netlist(tokens[1])
+            continue
+        if netlist is None:
+            raise NetlistError(
+                f"line {number}: file must start with 'netlist <name>'"
+            )
+        if keyword == "input":
+            if len(tokens) != 2:
+                raise NetlistError(f"line {number}: usage: input <net>")
+            netlist.add_input(tokens[1])
+        elif keyword == "output":
+            if len(tokens) != 2:
+                raise NetlistError(f"line {number}: usage: output <net>")
+            netlist.add_output(tokens[1])
+        elif keyword == "constant":
+            if len(tokens) != 3 or tokens[2] not in ("0", "1"):
+                raise NetlistError(
+                    f"line {number}: usage: constant <net> 0|1"
+                )
+            netlist.add_constant(tokens[1], int(tokens[2]))
+        elif keyword == "gate":
+            if "->" not in tokens or len(tokens) < 5:
+                raise NetlistError(
+                    f"line {number}: usage: gate <CELL> <name> "
+                    "<in...> -> <out>"
+                )
+            arrow = tokens.index("->")
+            if arrow != len(tokens) - 2:
+                raise NetlistError(
+                    f"line {number}: exactly one output after '->'"
+                )
+            cell_name, instance_name = tokens[1], tokens[2]
+            if cell_name not in catalog:
+                raise NetlistError(
+                    f"line {number}: unknown cell {cell_name!r}; "
+                    f"catalog has {sorted(catalog)}"
+                )
+            inputs = tokens[3:arrow]
+            try:
+                netlist.add_gate(
+                    catalog[cell_name], inputs, tokens[-1],
+                    name=instance_name,
+                )
+            except NetlistError as error:
+                raise NetlistError(f"line {number}: {error}") from error
+        elif keyword == "register":
+            if (
+                len(tokens) != 7
+                or tokens[3] != "->"
+                or tokens[5] != "init"
+                or tokens[6] not in ("0", "1")
+            ):
+                raise NetlistError(
+                    f"line {number}: usage: register <name> <d> -> <q> "
+                    "init 0|1"
+                )
+            try:
+                netlist.add_register(
+                    tokens[2], tokens[4], name=tokens[1],
+                    initial=int(tokens[6]),
+                )
+            except NetlistError as error:
+                raise NetlistError(f"line {number}: {error}") from error
+        else:
+            raise NetlistError(
+                f"line {number}: unknown keyword {keyword!r}"
+            )
+    if netlist is None:
+        raise NetlistError("empty netlist file")
+    netlist.validate()
+    return netlist
+
+
+def save_netlist(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a ``.rnet`` file."""
+    with open(path, "w") as handle:
+        handle.write(write_netlist(netlist))
+
+
+def load_netlist(
+    path: str, cells: Optional[Dict[str, Cell]] = None
+) -> Netlist:
+    """Read a ``.rnet`` file."""
+    with open(path) as handle:
+        return parse_netlist(handle.read(), cells=cells)

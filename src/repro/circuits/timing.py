@@ -1,0 +1,246 @@
+"""Static timing analysis over characterized cells.
+
+Computes per-net arrival times and the critical path of an acyclic
+netlist at a given (V_DD, V_T-shift) corner.  This is how module cycle
+times are derived for the energy models: the paper's iso-performance
+comparisons hold the *critical-path delay* fixed while varying
+technology parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.circuits.netlist import Netlist
+from repro.device.technology import Technology
+from repro.errors import NetlistError
+from repro.tech.characterize import CellCharacterizer
+
+__all__ = ["CriticalPath", "StaticTimingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Result of a timing run: worst arrival and the path that sets it."""
+
+    delay_s: float
+    path_nets: Tuple[str, ...]
+    arrival_times: Dict[str, float]
+
+    @property
+    def depth(self) -> int:
+        """Number of gates along the critical path."""
+        return max(len(self.path_nets) - 1, 0)
+
+
+class StaticTimingAnalyzer:
+    """Topological arrival-time propagation.
+
+    Gate delay is taken from the cell characterizer with the load equal
+    to the driven net's extracted capacitance (fanout input caps plus
+    wire); the characterizer adds the cell's own output capacitance.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        wire_length_per_fanout_um: float = 5.0,
+    ):
+        self.technology = technology
+        self.wire_length_per_fanout_um = wire_length_per_fanout_um
+        self._characterizer = CellCharacterizer(technology)
+
+    def analyze(
+        self,
+        netlist: Netlist,
+        vdd: float,
+        vt_shift: float = 0.0,
+        per_instance_vt_shifts: Optional[Mapping[str, float]] = None,
+        per_instance_size_factors: Optional[Mapping[str, float]] = None,
+    ) -> CriticalPath:
+        """Arrival times and critical path at a corner.
+
+        ``per_instance_vt_shifts`` overrides ``vt_shift`` for named
+        instances — how dual-V_T assignments are timed.
+        ``per_instance_size_factors`` scales all device widths of a
+        named instance (drive, input and output capacitance scale
+        together) — how gate-sizing solutions are timed.
+        """
+        shifts = per_instance_vt_shifts or {}
+        sizes = per_instance_size_factors or {}
+        for label, mapping in (("V_T shifts", shifts), ("sizes", sizes)):
+            unknown = set(mapping) - set(netlist.instances)
+            if unknown:
+                raise NetlistError(
+                    f"{label} for unknown instances: {sorted(unknown)[:5]}"
+                )
+        if any(k <= 0.0 for k in sizes.values()):
+            raise NetlistError("size factors must be positive")
+        order = netlist.levelize()
+        arrival: Dict[str, float] = {
+            net: 0.0 for net in netlist.primary_inputs
+        }
+        arrival.update({net: 0.0 for net in netlist.constants})
+        # Register outputs launch at the clock edge (t = 0).
+        arrival.update({net: 0.0 for net in netlist.register_outputs()})
+        worst_input: Dict[str, str] = {}
+
+        for instance in order:
+            input_arrivals = [
+                (arrival[net], net) for net in instance.inputs
+            ]
+            latest_time, latest_net = max(input_arrivals)
+            external_load = self._external_load(
+                netlist, instance.output, vdd, sizes
+            )
+            # A size factor k scales drive and self-load together, so
+            # the sized delay equals the unit-size delay with the
+            # external load divided by k.
+            k = sizes.get(instance.name, 1.0)
+            delay = self._characterizer.propagation_delay(
+                instance.cell,
+                vdd,
+                external_load / k,
+                shifts.get(instance.name, vt_shift),
+            )
+            arrival[instance.output] = latest_time + delay
+            worst_input[instance.output] = latest_net
+
+        # Timing endpoints: primary outputs plus every register D pin
+        # (the paths the clock period must cover in a pipeline).
+        endpoints = list(netlist.primary_outputs) + [
+            register.data_input
+            for register in netlist.registers.values()
+        ]
+        if not endpoints:
+            endpoints = [instance.output for instance in order]
+        missing = [net for net in endpoints if net not in arrival]
+        if missing:
+            raise NetlistError(f"unreached endpoints: {missing[:5]}")
+        end_net = max(endpoints, key=lambda net: arrival[net])
+
+        path: List[str] = [end_net]
+        while path[-1] in worst_input:
+            path.append(worst_input[path[-1]])
+        path.reverse()
+        return CriticalPath(
+            delay_s=arrival[end_net],
+            path_nets=tuple(path),
+            arrival_times=arrival,
+        )
+
+    def min_cycle_time(
+        self,
+        netlist: Netlist,
+        vdd: float,
+        vt_shift: float = 0.0,
+        sequencing_overhead: float = 0.1,
+    ) -> float:
+        """Critical path plus register/clocking overhead [s]."""
+        if sequencing_overhead < 0.0:
+            raise NetlistError("sequencing_overhead must be >= 0")
+        critical = self.analyze(netlist, vdd, vt_shift)
+        return critical.delay_s * (1.0 + sequencing_overhead)
+
+    def max_frequency(
+        self,
+        netlist: Netlist,
+        vdd: float,
+        vt_shift: float = 0.0,
+    ) -> float:
+        """Highest clock frequency the module supports [Hz]."""
+        return 1.0 / self.min_cycle_time(netlist, vdd, vt_shift)
+
+    def slacks(
+        self,
+        netlist: Netlist,
+        vdd: float,
+        vt_shift: float = 0.0,
+        per_instance_vt_shifts: Optional[Mapping[str, float]] = None,
+        required_time_s: Optional[float] = None,
+        per_instance_size_factors: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Per-instance timing slack [s].
+
+        Classic required-time backward pass: endpoints (primary
+        outputs and register D pins) are required at
+        ``required_time_s`` (default: the critical-path delay, so the
+        worst gate has zero slack); each gate's slack is how much it
+        could slow without violating any endpoint — the budget a
+        dual-V_T assignment or gate-sizing pass spends.
+        """
+        shifts = per_instance_vt_shifts or {}
+        sizes = per_instance_size_factors or {}
+        critical = self.analyze(
+            netlist, vdd, vt_shift, per_instance_vt_shifts,
+            per_instance_size_factors,
+        )
+        if required_time_s is None:
+            required_time_s = critical.delay_s
+        order = netlist.levelize()
+        delays = {
+            instance.name: self._characterizer.propagation_delay(
+                instance.cell,
+                vdd,
+                self._external_load(netlist, instance.output, vdd, sizes)
+                / sizes.get(instance.name, 1.0),
+                shifts.get(instance.name, vt_shift),
+            )
+            for instance in order
+        }
+        endpoints = set(netlist.primary_outputs) | {
+            register.data_input
+            for register in netlist.registers.values()
+        }
+        required: Dict[str, float] = {
+            net: required_time_s for net in endpoints
+        }
+        for instance in reversed(order):
+            at_output = required.get(instance.output, float("inf"))
+            needed_at_inputs = at_output - delays[instance.name]
+            for net in instance.inputs:
+                required[net] = min(
+                    required.get(net, float("inf")), needed_at_inputs
+                )
+        return {
+            instance.name: (
+                required.get(instance.output, float("inf"))
+                - critical.arrival_times[instance.output]
+            )
+            for instance in order
+        }
+
+    def _external_load(
+        self,
+        netlist: Netlist,
+        net: str,
+        vdd: float,
+        sizes: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        sizes = sizes or {}
+        loads = netlist.fanout(net)
+        capacitance = sum(
+            instance.cell.input_capacitance(self.technology, vdd)
+            * sizes.get(instance.name, 1.0)
+            for instance, _ in loads
+        )
+        register_loads = netlist.register_fanout(net)
+        if register_loads:
+            from repro.circuits.netlist import (
+                _REGISTER_D_NMOS_UM,
+                _REGISTER_D_PMOS_UM,
+            )
+
+            length = self.technology.drawn_length_um
+            d_pin = self.technology.gate_cap.gate_capacitance(
+                _REGISTER_D_NMOS_UM, length, vdd
+            ) + self.technology.gate_cap.gate_capacitance(
+                _REGISTER_D_PMOS_UM, length, vdd
+            )
+            capacitance += len(register_loads) * d_pin
+        total_fanout = len(loads) + len(register_loads)
+        wire = self.technology.wire_cap.wire_capacitance(
+            self.wire_length_per_fanout_um * max(total_fanout, 1)
+        )
+        return capacitance + wire

@@ -1,0 +1,561 @@
+"""Command-line interface to the toolkit.
+
+Five subcommands mirror the paper's tool chain, three more cover the
+extensions::
+
+    python -m repro profile --workload idea            # Tables 1-3
+    python -m repro activity --circuit adder --width 8 # Figs. 8-9
+    python -m repro optimize --delay-factor 4          # Figs. 3-4
+    python -m repro compare --duty 0.2                 # Fig. 10
+    python -m repro characterize --vdd 0.8 1.0 1.2     # liberty-lite
+    python -m repro margins --floor 0.3                # V_DD floor
+    python -m repro shutdown                           # policies
+    python -m repro recover --circuit adder            # dual-V_T+sizing
+
+Every subcommand prints an ASCII table; ``characterize`` can also
+write a JSON library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.circuits.builders import (
+    array_multiplier,
+    barrel_shifter,
+    ripple_carry_adder,
+)
+from repro.core.flow import LowVoltageDesignFlow
+from repro.core.scenarios import standard_datapath
+from repro.device.technology import (
+    bulk_cmos_06um,
+    mtcmos_technology,
+    soi_low_vt,
+    soias_technology,
+)
+from repro.errors import ReproError
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import crc, espresso_like, fir, idea, li_like, matmul, sort
+from repro.power.optimizer import FixedThroughputOptimizer, RingOscillatorModel
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.stimulus import counting_bus_vectors, random_bus_vectors
+from repro.tech.library import CellLibrary
+
+__all__ = ["main", "build_parser"]
+
+_TECHNOLOGIES = {
+    "soi": soi_low_vt,
+    "soias": soias_technology,
+    "mtcmos": mtcmos_technology,
+    "bulk": bulk_cmos_06um,
+}
+
+_UNITS = ("adder", "shifter", "multiplier", "logic", "memory", "control")
+
+
+def _build_workload(name: str, scale: int):
+    if name == "idea":
+        return idea.build_program(idea.random_blocks(max(scale // 8, 1)))
+    if name == "espresso":
+        return espresso_like.build_program(
+            n_cubes=max(scale, 8), n_vars=10
+        )
+    if name == "li":
+        return li_like.build_program(n=max(scale, 4), n_lookups=max(scale // 2, 2))
+    if name == "fir":
+        return fir.build_program(n_samples=max(scale, 8))[0]
+    if name == "crc":
+        return crc.build_program(n_words=max(scale // 2, 4))
+    if name == "sort":
+        return sort.build_program(count=max(scale, 8))
+    if name == "matmul":
+        return matmul.build_program(n=max(4 * (scale // 8), 4))
+    raise ReproError(f"unknown workload {name!r}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    programs = [
+        _build_workload(name, args.scale) for name in args.workload
+    ]
+    profiles = [profile_program(p) for p in programs]
+    profile = functools.reduce(lambda a, b: a.merged_with(b), profiles)
+    if args.duty != 1.0:
+        profile = profile.scaled_by_duty_cycle(args.duty)
+    rows = []
+    for unit in _UNITS:
+        stats = profile.stats(unit)
+        rows.append(
+            [unit, stats.uses, stats.runs, stats.fga, stats.bga,
+             stats.mean_run_length]
+        )
+    print(
+        format_table(
+            ["unit", "uses", "runs", "fga", "bga", "mean run"],
+            rows,
+            title=(
+                f"Profile of {'+'.join(args.workload)} "
+                f"({profile.total_instructions} instruction slots, "
+                f"duty {args.duty:g})"
+            ),
+        )
+    )
+    return 0
+
+
+def _build_circuit(name: str, width: int):
+    if name == "adder":
+        return ripple_carry_adder(width), {"a": width, "b": width}
+    if name == "multiplier":
+        return array_multiplier(width), {"a": width, "b": width}
+    if name == "shifter":
+        rounded = 1 << (width - 1).bit_length()
+        return barrel_shifter(rounded), {
+            "a": rounded,
+            "s": rounded.bit_length() - 1,
+        }
+    raise ReproError(f"unknown circuit {name!r}")
+
+
+def _cmd_activity(args: argparse.Namespace) -> int:
+    netlist, buses = _build_circuit(args.circuit, args.width)
+    technology = _TECHNOLOGIES[args.technology]()
+    if args.stimulus == "random":
+        vectors = random_bus_vectors(buses, args.vectors, seed=args.seed)
+    else:
+        counting = sorted(buses)[1] if len(buses) > 1 else next(iter(buses))
+        fixed = {
+            name: (args.seed * 37) % (2 ** buses[name])
+            for name in buses
+            if name != counting
+        }
+        vectors = counting_bus_vectors(
+            counting,
+            buses[counting],
+            args.vectors,
+            fixed_buses=fixed,
+            fixed_widths={n: buses[n] for n in fixed},
+        )
+    simulator = SwitchLevelSimulator(netlist, technology, args.vdd)
+    report = simulator.run_vectors(vectors)
+    edges, counts = report.histogram(bins=args.bins)
+    rows = [
+        [f"{edges[i]:.3f}-{edges[i + 1]:.3f}", counts[i]]
+        for i in range(args.bins)
+    ]
+    energy = report.switching_energy_per_cycle(
+        netlist, technology, args.vdd
+    )
+    print(
+        format_table(
+            ["transition probability", "nodes"],
+            rows,
+            title=(
+                f"{args.circuit} x{args.width}, {args.stimulus} stimulus: "
+                f"mean activity {report.mean_activity():.3f}, "
+                f"E_sw {energy:.3e} J/cycle at {args.vdd} V"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    technology = _TECHNOLOGIES[args.technology]()
+    ring = RingOscillatorModel(
+        technology, stages=args.stages, activity=args.activity
+    )
+    optimizer = FixedThroughputOptimizer(
+        ring, cycle_stages=2 * args.stages
+    )
+    target = args.delay_factor * ring.stage_delay(1.0, 0.2)
+    vts = [0.04 + 0.02 * i for i in range(20)]
+    points = optimizer.sweep(vts, target)
+    rows = [
+        [p.vt, p.vdd, p.energy_per_cycle_j, p.leakage_fraction]
+        for p in points
+    ]
+    best = optimizer.optimum(target, vt_bounds=(0.02, 0.45))
+    print(
+        format_table(
+            ["V_T [V]", "V_DD [V]", "E/cycle [J]", "leak frac"],
+            rows,
+            title=(
+                f"Fixed-delay locus, target {target:.3e} s/stage "
+                f"(activity {args.activity:g})"
+            ),
+        )
+    )
+    print(
+        f"\nOptimum: V_T = {best.vt:.3f} V, V_DD = {best.vdd:.3f} V, "
+        f"E = {best.energy_per_cycle_j:.3e} J/cycle"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    flow = LowVoltageDesignFlow(vdd=args.vdd, clock_hz=args.clock)
+    datapath = standard_datapath(
+        width=args.width, stimulus_vectors=args.vectors
+    )
+    programs = [
+        _build_workload(name, args.scale) for name in args.workload
+    ]
+    session = functools.reduce(
+        lambda a, b: a.merged_with(b),
+        [profile_program(p) for p in programs],
+    ).scaled_by_duty_cycle(args.duty)
+    rows = []
+    for name, unit in datapath.items():
+        report = flow.unit_activity(unit.netlist, unit.vectors)
+        module = flow.module_parameters(unit.netlist, report)
+        verdicts = flow.comparator(module).all_verdicts(
+            session.fga(name), session.bga(name)
+        )
+        rows.append(
+            [
+                name,
+                session.fga(name),
+                session.bga(name),
+                verdicts["soias"].saving_percent,
+                verdicts["mtcmos"].saving_percent,
+                verdicts["vtcmos"].saving_percent,
+            ]
+        )
+    print(
+        format_table(
+            ["unit", "fga", "bga", "SOIAS %", "MTCMOS %", "VTCMOS %"],
+            rows,
+            title=(
+                f"Burst-mode savings vs fixed-low-V_T SOI "
+                f"(duty {args.duty:g}, {args.clock:g} Hz, {args.vdd} V)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    technology = _TECHNOLOGIES[args.technology]()
+    library = CellLibrary.characterized(
+        technology,
+        vdd_grid=args.vdd,
+        vt_shift_grid=args.vt_shift,
+        load_f=args.load_ff * 1e-15,
+    )
+    rows = []
+    for cell_name in sorted(library.cells):
+        corner = library.lookup(cell_name, args.vdd[0], args.vt_shift[0])
+        rows.append(
+            [
+                cell_name,
+                corner.delay_s,
+                corner.energy_per_transition_j,
+                corner.leakage_current_a,
+                corner.input_capacitance_f,
+            ]
+        )
+    print(
+        format_table(
+            ["cell", "delay [s]", "E/tr [J]", "leak [A]", "C_in [F]"],
+            rows,
+            title=(
+                f"{technology.name} @ {args.vdd[0]} V, shift "
+                f"{args.vt_shift[0]} V, load {args.load_ff} fF"
+            ),
+        )
+    )
+    if args.output:
+        library.save(args.output)
+        print(f"\nLibrary written to {args.output}")
+    return 0
+
+
+def _cmd_margins(args: argparse.Namespace) -> int:
+    from repro.circuits.dc import InverterDcAnalysis
+
+    technology = _TECHNOLOGIES[args.technology]()
+    dc = InverterDcAnalysis(technology)
+    rows = []
+    for vdd in args.vdd:
+        margins = dc.noise_margins(vdd)
+        rows.append(
+            [
+                vdd,
+                dc.switching_threshold(vdd),
+                dc.peak_gain(vdd),
+                margins.low,
+                margins.high,
+                margins.worst / vdd,
+            ]
+        )
+    print(
+        format_table(
+            ["V_DD [V]", "V_M [V]", "peak gain", "NM_L [V]", "NM_H [V]",
+             "worst/V_DD"],
+            rows,
+            title=f"Inverter noise margins, {technology.name}",
+        )
+    )
+    if args.floor:
+        floor = dc.minimum_supply(margin_fraction=args.floor)
+        print(
+            f"\nMinimum supply for a {args.floor:.0%} worst-margin "
+            f"budget: {floor * 1e3:.0f} mV"
+        )
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.core.shutdown import (
+        OraclePolicy,
+        PredictivePolicy,
+        ShutdownCosts,
+        TimeoutPolicy,
+        evaluate_policy,
+        synthetic_session_trace,
+    )
+
+    costs = ShutdownCosts(
+        active_power_w=args.active_mw * 1e-3,
+        idle_power_w=args.idle_mw * 1e-3,
+        off_power_w=args.off_uw * 1e-6,
+        wakeup_energy_j=args.wakeup_uj * 1e-6,
+        wakeup_latency_cycles=args.wakeup_latency,
+        cycle_time_s=1.0 / args.clock,
+    )
+    trace = synthetic_session_trace(
+        n_periods=args.periods,
+        mean_busy_cycles=args.mean_busy,
+        mean_idle_cycles=args.mean_idle,
+        seed=args.seed,
+    )
+    breakeven = costs.breakeven_cycles
+    policies = [
+        ("always-on", TimeoutPolicy(10**12)),
+        ("timeout@break-even", TimeoutPolicy(max(int(breakeven), 1))),
+        ("predictive", PredictivePolicy(breakeven)),
+        ("oracle", OraclePolicy(breakeven)),
+    ]
+    rows = []
+    for name, policy in policies:
+        report = evaluate_policy(trace, policy, costs, name)
+        rows.append(
+            [
+                name,
+                report.energy_j,
+                100.0 * report.saving_vs_always_on,
+                report.off_fraction,
+                report.wakeups,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "energy [J]", "saving %", "off fraction", "wakeups"],
+            rows,
+            title=(
+                f"Shutdown policies (break-even idle = {breakeven:.0f} "
+                "cycles)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.power.dualvt import DualVtOptimizer
+    from repro.power.sizing import GateSizingOptimizer
+
+    technology = _TECHNOLOGIES[args.technology]()
+    netlist, _ = _build_circuit(args.circuit, args.width)
+    rows = []
+    sizer = GateSizingOptimizer(netlist, technology, vdd=args.vdd)
+    sized = sizer.optimize(delay_budget=args.budget)
+    rows.append(
+        [
+            "downsizing",
+            sized.downsized_gates,
+            sized.capacitance_reduction,
+            sized.leakage_reduction,
+            sized.delay_penalty,
+        ]
+    )
+    dualvt = DualVtOptimizer(netlist, technology, vdd=args.vdd).optimize(
+        delay_budget=args.budget
+    )
+    rows.append(
+        [
+            "dual-V_T",
+            len(dualvt.high_vt_gates),
+            1.0,
+            dualvt.leakage_reduction,
+            dualvt.delay_penalty,
+        ]
+    )
+    print(
+        format_table(
+            ["pass", "gates touched", "cap reduction", "leak reduction",
+             "delay penalty"],
+            rows,
+            title=(
+                f"Power recovery, {args.circuit} x{args.width} at "
+                f"{args.vdd} V (delay budget {args.budget:g})"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-voltage design toolkit (DAC 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="fga/bga workload profiling")
+    profile.add_argument(
+        "--workload", nargs="+",
+        choices=["idea", "espresso", "li", "fir", "crc", "sort", "matmul"],
+        default=["idea"],
+    )
+    profile.add_argument("--scale", type=int, default=48)
+    profile.add_argument("--duty", type=float, default=1.0)
+    profile.set_defaults(handler=_cmd_profile)
+
+    activity = sub.add_parser(
+        "activity", help="switch-level activity histograms"
+    )
+    activity.add_argument(
+        "--circuit", choices=["adder", "shifter", "multiplier"],
+        default="adder",
+    )
+    activity.add_argument("--width", type=int, default=8)
+    activity.add_argument(
+        "--stimulus", choices=["random", "counting"], default="random"
+    )
+    activity.add_argument("--vectors", type=int, default=300)
+    activity.add_argument("--bins", type=int, default=10)
+    activity.add_argument("--vdd", type=float, default=1.0)
+    activity.add_argument("--seed", type=int, default=0)
+    activity.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    activity.set_defaults(handler=_cmd_activity)
+
+    optimize = sub.add_parser(
+        "optimize", help="fixed-throughput (V_DD, V_T) optimization"
+    )
+    optimize.add_argument("--delay-factor", type=float, default=4.0)
+    optimize.add_argument("--stages", type=int, default=101)
+    optimize.add_argument("--activity", type=float, default=1.0)
+    optimize.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    compare = sub.add_parser(
+        "compare", help="burst-mode technology comparison (Fig. 10)"
+    )
+    compare.add_argument(
+        "--workload", nargs="+",
+        choices=["idea", "espresso", "li", "fir", "crc", "sort", "matmul"],
+        default=["espresso", "li", "idea"],
+    )
+    compare.add_argument("--scale", type=int, default=48)
+    compare.add_argument("--duty", type=float, default=0.2)
+    compare.add_argument("--width", type=int, default=8)
+    compare.add_argument("--vectors", type=int, default=80)
+    compare.add_argument("--vdd", type=float, default=1.0)
+    compare.add_argument("--clock", type=float, default=1e6)
+    compare.set_defaults(handler=_cmd_compare)
+
+    characterize = sub.add_parser(
+        "characterize", help="cell-library characterization"
+    )
+    characterize.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soias"
+    )
+    characterize.add_argument(
+        "--vdd", nargs="+", type=float, default=[1.0]
+    )
+    characterize.add_argument(
+        "--vt-shift", nargs="+", type=float, default=[0.0]
+    )
+    characterize.add_argument("--load-ff", type=float, default=10.0)
+    characterize.add_argument("--output", default=None)
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    margins = sub.add_parser(
+        "margins", help="inverter noise margins and the V_DD floor"
+    )
+    margins.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    margins.add_argument(
+        "--vdd", nargs="+", type=float,
+        default=[1.0, 0.5, 0.3, 0.2, 0.12],
+    )
+    margins.add_argument(
+        "--floor", type=float, default=0.3,
+        help="worst-margin budget (fraction of V_DD); 0 disables",
+    )
+    margins.set_defaults(handler=_cmd_margins)
+
+    shutdown = sub.add_parser(
+        "shutdown", help="system shutdown-policy comparison"
+    )
+    shutdown.add_argument("--active-mw", type=float, default=10.0)
+    shutdown.add_argument("--idle-mw", type=float, default=2.0)
+    shutdown.add_argument("--off-uw", type=float, default=0.01)
+    shutdown.add_argument("--wakeup-uj", type=float, default=0.1)
+    shutdown.add_argument("--wakeup-latency", type=int, default=50)
+    shutdown.add_argument("--clock", type=float, default=1e6)
+    shutdown.add_argument("--periods", type=int, default=400)
+    shutdown.add_argument("--mean-busy", type=int, default=50)
+    shutdown.add_argument("--mean-idle", type=int, default=800)
+    shutdown.add_argument("--seed", type=int, default=0)
+    shutdown.set_defaults(handler=_cmd_shutdown)
+
+    recover = sub.add_parser(
+        "recover", help="dual-V_T + gate-sizing power recovery"
+    )
+    recover.add_argument(
+        "--circuit", choices=["adder", "shifter", "multiplier"],
+        default="adder",
+    )
+    recover.add_argument("--width", type=int, default=12)
+    recover.add_argument("--vdd", type=float, default=1.0)
+    recover.add_argument("--budget", type=float, default=1.0)
+    recover.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    recover.set_defaults(handler=_cmd_recover)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""End-to-end low-voltage design flow (Section 5 of the paper).
+
+The flow evaluates, for each functional unit of a processor datapath:
+
+1. **fga / bga** — from an instruction-level profile of the target
+   workload (the ATOM substitute),
+2. **alpha * C_fg** — from switch-level simulation of the unit's
+   gate-level netlist under representative stimulus (the IRSIM
+   substitute),
+3. **leakage corners and back-gate overhead** — from the device and
+   cell models, and
+4. **the verdict** — Eq. 3 vs Eq. 4 (and the MTCMOS/VTCMOS variants),
+   optionally under a system duty cycle (the X-server analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.comparator import TechnologyComparator, TechnologyVerdict
+from repro.analysis.contour import ApplicationPoint, RatioSurface, energy_ratio_surface
+from repro.circuits.netlist import Netlist
+from repro.device.technology import Technology, soias_technology
+from repro.errors import AnalysisError
+from repro.isa.assembler import Program
+from repro.isa.profiler import FunctionalUnitProfile, profile_program
+from repro.power.energy import (
+    ModuleEnergyParameters,
+    module_parameters_from_activity,
+)
+from repro.switchsim.activity import ActivityReport
+from repro.switchsim.simulator import SwitchLevelSimulator
+
+__all__ = [
+    "LowVoltageDesignFlow",
+    "UnitEvaluation",
+    "ApplicationEvaluation",
+]
+
+
+@dataclass(frozen=True)
+class UnitEvaluation:
+    """Everything the flow learned about one functional unit."""
+
+    unit: str
+    fga: float
+    bga: float
+    module: ModuleEnergyParameters
+    verdicts: Dict[str, TechnologyVerdict]
+    point: ApplicationPoint
+
+    @property
+    def soias_saving_percent(self) -> float:
+        """Headline number: SOIAS energy saving vs fixed-low-V_T SOI."""
+        return self.verdicts["soias"].saving_percent
+
+
+@dataclass(frozen=True)
+class ApplicationEvaluation:
+    """Flow output for one workload on one datapath."""
+
+    workload: str
+    duty_cycle: float
+    profile: FunctionalUnitProfile
+    units: Dict[str, UnitEvaluation]
+
+    def unit(self, name: str) -> UnitEvaluation:
+        """Evaluation of one functional unit."""
+        try:
+            return self.units[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unit {name!r} not evaluated; have {sorted(self.units)}"
+            ) from None
+
+    def savings_table(self) -> Dict[str, float]:
+        """Unit -> SOIAS saving percent (the Fig. 10 annotations)."""
+        return {
+            name: evaluation.soias_saving_percent
+            for name, evaluation in self.units.items()
+        }
+
+
+class LowVoltageDesignFlow:
+    """One configured instance of the paper's tool chain.
+
+    Parameters
+    ----------
+    technology:
+        A back-gated (or MTCMOS) technology; defaults to SOIAS.
+    vdd:
+        Operating supply [V].
+    clock_hz:
+        System clock; sets the cycle time leakage integrates over.
+    """
+
+    def __init__(
+        self,
+        technology: Optional[Technology] = None,
+        vdd: float = 1.0,
+        clock_hz: float = 1e6,
+    ):
+        if vdd <= 0.0 or clock_hz <= 0.0:
+            raise AnalysisError("vdd and clock must be positive")
+        self.technology = (
+            soias_technology() if technology is None else technology
+        )
+        self.vdd = vdd
+        self.clock_hz = clock_hz
+
+    @property
+    def t_cycle_s(self) -> float:
+        """Clock period [s]."""
+        return 1.0 / self.clock_hz
+
+    # ------------------------------------------------------------------
+    # Stage 1: architectural profiling
+    # ------------------------------------------------------------------
+    def profile(
+        self, program: Program, max_instructions: int = 50_000_000
+    ) -> FunctionalUnitProfile:
+        """Run the workload and extract per-unit fga/bga."""
+        return profile_program(program, max_instructions=max_instructions)
+
+    # ------------------------------------------------------------------
+    # Stage 2: node activity
+    # ------------------------------------------------------------------
+    def unit_activity(
+        self,
+        netlist: Netlist,
+        vectors: Sequence[Mapping[str, int]],
+    ) -> ActivityReport:
+        """Switch-level simulation of a unit under stimulus."""
+        active_shift = 0.0
+        if self.technology.is_back_gated:
+            active_shift = self.technology.back_gate.vt_shift_at(
+                min(
+                    self.technology.back_gate_swing,
+                    self.technology.back_gate.max_back_gate_bias,
+                )
+            )
+        simulator = SwitchLevelSimulator(
+            netlist, self.technology, self.vdd, vt_shift=active_shift
+        )
+        return simulator.run_vectors(vectors)
+
+    # ------------------------------------------------------------------
+    # Stage 3: module electrical parameters
+    # ------------------------------------------------------------------
+    def module_parameters(
+        self, netlist: Netlist, report: ActivityReport
+    ) -> ModuleEnergyParameters:
+        """Eq. 3/4 parameters from simulated activity."""
+        return module_parameters_from_activity(
+            netlist, report, self.technology, self.vdd
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 4: comparison
+    # ------------------------------------------------------------------
+    def comparator(
+        self, module: ModuleEnergyParameters
+    ) -> TechnologyComparator:
+        """Technology comparator at this flow's operating point."""
+        return TechnologyComparator(module, self.vdd, self.t_cycle_s)
+
+    def ratio_surface(
+        self,
+        module: ModuleEnergyParameters,
+        fga_values: Sequence[float],
+        bga_values: Sequence[float],
+    ) -> RatioSurface:
+        """Fig. 10 surface for one module."""
+        return energy_ratio_surface(
+            module, self.vdd, self.t_cycle_s, fga_values, bga_values
+        )
+
+    # ------------------------------------------------------------------
+    # The one-call experiment
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        program: Program,
+        units: Mapping[str, "DatapathUnitLike"],
+        duty_cycle: float = 1.0,
+    ) -> ApplicationEvaluation:
+        """Full Section 5 evaluation of one workload on a datapath.
+
+        Parameters
+        ----------
+        program:
+            The assembled workload to profile.
+        units:
+            Unit name -> an object with ``netlist`` and ``vectors``
+            attributes (see :class:`repro.core.scenarios.DatapathUnit`).
+            Unit names must match profiler functional units.
+        duty_cycle:
+            System-level active fraction (1.0 = continuously active,
+            0.2 = the paper's X server).
+        """
+        profile = self.profile(program).scaled_by_duty_cycle(duty_cycle)
+        evaluations: Dict[str, UnitEvaluation] = {}
+        for name, unit in units.items():
+            fga = profile.fga(name)
+            bga = profile.bga(name)
+            report = self.unit_activity(unit.netlist, unit.vectors)
+            module = self.module_parameters(unit.netlist, report)
+            comparator = self.comparator(module)
+            verdicts = comparator.all_verdicts(fga, bga)
+            surface = self.ratio_surface(
+                module, (max(fga, 1e-9),), (max(bga, 1e-12),)
+            )
+            point = surface.application_point(
+                f"{program.name}:{name}", max(fga, 1e-9), min(max(bga, 1e-12), max(fga, 1e-9))
+            )
+            evaluations[name] = UnitEvaluation(
+                unit=name,
+                fga=fga,
+                bga=bga,
+                module=module,
+                verdicts=verdicts,
+                point=point,
+            )
+        return ApplicationEvaluation(
+            workload=program.name,
+            duty_cycle=duty_cycle,
+            profile=profile,
+            units=evaluations,
+        )

@@ -1,0 +1,122 @@
+"""Technology (de)serialization to JSON.
+
+Lets calibrated process corners travel with designs the way PDK decks
+do: :func:`save_technology` writes every nested model parameter;
+:func:`load_technology` reconstructs a bit-identical
+:class:`~repro.device.technology.Technology`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.device.capacitance import (
+    GateCapacitanceModel,
+    JunctionCapacitanceModel,
+    WireCapacitanceModel,
+)
+from repro.device.mosfet import MosfetParameters
+from repro.device.technology import Technology, TransistorPair
+from repro.device.threshold import SoiasBackGateModel
+from repro.errors import DeviceModelError
+
+__all__ = [
+    "technology_to_dict",
+    "technology_from_dict",
+    "save_technology",
+    "load_technology",
+]
+
+_FORMAT = "repro-technology-v1"
+
+
+def _pair_to_dict(pair: Optional[TransistorPair]) -> Optional[dict]:
+    if pair is None:
+        return None
+    return {
+        "nmos": dataclasses.asdict(pair.nmos),
+        "pmos": dataclasses.asdict(pair.pmos),
+    }
+
+
+def _pair_from_dict(payload: Optional[dict]) -> Optional[TransistorPair]:
+    if payload is None:
+        return None
+    return TransistorPair(
+        nmos=MosfetParameters(**payload["nmos"]),
+        pmos=MosfetParameters(**payload["pmos"]),
+    )
+
+
+def technology_to_dict(technology: Technology) -> dict:
+    """Full parameter dump of one technology."""
+    return {
+        "format": _FORMAT,
+        "name": technology.name,
+        "transistors": _pair_to_dict(technology.transistors),
+        "gate_cap": dataclasses.asdict(technology.gate_cap),
+        "junction_cap": dataclasses.asdict(technology.junction_cap),
+        "wire_cap": dataclasses.asdict(technology.wire_cap),
+        "nominal_vdd": technology.nominal_vdd,
+        "min_vdd": technology.min_vdd,
+        "max_vdd": technology.max_vdd,
+        "drawn_length_um": technology.drawn_length_um,
+        "drain_extent_um": technology.drain_extent_um,
+        "back_gate": (
+            dataclasses.asdict(technology.back_gate)
+            if technology.back_gate is not None
+            else None
+        ),
+        "back_gate_cap_f_per_um2": technology.back_gate_cap_f_per_um2,
+        "back_gate_swing": technology.back_gate_swing,
+        "sleep_transistors": _pair_to_dict(technology.sleep_transistors),
+    }
+
+
+def technology_from_dict(payload: dict) -> Technology:
+    """Reconstruct a technology from :func:`technology_to_dict` output."""
+    if payload.get("format") != _FORMAT:
+        raise DeviceModelError(
+            f"unsupported technology format {payload.get('format')!r}"
+        )
+    back_gate = (
+        SoiasBackGateModel(**payload["back_gate"])
+        if payload["back_gate"] is not None
+        else None
+    )
+    return Technology(
+        name=payload["name"],
+        transistors=_pair_from_dict(payload["transistors"]),
+        gate_cap=GateCapacitanceModel(**payload["gate_cap"]),
+        junction_cap=JunctionCapacitanceModel(**payload["junction_cap"]),
+        wire_cap=WireCapacitanceModel(**payload["wire_cap"]),
+        nominal_vdd=payload["nominal_vdd"],
+        min_vdd=payload["min_vdd"],
+        max_vdd=payload["max_vdd"],
+        drawn_length_um=payload["drawn_length_um"],
+        drain_extent_um=payload["drain_extent_um"],
+        back_gate=back_gate,
+        back_gate_cap_f_per_um2=payload["back_gate_cap_f_per_um2"],
+        back_gate_swing=payload["back_gate_swing"],
+        sleep_transistors=_pair_from_dict(payload["sleep_transistors"]),
+    )
+
+
+def save_technology(technology: Technology, path: str) -> None:
+    """Write a technology to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(technology_to_dict(technology), handle, indent=2)
+
+
+def load_technology(path: str) -> Technology:
+    """Read a technology written by :func:`save_technology`."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise DeviceModelError(
+                f"malformed technology JSON in {path!r}: {error}"
+            ) from error
+    return technology_from_dict(payload)

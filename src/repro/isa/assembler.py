@@ -1,0 +1,416 @@
+"""Two-pass assembler for the profiling ISA.
+
+Syntax (case-insensitive mnemonics, ``#`` or ``;`` comments)::
+
+    .data
+    table:  .word 3, 5, 0x10
+    buffer: .space 8            # 8 zero words
+    .text
+    main:   LI    r1, 1000
+            LA    r2, table
+    loop:   LW    r3, 0(r2)
+            ADD   r4, r4, r3
+            ADDI  r1, r1, -1
+            BNE   r1, zero, loop
+            HALT
+
+Memory is **word addressed**.  The data segment starts at word address
+``DATA_BASE``; text labels resolve to instruction indices (the PC).
+
+Pseudo-instructions (expanded before unit accounting, so profiles see
+the real datapath instructions): ``LI``, ``LA``, ``MOV``, ``NOT``,
+``SUBI``, ``J``, ``CALL``, ``RET``, ``BGT``, ``BLE``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, instruction_set
+
+__all__ = ["DATA_BASE", "Program", "assemble"]
+
+#: Word address where the data segment begins.
+DATA_BASE = 0x1000
+
+_REGISTER_ALIASES = {"zero": 0, "ra": 31, "sp": 30}
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: code, initialized data, symbols."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int]
+    data: Dict[int, int]
+    data_base: int = DATA_BASE
+
+    @property
+    def size(self) -> int:
+        """Instruction count."""
+        return len(self.instructions)
+
+    def entry(self, label: str = "main") -> int:
+        """PC of a label (defaults to ``main``, else 0 if absent)."""
+        if label in self.labels:
+            return self.labels[label]
+        if label == "main":
+            return 0
+        raise AssemblyError(f"no label {label!r} in program {self.name!r}")
+
+
+@dataclass
+class _Line:
+    number: int
+    label: Optional[str]
+    mnemonic: Optional[str]
+    operands: List[str] = field(default_factory=list)
+    directive: Optional[str] = None
+    directive_args: List[str] = field(default_factory=list)
+
+
+def _strip_comment(text: str) -> str:
+    for marker in ("#", ";"):
+        index = text.find(marker)
+        if index >= 0:
+            text = text[:index]
+    return text.strip()
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index <= 31:
+            return index
+    raise AssemblyError(f"line {line}: bad register {token!r}")
+
+
+def _parse_int(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {line}: expected integer, got {token!r}"
+        ) from None
+
+
+def _check_imm(value: int, line: int) -> int:
+    if not -32768 <= value <= 65535:
+        raise AssemblyError(
+            f"line {line}: immediate {value} outside 16-bit range"
+        )
+    return value
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_lines(source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        if not text:
+            continue
+        label = None
+        if ":" in text:
+            head, _, rest = text.partition(":")
+            head = head.strip()
+            if not _LABEL_RE.match(head):
+                raise AssemblyError(f"line {number}: bad label {head!r}")
+            label = head
+            text = rest.strip()
+        if not text:
+            lines.append(_Line(number=number, label=label, mnemonic=None))
+            continue
+        parts = text.split(None, 1)
+        head = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = [
+            token.strip() for token in rest.split(",") if token.strip()
+        ]
+        if head.startswith("."):
+            lines.append(
+                _Line(
+                    number=number,
+                    label=label,
+                    mnemonic=None,
+                    directive=head.lower(),
+                    directive_args=operands,
+                )
+            )
+        else:
+            lines.append(
+                _Line(
+                    number=number,
+                    label=label,
+                    mnemonic=head.upper(),
+                    operands=operands,
+                )
+            )
+    return lines
+
+
+def _expansion_size(line: _Line) -> int:
+    """How many real instructions a text line assembles to."""
+    mnemonic = line.mnemonic
+    if mnemonic is None:
+        return 0
+    if mnemonic == "LI":
+        if len(line.operands) != 2:
+            raise AssemblyError(
+                f"line {line.number}: LI needs rd, imm"
+            )
+        value = _parse_int(line.operands[1], line.number)
+        return 1 if -32768 <= value <= 32767 else 2
+    if mnemonic == "LA":
+        return 2
+    return 1
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str):
+        self.name = name
+        self.lines = _parse_lines(source)
+        self.specs = instruction_set()
+        self.labels: Dict[str, int] = {}
+        self.data: Dict[int, int] = {}
+        self.instructions: List[Instruction] = []
+
+    # -- pass 1: layout ------------------------------------------------
+    def layout(self) -> None:
+        segment = "text"
+        pc = 0
+        data_cursor = DATA_BASE
+        for line in self.lines:
+            if line.directive in (".text", ".data"):
+                segment = line.directive[1:]
+                if line.label:
+                    raise AssemblyError(
+                        f"line {line.number}: label on segment directive"
+                    )
+                continue
+            if line.label:
+                address = pc if segment == "text" else data_cursor
+                if line.label in self.labels:
+                    raise AssemblyError(
+                        f"line {line.number}: duplicate label "
+                        f"{line.label!r}"
+                    )
+                self.labels[line.label] = address
+            if segment == "data":
+                data_cursor += self._layout_data(line, data_cursor)
+            else:
+                pc += _expansion_size(line)
+
+    def _layout_data(self, line: _Line, cursor: int) -> int:
+        if line.directive is None:
+            if line.mnemonic is not None:
+                raise AssemblyError(
+                    f"line {line.number}: instruction in .data segment"
+                )
+            return 0
+        if line.directive == ".word":
+            for index, token in enumerate(line.directive_args):
+                value = _parse_int(token, line.number)
+                self.data[cursor + index] = value & 0xFFFFFFFF
+            return len(line.directive_args)
+        if line.directive == ".space":
+            if len(line.directive_args) != 1:
+                raise AssemblyError(
+                    f"line {line.number}: .space needs one count"
+                )
+            count = _parse_int(line.directive_args[0], line.number)
+            if count < 0:
+                raise AssemblyError(
+                    f"line {line.number}: negative .space count"
+                )
+            for index in range(count):
+                self.data[cursor + index] = 0
+            return count
+        raise AssemblyError(
+            f"line {line.number}: unknown directive {line.directive!r}"
+        )
+
+    # -- pass 2: encode --------------------------------------------------
+    def encode(self) -> None:
+        segment = "text"
+        for line in self.lines:
+            if line.directive in (".text", ".data"):
+                segment = line.directive[1:]
+                continue
+            if segment != "text" or line.mnemonic is None:
+                continue
+            self.instructions.extend(self._encode_line(line))
+
+    def _resolve(self, token: str, line: int) -> int:
+        token = token.strip()
+        if token in self.labels:
+            return self.labels[token]
+        return _parse_int(token, line)
+
+    def _encode_line(self, line: _Line) -> List[Instruction]:
+        mnemonic = line.mnemonic
+        assert mnemonic is not None
+        number = line.number
+        ops = line.operands
+
+        # ---- pseudo-instructions --------------------------------------
+        if mnemonic == "LI":
+            rd = _parse_register(ops[0], number)
+            value = _parse_int(ops[1], number)
+            return self._load_immediate(rd, value, number)
+        if mnemonic == "LA":
+            if len(ops) != 2:
+                raise AssemblyError(f"line {number}: LA needs rd, label")
+            rd = _parse_register(ops[0], number)
+            if ops[1] not in self.labels:
+                raise AssemblyError(
+                    f"line {number}: unknown label {ops[1]!r}"
+                )
+            value = self.labels[ops[1]]
+            return self._load_immediate(rd, value, number, force_pair=True)
+        if mnemonic == "MOV":
+            self._need(ops, 2, number, "MOV rd, rs")
+            return [self._make("ADDI", (
+                _parse_register(ops[0], number),
+                _parse_register(ops[1], number), 0), number)]
+        if mnemonic == "NOT":
+            self._need(ops, 2, number, "NOT rd, rs")
+            return [self._make("XORI", (
+                _parse_register(ops[0], number),
+                _parse_register(ops[1], number), -1), number)]
+        if mnemonic == "SUBI":
+            self._need(ops, 3, number, "SUBI rd, rs, imm")
+            value = _check_imm(-_parse_int(ops[2], number), number)
+            return [self._make("ADDI", (
+                _parse_register(ops[0], number),
+                _parse_register(ops[1], number), value), number)]
+        if mnemonic == "J":
+            self._need(ops, 1, number, "J label")
+            return [self._make("JAL", (0, self._target(ops[0], number)),
+                               number)]
+        if mnemonic == "CALL":
+            self._need(ops, 1, number, "CALL label")
+            return [self._make("JAL", (31, self._target(ops[0], number)),
+                               number)]
+        if mnemonic == "RET":
+            return [self._make("JALR", (0, 31, 0), number)]
+        if mnemonic in ("BGT", "BLE"):
+            self._need(ops, 3, number, f"{mnemonic} rs1, rs2, label")
+            real = "BLT" if mnemonic == "BGT" else "BGE"
+            return [self._make(real, (
+                _parse_register(ops[1], number),
+                _parse_register(ops[0], number),
+                self._target(ops[2], number)), number)]
+
+        # ---- real instructions ----------------------------------------
+        spec = self.specs.get(mnemonic)
+        if spec is None:
+            raise AssemblyError(
+                f"line {number}: unknown mnemonic {mnemonic!r}"
+            )
+        if spec.fmt == "rrr":
+            self._need(ops, 3, number, f"{mnemonic} rd, rs1, rs2")
+            operands = tuple(_parse_register(t, number) for t in ops)
+        elif spec.fmt == "rri":
+            self._need(ops, 3, number, f"{mnemonic} rd, rs1, imm")
+            operands = (
+                _parse_register(ops[0], number),
+                _parse_register(ops[1], number),
+                _check_imm(self._resolve(ops[2], number), number),
+            )
+        elif spec.fmt == "ri":
+            self._need(ops, 2, number, f"{mnemonic} rd, imm")
+            operands = (
+                _parse_register(ops[0], number),
+                _check_imm(self._resolve(ops[1], number), number),
+            )
+        elif spec.fmt == "mem":
+            self._need(ops, 2, number, f"{mnemonic} rd, imm(rs)")
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblyError(
+                    f"line {number}: expected imm(rs), got {ops[1]!r}"
+                )
+            offset_token, base_token = match.groups()
+            operands = (
+                _parse_register(ops[0], number),
+                _parse_register(base_token, number),
+                _check_imm(self._resolve(offset_token, number), number),
+            )
+        elif spec.fmt == "branch":
+            self._need(ops, 3, number, f"{mnemonic} rs1, rs2, label")
+            operands = (
+                _parse_register(ops[0], number),
+                _parse_register(ops[1], number),
+                self._target(ops[2], number),
+            )
+        elif spec.fmt == "jump":
+            self._need(ops, 2, number, f"{mnemonic} rd, label")
+            operands = (
+                _parse_register(ops[0], number),
+                self._target(ops[1], number),
+            )
+        elif spec.fmt == "none":
+            self._need(ops, 0, number, mnemonic)
+            operands = ()
+        else:  # pragma: no cover - spec table is static
+            raise AssemblyError(f"line {number}: bad format {spec.fmt!r}")
+        return [Instruction(spec=spec, operands=operands,
+                            source_line=number)]
+
+    def _load_immediate(
+        self, rd: int, value: int, line: int, force_pair: bool = False
+    ) -> List[Instruction]:
+        if not force_pair and -32768 <= value <= 32767:
+            return [self._make("ADDI", (rd, 0, value), line)]
+        unsigned = value & 0xFFFFFFFF
+        high = (unsigned >> 16) & 0xFFFF
+        low = unsigned & 0xFFFF
+        return [
+            self._make("LUI", (rd, high), line),
+            self._make("ORI", (rd, rd, low), line),
+        ]
+
+    def _make(self, mnemonic: str, operands: Tuple[int, ...],
+              line: int) -> Instruction:
+        return Instruction(
+            spec=self.specs[mnemonic], operands=operands, source_line=line
+        )
+
+    def _target(self, token: str, line: int) -> int:
+        token = token.strip()
+        if token in self.labels:
+            return self.labels[token]
+        if re.match(r"^-?(0x)?[0-9a-fA-F]+$", token):
+            return _parse_int(token, line)
+        raise AssemblyError(f"line {line}: unknown label {token!r}")
+
+    @staticmethod
+    def _need(ops: List[str], count: int, line: int, usage: str) -> None:
+        if len(ops) != count:
+            raise AssemblyError(f"line {line}: usage: {usage}")
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble source text into a :class:`Program`."""
+    assembler = _Assembler(source, name)
+    assembler.layout()
+    assembler.encode()
+    if not assembler.instructions:
+        raise AssemblyError(f"program {name!r} has no instructions")
+    return Program(
+        name=name,
+        instructions=tuple(assembler.instructions),
+        labels=dict(assembler.labels),
+        data=dict(assembler.data),
+    )

@@ -1,0 +1,119 @@
+"""Disassembler and program listings.
+
+Turns an assembled :class:`~repro.isa.assembler.Program` back into
+assembly text.  Labels are synthesized for branch/jump targets
+(``L<pc>``); the output re-assembles to an equivalent program, which
+the property tests verify instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+
+__all__ = ["disassemble_instruction", "disassemble", "listing"]
+
+
+def _reg(index: int) -> str:
+    return f"r{index}"
+
+
+def disassemble_instruction(
+    instruction: Instruction,
+    labels: Dict[int, str],
+) -> str:
+    """One instruction back to source syntax."""
+    ops = instruction.operands
+    fmt = instruction.spec.fmt
+    mnemonic = instruction.mnemonic
+    if fmt == "rrr":
+        return f"{mnemonic} {_reg(ops[0])}, {_reg(ops[1])}, {_reg(ops[2])}"
+    if fmt == "rri":
+        return f"{mnemonic} {_reg(ops[0])}, {_reg(ops[1])}, {ops[2]}"
+    if fmt == "ri":
+        return f"{mnemonic} {_reg(ops[0])}, {ops[1]}"
+    if fmt == "mem":
+        return f"{mnemonic} {_reg(ops[0])}, {ops[2]}({_reg(ops[1])})"
+    if fmt == "branch":
+        target = labels.get(ops[2], str(ops[2]))
+        return f"{mnemonic} {_reg(ops[0])}, {_reg(ops[1])}, {target}"
+    if fmt == "jump":
+        target = labels.get(ops[1], str(ops[1]))
+        return f"{mnemonic} {_reg(ops[0])}, {target}"
+    return mnemonic  # "none" format
+
+
+def _target_labels(program: Program) -> Dict[int, str]:
+    """Synthesized labels for every control-flow target PC."""
+    targets = set()
+    for instruction in program.instructions:
+        if instruction.spec.fmt == "branch":
+            targets.add(instruction.operands[2])
+        elif instruction.spec.fmt == "jump":
+            targets.add(instruction.operands[1])
+    return {pc: f"L{pc}" for pc in sorted(targets)}
+
+
+def disassemble(program: Program) -> str:
+    """Whole program back to re-assemblable source text.
+
+    The data segment is emitted first (contiguous runs become ``.word``
+    directives); original label names are preserved where known, and
+    synthetic ``L<pc>`` labels cover the control-flow targets.
+    """
+    labels = _target_labels(program)
+    # Prefer original text labels where they exist.
+    for name, address in program.labels.items():
+        if address in labels:
+            labels[address] = name
+
+    lines: List[str] = []
+    if program.data:
+        lines.append(".data")
+        data_labels = {
+            address: name
+            for name, address in program.labels.items()
+            if address >= program.data_base
+        }
+        addresses = sorted(program.data)
+        run_start = 0
+        while run_start < len(addresses):
+            run_end = run_start
+            while (
+                run_end + 1 < len(addresses)
+                and addresses[run_end + 1] == addresses[run_end] + 1
+                and addresses[run_end + 1] not in data_labels
+            ):
+                run_end += 1
+            base = addresses[run_start]
+            values = ", ".join(
+                str(program.data[addresses[i]])
+                for i in range(run_start, run_end + 1)
+            )
+            label = data_labels.get(base, f"d{base:#x}")
+            lines.append(f"{label}: .word {values}")
+            run_start = run_end + 1
+        lines.append(".text")
+
+    for pc, instruction in enumerate(program.instructions):
+        prefix = f"{labels[pc]}:" if pc in labels else ""
+        body = disassemble_instruction(instruction, labels)
+        lines.append(f"{prefix}\t{body}")
+    return "\n".join(lines) + "\n"
+
+
+def listing(program: Program) -> str:
+    """Numbered listing with functional-unit annotations (debug aid)."""
+    labels = _target_labels(program)
+    for name, address in program.labels.items():
+        if address in labels:
+            labels[address] = name
+    lines = []
+    for pc, instruction in enumerate(program.instructions):
+        label = labels.get(pc, "")
+        units = ",".join(sorted(instruction.units)) or "-"
+        text = disassemble_instruction(instruction, labels)
+        lines.append(f"{pc:5d}  {label:<12s} {text:<32s} ; {units}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""The RISC instruction set and its functional-unit annotations.
+
+Every instruction carries the set of datapath functional units it
+exercises.  The unit mapping follows the paper's stated implementation
+assumption: *"all add, compare, load, and store instructions use the
+ALU adder"* — loads/stores compute addresses on the adder, branches
+compare on it.  Shifts use the (barrel) shifter, multiplies the array
+multiplier, bitwise operations the logic unit.
+
+Formats
+-------
+``rrr``     op rd, rs1, rs2
+``rri``     op rd, rs1, imm
+``ri``      op rd, imm
+``mem``     op rd, imm(rs1)
+``branch``  op rs1, rs2, label
+``jump``    op rd, label     (JAL) / op rd, rs1, imm (JALR is ``rri``)
+``none``    op               (HALT, NOP)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import AssemblyError
+
+__all__ = [
+    "FUNCTIONAL_UNITS",
+    "InstructionSpec",
+    "Instruction",
+    "instruction_set",
+]
+
+#: Datapath functional units the profiler tracks.  The first three are
+#: the blocks compared in the paper's Tables 1-3 and Fig. 10.
+FUNCTIONAL_UNITS: Tuple[str, ...] = (
+    "adder",
+    "shifter",
+    "multiplier",
+    "logic",
+    "memory",
+    "control",
+)
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    fmt: str
+    units: FrozenSet[str]
+    description: str
+
+    def __post_init__(self) -> None:
+        unknown = self.units - set(FUNCTIONAL_UNITS)
+        if unknown:
+            raise AssemblyError(
+                f"{self.mnemonic}: unknown functional units {sorted(unknown)}"
+            )
+
+
+def _spec(mnemonic: str, fmt: str, units: Tuple[str, ...], text: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic, fmt=fmt, units=frozenset(units), description=text
+    )
+
+
+_SPECS = [
+    # Adder class.
+    _spec("ADD", "rrr", ("adder",), "rd = rs1 + rs2"),
+    _spec("SUB", "rrr", ("adder",), "rd = rs1 - rs2"),
+    _spec("ADDI", "rri", ("adder",), "rd = rs1 + imm"),
+    _spec("SLT", "rrr", ("adder",), "rd = 1 if rs1 < rs2 (signed)"),
+    _spec("SLTU", "rrr", ("adder",), "rd = 1 if rs1 < rs2 (unsigned)"),
+    _spec("SLTI", "rri", ("adder",), "rd = 1 if rs1 < imm (signed)"),
+    # Shifter class.
+    _spec("SLL", "rrr", ("shifter",), "rd = rs1 << (rs2 & 31)"),
+    _spec("SRL", "rrr", ("shifter",), "rd = rs1 >> (rs2 & 31) logical"),
+    _spec("SRA", "rrr", ("shifter",), "rd = rs1 >> (rs2 & 31) arithmetic"),
+    _spec("SLLI", "rri", ("shifter",), "rd = rs1 << imm"),
+    _spec("SRLI", "rri", ("shifter",), "rd = rs1 >> imm logical"),
+    _spec("SRAI", "rri", ("shifter",), "rd = rs1 >> imm arithmetic"),
+    # Multiplier class.
+    _spec("MUL", "rrr", ("multiplier",), "rd = low 32 bits of rs1 * rs2"),
+    _spec("MULHU", "rrr", ("multiplier",), "rd = high 32 bits, unsigned"),
+    # Logic class.
+    _spec("AND", "rrr", ("logic",), "rd = rs1 & rs2"),
+    _spec("OR", "rrr", ("logic",), "rd = rs1 | rs2"),
+    _spec("XOR", "rrr", ("logic",), "rd = rs1 ^ rs2"),
+    _spec("ANDI", "rri", ("logic",), "rd = rs1 & imm"),
+    _spec("ORI", "rri", ("logic",), "rd = rs1 | imm"),
+    _spec("XORI", "rri", ("logic",), "rd = rs1 ^ imm"),
+    # Immediates.
+    _spec("LUI", "ri", ("logic",), "rd = imm << 16"),
+    # Memory: address arithmetic runs on the adder (paper assumption).
+    _spec("LW", "mem", ("adder", "memory"), "rd = mem[rs1 + imm]"),
+    _spec("SW", "mem", ("adder", "memory"), "mem[rs1 + imm] = rd"),
+    # Control: branch comparisons run on the adder (paper assumption).
+    _spec("BEQ", "branch", ("adder", "control"), "branch if rs1 == rs2"),
+    _spec("BNE", "branch", ("adder", "control"), "branch if rs1 != rs2"),
+    _spec("BLT", "branch", ("adder", "control"), "branch if rs1 < rs2 signed"),
+    _spec("BGE", "branch", ("adder", "control"), "branch if rs1 >= rs2 signed"),
+    _spec("BLTU", "branch", ("adder", "control"), "branch if rs1 < rs2 unsigned"),
+    _spec("BGEU", "branch", ("adder", "control"), "branch if rs1 >= rs2 unsigned"),
+    _spec("JAL", "jump", ("control",), "rd = pc + 1; pc = label"),
+    _spec("JALR", "rri", ("control",), "rd = pc + 1; pc = rs1 + imm"),
+    # Misc.
+    _spec("HALT", "none", (), "stop execution"),
+    _spec("NOP", "none", (), "no operation"),
+]
+
+
+def instruction_set() -> Dict[str, InstructionSpec]:
+    """Mnemonic -> spec for the whole ISA."""
+    return {spec.mnemonic: spec for spec in _SPECS}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction: spec plus resolved operands.
+
+    Operand meaning by format:
+
+    * ``rrr``: (rd, rs1, rs2)
+    * ``rri``: (rd, rs1, imm)
+    * ``ri``: (rd, imm)
+    * ``mem``: (rd, rs1, imm)
+    * ``branch``: (rs1, rs2, target_pc)
+    * ``jump``: (rd, target_pc)
+    * ``none``: ()
+    """
+
+    spec: InstructionSpec
+    operands: Tuple[int, ...]
+    source_line: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def units(self) -> FrozenSet[str]:
+        return self.spec.units
+
+    def __repr__(self) -> str:
+        return f"{self.mnemonic} {', '.join(map(str, self.operands))}"

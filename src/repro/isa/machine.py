@@ -1,0 +1,213 @@
+"""Interpreter for the profiling ISA with ATOM-style instrumentation.
+
+The :class:`Machine` executes an assembled
+:class:`~repro.isa.assembler.Program` and, like ATOM, lets analysis
+code attach a per-instruction hook that observes every retired
+instruction.  The profiler in :mod:`repro.isa.profiler` is one such
+analysis; tests attach their own.
+
+Conventions: 32 registers (r0 hard-wired to zero), 32-bit two's
+complement words, word-addressed memory, ``HALT`` stops execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+
+__all__ = ["Machine"]
+
+_WORD_MASK = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+#: Hook signature: (pc, instruction) -> None, called as each
+#: instruction retires.
+InstrumentationHook = Callable[[int, Instruction], None]
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - 0x100000000 if value & _SIGN_BIT else value
+
+
+class Machine:
+    """Executes a :class:`Program`.
+
+    Parameters
+    ----------
+    program:
+        The assembled program.
+    memory_limit_words:
+        Upper bound on distinct memory words touched, a guard against
+        runaway stores.
+    """
+
+    def __init__(self, program: Program, memory_limit_words: int = 1 << 22):
+        self.program = program
+        self.registers: List[int] = [0] * 32
+        self.memory: Dict[int, int] = dict(program.data)
+        self.pc = program.entry() if "main" in program.labels else 0
+        self.halted = False
+        self.instructions_retired = 0
+        self.memory_limit_words = memory_limit_words
+        self._hooks: List[InstrumentationHook] = []
+
+    # ------------------------------------------------------------------
+    # Instrumentation (the ATOM analogue)
+    # ------------------------------------------------------------------
+    def add_hook(self, hook: InstrumentationHook) -> None:
+        """Attach a per-retired-instruction observer."""
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Register / memory access
+    # ------------------------------------------------------------------
+    def read_register(self, index: int) -> int:
+        """Unsigned 32-bit register value (r0 reads as 0)."""
+        return 0 if index == 0 else self.registers[index] & _WORD_MASK
+
+    def write_register(self, index: int, value: int) -> None:
+        """Write a register (writes to r0 are ignored)."""
+        if index != 0:
+            self.registers[index] = value & _WORD_MASK
+
+    def read_memory(self, address: int) -> int:
+        """Read a data word; uninitialized memory reads as zero."""
+        if address < 0:
+            raise MachineError(f"negative memory address {address}")
+        return self.memory.get(address, 0)
+
+    def write_memory(self, address: int, value: int) -> None:
+        """Write a data word."""
+        if address < 0:
+            raise MachineError(f"negative memory address {address}")
+        if (
+            address not in self.memory
+            and len(self.memory) >= self.memory_limit_words
+        ):
+            raise MachineError(
+                f"memory footprint exceeded {self.memory_limit_words} words"
+            )
+        self.memory[address] = value & _WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise MachineError("machine is halted")
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise MachineError(f"PC {self.pc} outside program")
+        instruction = self.program.instructions[self.pc]
+        current_pc = self.pc
+        self.pc += 1
+        self._execute(instruction)
+        self.instructions_retired += 1
+        for hook in self._hooks:
+            hook(current_pc, instruction)
+
+    def run(self, max_instructions: int = 50_000_000) -> int:
+        """Run to ``HALT``; returns instructions retired this call."""
+        start = self.instructions_retired
+        while not self.halted:
+            if self.instructions_retired - start >= max_instructions:
+                raise MachineError(
+                    f"instruction budget {max_instructions} exhausted "
+                    f"(pc={self.pc})"
+                )
+            self.step()
+        return self.instructions_retired - start
+
+    # ------------------------------------------------------------------
+    def _execute(self, instruction: Instruction) -> None:
+        mnemonic = instruction.mnemonic
+        ops = instruction.operands
+        read = self.read_register
+        write = self.write_register
+
+        if mnemonic == "ADD":
+            write(ops[0], read(ops[1]) + read(ops[2]))
+        elif mnemonic == "SUB":
+            write(ops[0], read(ops[1]) - read(ops[2]))
+        elif mnemonic == "ADDI":
+            write(ops[0], read(ops[1]) + ops[2])
+        elif mnemonic == "SLT":
+            write(
+                ops[0],
+                int(_to_signed(read(ops[1])) < _to_signed(read(ops[2]))),
+            )
+        elif mnemonic == "SLTU":
+            write(ops[0], int(read(ops[1]) < read(ops[2])))
+        elif mnemonic == "SLTI":
+            write(ops[0], int(_to_signed(read(ops[1])) < ops[2]))
+        elif mnemonic == "SLL":
+            write(ops[0], read(ops[1]) << (read(ops[2]) & 31))
+        elif mnemonic == "SRL":
+            write(ops[0], read(ops[1]) >> (read(ops[2]) & 31))
+        elif mnemonic == "SRA":
+            write(ops[0], _to_signed(read(ops[1])) >> (read(ops[2]) & 31))
+        elif mnemonic == "SLLI":
+            write(ops[0], read(ops[1]) << (ops[2] & 31))
+        elif mnemonic == "SRLI":
+            write(ops[0], read(ops[1]) >> (ops[2] & 31))
+        elif mnemonic == "SRAI":
+            write(ops[0], _to_signed(read(ops[1])) >> (ops[2] & 31))
+        elif mnemonic == "MUL":
+            write(ops[0], read(ops[1]) * read(ops[2]))
+        elif mnemonic == "MULHU":
+            write(ops[0], (read(ops[1]) * read(ops[2])) >> 32)
+        elif mnemonic == "AND":
+            write(ops[0], read(ops[1]) & read(ops[2]))
+        elif mnemonic == "OR":
+            write(ops[0], read(ops[1]) | read(ops[2]))
+        elif mnemonic == "XOR":
+            write(ops[0], read(ops[1]) ^ read(ops[2]))
+        elif mnemonic == "ANDI":
+            write(ops[0], read(ops[1]) & (ops[2] & _WORD_MASK))
+        elif mnemonic == "ORI":
+            write(ops[0], read(ops[1]) | (ops[2] & 0xFFFF))
+        elif mnemonic == "XORI":
+            write(ops[0], read(ops[1]) ^ (ops[2] & _WORD_MASK))
+        elif mnemonic == "LUI":
+            write(ops[0], (ops[1] & 0xFFFF) << 16)
+        elif mnemonic == "LW":
+            address = (read(ops[1]) + ops[2]) & _WORD_MASK
+            write(ops[0], self.read_memory(address))
+        elif mnemonic == "SW":
+            address = (read(ops[1]) + ops[2]) & _WORD_MASK
+            self.write_memory(address, read(ops[0]))
+        elif mnemonic == "BEQ":
+            if read(ops[0]) == read(ops[1]):
+                self.pc = ops[2]
+        elif mnemonic == "BNE":
+            if read(ops[0]) != read(ops[1]):
+                self.pc = ops[2]
+        elif mnemonic == "BLT":
+            if _to_signed(read(ops[0])) < _to_signed(read(ops[1])):
+                self.pc = ops[2]
+        elif mnemonic == "BGE":
+            if _to_signed(read(ops[0])) >= _to_signed(read(ops[1])):
+                self.pc = ops[2]
+        elif mnemonic == "BLTU":
+            if read(ops[0]) < read(ops[1]):
+                self.pc = ops[2]
+        elif mnemonic == "BGEU":
+            if read(ops[0]) >= read(ops[1]):
+                self.pc = ops[2]
+        elif mnemonic == "JAL":
+            write(ops[0], self.pc)
+            self.pc = ops[1]
+        elif mnemonic == "JALR":
+            return_address = self.pc
+            self.pc = (read(ops[1]) + ops[2]) & _WORD_MASK
+            write(ops[0], return_address)
+        elif mnemonic == "HALT":
+            self.halted = True
+        elif mnemonic == "NOP":
+            pass
+        else:  # pragma: no cover - spec table is static
+            raise MachineError(f"unimplemented mnemonic {mnemonic!r}")

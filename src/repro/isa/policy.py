@@ -1,0 +1,146 @@
+"""Power-down gating policies (extension of the paper's bga model).
+
+The paper's ``bga`` assumes the V_T control toggles at every boundary
+of a run of uses.  A real controller would apply *hysteresis*: keep a
+block powered through short idle gaps, trading extra low-V_T leakage
+(more powered cycles) for fewer control toggles (lower bga).  This
+module records per-unit use traces during execution and evaluates such
+policies, feeding :func:`repro.power.energy.e_soias_gated`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ProfileError
+from repro.isa.instructions import FUNCTIONAL_UNITS, Instruction
+
+__all__ = ["GatedUnitStats", "UnitTraceRecorder", "apply_hysteresis"]
+
+
+@dataclass(frozen=True)
+class GatedUnitStats:
+    """Activity of one unit under a gating policy.
+
+    Distinguishes the two roles the plain ``fga`` conflates:
+
+    * ``use_fraction`` — cycles the unit actually computes (drives the
+      switching term),
+    * ``powered_fraction`` — cycles the unit sits at low V_T (drives
+      the active-leakage term); >= use_fraction under hysteresis.
+    """
+
+    unit: str
+    idle_threshold: int
+    uses: int
+    powered_cycles: int
+    toggles: int
+    total_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.total_cycles < 1:
+            raise ProfileError("total_cycles must be >= 1")
+        if self.powered_cycles < self.uses:
+            raise ProfileError("powered cycles cannot be below uses")
+
+    @property
+    def use_fraction(self) -> float:
+        """Fraction of cycles the unit computes (the switching fga)."""
+        return self.uses / self.total_cycles
+
+    @property
+    def powered_fraction(self) -> float:
+        """Fraction of cycles at low V_T (the leakage-exposure fga)."""
+        return self.powered_cycles / self.total_cycles
+
+    @property
+    def bga(self) -> float:
+        """Power-up events per cycle under this policy."""
+        return self.toggles / self.total_cycles
+
+
+class UnitTraceRecorder:
+    """Machine hook recording run-length-encoded per-unit use traces.
+
+    Attach with ``machine.add_hook(recorder)``; afterwards
+    :meth:`trace` yields ``(active, length)`` runs for each unit.
+    """
+
+    def __init__(self, units: Tuple[str, ...] = FUNCTIONAL_UNITS):
+        self.units = units
+        self.total = 0
+        # Per unit: list of [active(bool), length(int)] runs.
+        self._runs: Dict[str, List[List]] = {unit: [] for unit in units}
+
+    def __call__(self, pc: int, instruction: Instruction) -> None:
+        self.total += 1
+        used = instruction.units
+        for unit in self.units:
+            active = unit in used
+            runs = self._runs[unit]
+            if runs and runs[-1][0] == active:
+                runs[-1][1] += 1
+            else:
+                runs.append([active, 1])
+
+    def trace(self, unit: str) -> List[Tuple[bool, int]]:
+        """RLE trace of one unit: list of (active, run_length)."""
+        if unit not in self._runs:
+            raise ProfileError(
+                f"unit {unit!r} not recorded; have {sorted(self._runs)}"
+            )
+        return [(bool(a), int(n)) for a, n in self._runs[unit]]
+
+    def gated_stats(
+        self, unit: str, idle_threshold: int = 0
+    ) -> GatedUnitStats:
+        """Policy evaluation shortcut (see :func:`apply_hysteresis`)."""
+        return apply_hysteresis(
+            self.trace(unit), unit, self.total, idle_threshold
+        )
+
+
+def apply_hysteresis(
+    trace: List[Tuple[bool, int]],
+    unit: str,
+    total_cycles: int,
+    idle_threshold: int,
+) -> GatedUnitStats:
+    """Evaluate a keep-alive policy over an RLE use trace.
+
+    The unit powers up on first use and powers down only after more
+    than ``idle_threshold`` consecutive idle cycles (the idle gap's
+    cycles up to the threshold are spent powered).  ``idle_threshold
+    = 0`` reproduces the paper's immediate-gating bga exactly.
+    """
+    if idle_threshold < 0:
+        raise ProfileError("idle_threshold must be >= 0")
+    if total_cycles < 1:
+        raise ProfileError("empty trace")
+    uses = sum(length for active, length in trace if active)
+    powered = 0
+    toggles = 0
+    is_powered = False
+    for active, length in trace:
+        if active:
+            if not is_powered:
+                toggles += 1
+                is_powered = True
+            powered += length
+        else:
+            if is_powered:
+                if length > idle_threshold:
+                    # Stays on through the threshold window, then cuts.
+                    powered += idle_threshold
+                    is_powered = False
+                else:
+                    powered += length
+    return GatedUnitStats(
+        unit=unit,
+        idle_threshold=idle_threshold,
+        uses=uses,
+        powered_cycles=powered,
+        toggles=toggles,
+        total_cycles=total_cycles,
+    )

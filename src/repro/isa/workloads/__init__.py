@@ -1,0 +1,25 @@
+"""Profiling workloads: the paper's three programs plus extensions.
+
+* :mod:`~repro.isa.workloads.idea` — the IDEA block cipher (Table 3),
+  implemented exactly (verified against a Python reference and an
+  encrypt/decrypt round trip).
+* :mod:`~repro.isa.workloads.espresso_like` — the dominant inner loops
+  of SPEC espresso: bit-paired cube containment / intersection /
+  merging over a synthetic PLA cover (Table 1): shift-heavy.
+* :mod:`~repro.isa.workloads.li_like` — the dominant inner loops of
+  SPEC li: cons-cell list building, reversal, summation and assoc
+  lookup (Table 2): add/load-heavy, no multiplies.
+* :mod:`~repro.isa.workloads.fir` — extension: multiply-accumulate FIR
+  filter, a continuously-multiplying contrast case.
+* :mod:`~repro.isa.workloads.crc` — extension: bitwise CRC-32,
+  shift/xor saturated.
+* :mod:`~repro.isa.workloads.sort` — extension: recursive quicksort,
+  exercising the call stack and compare/move-dominated control flow.
+* :mod:`~repro.isa.workloads.matmul` — extension: 4-unrolled integer
+  matrix multiply whose grouped multiply bursts give the multiplier
+  bga ≈ fga/4 (the run-length contrast to IDEA).
+"""
+
+from repro.isa.workloads import crc, espresso_like, fir, idea, li_like, matmul, sort
+
+__all__ = ["idea", "espresso_like", "li_like", "fir", "crc", "sort", "matmul"]

@@ -1,0 +1,275 @@
+"""Espresso-like two-level minimization kernel (paper Table 1).
+
+SPEC espresso spends its time in cube operations on a positional-cube
+("bit-pair") encoding: each input variable occupies two bits of a cube
+word (01 = complemented literal, 10 = true literal, 11 = don't care).
+The dominant loops — containment checks, intersection emptiness tests,
+and distance-1 merging — are saturated with bitwise logic and *shifts*
+(walking variable pairs), with the adder active mostly for addressing
+and loop control and the multiplier idle.  That is exactly the Table 1
+signature (shifts-heavy, multiplications ~0).
+
+The kernel here performs, over a synthetic cover of ``n_cubes`` cubes
+on ``n_vars`` variables:
+
+1. single-cube containment sweep — delete any cube contained in
+   another (``(a & b) == b`` tests), then
+2. a distance-1 merge pass — cubes whose OR differs in exactly one
+   variable pair merge into their supercube (requires walking pairs
+   with shifts), and
+3. a literal-count reduction — popcount of care bits via shift loops.
+
+A Python reference of the same algorithm validates the assembly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "random_cover",
+    "reference_kernel",
+    "source",
+    "build_program",
+    "read_results",
+]
+
+_DC = 0b11
+
+
+def random_cover(
+    n_cubes: int, n_vars: int, seed: int = 0
+) -> List[int]:
+    """A synthetic single-output cover in positional-cube encoding."""
+    if n_cubes < 2:
+        raise AssemblyError("need at least two cubes")
+    if not 1 <= n_vars <= 15:
+        raise AssemblyError("n_vars must be in [1, 15] (two bits each)")
+    rng = random.Random(seed)
+    cover = []
+    for _ in range(n_cubes):
+        cube = 0
+        for var in range(n_vars):
+            # Bias toward don't-care so containments/merges exist.
+            literal = rng.choice((0b01, 0b10, _DC, _DC))
+            cube |= literal << (2 * var)
+        cover.append(cube)
+    return cover
+
+
+def _contains(a: int, b: int) -> bool:
+    """Cube ``a`` contains cube ``b``: every literal of a covers b's."""
+    return (a & b) == b
+
+
+def _distance_one_merge(a: int, b: int, n_vars: int) -> Tuple[bool, int]:
+    """Merge cubes differing in exactly one variable pair.
+
+    Returns (merged?, supercube).  Two cubes merge when they agree in
+    all variables but one, where the union of literals is don't-care.
+    """
+    diff = a ^ b
+    mismatch_vars = 0
+    merged = a | b
+    for var in range(n_vars):
+        pair = (diff >> (2 * var)) & 0b11
+        if pair:
+            mismatch_vars += 1
+            if mismatch_vars > 1:
+                return False, 0
+            if ((merged >> (2 * var)) & 0b11) != _DC:
+                return False, 0
+    if mismatch_vars != 1:
+        return False, 0
+    return True, merged
+
+
+def _care_literals(cube: int, n_vars: int) -> int:
+    """Number of non-don't-care variables in a cube."""
+    count = 0
+    for var in range(n_vars):
+        if ((cube >> (2 * var)) & 0b11) != _DC:
+            count += 1
+    return count
+
+
+def reference_kernel(
+    cover: Sequence[int], n_vars: int
+) -> Tuple[List[int], int]:
+    """Python reference of the kernel: (final cover, literal count).
+
+    Mirrors the assembly exactly: containment deletion (marking with
+    zero), one merge pass (merged pairs replace the first cube, delete
+    the second), then a literal count over survivors.
+    """
+    cubes = list(cover)
+    n = len(cubes)
+    # Pass 1: containment deletion (j contained in i, i != j).
+    for i in range(n):
+        if cubes[i] == 0:
+            continue
+        for j in range(n):
+            if i == j or cubes[j] == 0 or cubes[i] == 0:
+                continue
+            if cubes[i] != cubes[j] and _contains(cubes[i], cubes[j]):
+                cubes[j] = 0
+            elif cubes[i] == cubes[j] and i < j:
+                cubes[j] = 0
+    # Pass 2: one distance-1 merge sweep.
+    for i in range(n):
+        if cubes[i] == 0:
+            continue
+        for j in range(i + 1, n):
+            if cubes[j] == 0 or cubes[i] == 0:
+                continue
+            merged, supercube = _distance_one_merge(
+                cubes[i], cubes[j], n_vars
+            )
+            if merged:
+                cubes[i] = supercube
+                cubes[j] = 0
+    # Pass 3: literal count.
+    literals = sum(
+        _care_literals(cube, n_vars) for cube in cubes if cube
+    )
+    return cubes, literals
+
+
+def source(cover: Sequence[int], n_vars: int) -> str:
+    """Assembly implementing :func:`reference_kernel`.
+
+    Register plan: r1 = cover base, r2 = n_cubes, r3 = n_vars,
+    r4/r5 = i/j indices, r6/r7 = cube values, r8..r15 scratch,
+    r20 = literal-count accumulator.
+    """
+    if not cover:
+        raise AssemblyError("empty cover")
+    words = ", ".join(str(c) for c in cover)
+    n = len(cover)
+    return f"""
+.data
+cover:    .word {words}
+literals: .space 1
+.text
+main:
+    LA    r1, cover
+    LI    r2, {n}
+    LI    r3, {n_vars}
+
+# ---- pass 1: containment deletion --------------------------------
+    LI    r4, 0               # i
+cont_i:
+    ADD   r8, r1, r4
+    LW    r6, 0(r8)           # cubes[i]
+    BEQ   r6, zero, cont_i_next
+    LI    r5, 0               # j
+cont_j:
+    BEQ   r4, r5, cont_j_next
+    ADD   r9, r1, r5
+    LW    r7, 0(r9)           # cubes[j]
+    BEQ   r7, zero, cont_j_next
+    BEQ   r6, r7, cont_equal
+    AND   r10, r6, r7
+    BNE   r10, r7, cont_j_next   # (i & j) != j: no containment
+    SW    zero, 0(r9)            # delete j
+    J     cont_j_next
+cont_equal:
+    BGE   r4, r5, cont_j_next    # keep the earlier duplicate
+    SW    zero, 0(r9)
+cont_j_next:
+    ADDI  r5, r5, 1
+    BLT   r5, r2, cont_j
+cont_i_next:
+    ADDI  r4, r4, 1
+    BLT   r4, r2, cont_i
+
+# ---- pass 2: distance-1 merge -------------------------------------
+    LI    r4, 0               # i
+merge_i:
+    ADD   r8, r1, r4
+    LW    r6, 0(r8)
+    BEQ   r6, zero, merge_i_next
+    ADDI  r5, r4, 1           # j = i + 1
+merge_j:
+    BGE   r5, r2, merge_i_next
+    ADD   r9, r1, r5
+    LW    r7, 0(r9)
+    BEQ   r7, zero, merge_j_next
+    XOR   r10, r6, r7         # diff
+    OR    r11, r6, r7         # union
+    LI    r12, 0              # mismatch count
+    LI    r13, 0              # var index
+merge_var:
+    SRL   r14, r10, r13       # diff >> 2*var (r13 holds 2*var)
+    ANDI  r14, r14, 3
+    BEQ   r14, zero, merge_var_next
+    ADDI  r12, r12, 1
+    LI    r15, 1
+    BGT   r12, r15, merge_j_next   # >1 mismatch: no merge
+    SRL   r14, r11, r13
+    ANDI  r14, r14, 3
+    LI    r15, 3
+    BNE   r14, r15, merge_j_next   # union not don't-care: no merge
+merge_var_next:
+    ADDI  r13, r13, 2
+    SLLI  r15, r3, 1          # 2 * n_vars
+    BLT   r13, r15, merge_var
+    LI    r15, 1
+    BNE   r12, r15, merge_j_next   # need exactly one mismatch
+    SW    r11, 0(r8)          # cubes[i] = supercube
+    MOV   r6, r11
+    SW    zero, 0(r9)         # delete j
+merge_j_next:
+    ADDI  r5, r5, 1
+    BLT   r5, r2, merge_j
+merge_i_next:
+    ADDI  r4, r4, 1
+    BLT   r4, r2, merge_i
+
+# ---- pass 3: literal count ----------------------------------------
+    LI    r20, 0
+    LI    r4, 0
+lit_i:
+    ADD   r8, r1, r4
+    LW    r6, 0(r8)
+    BEQ   r6, zero, lit_i_next
+    LI    r13, 0              # 2*var
+lit_var:
+    SRL   r14, r6, r13
+    ANDI  r14, r14, 3
+    LI    r15, 3
+    BEQ   r14, r15, lit_var_next
+    ADDI  r20, r20, 1
+lit_var_next:
+    ADDI  r13, r13, 2
+    SLLI  r15, r3, 1
+    BLT   r13, r15, lit_var
+lit_i_next:
+    ADDI  r4, r4, 1
+    BLT   r4, r2, lit_i
+
+    LA    r9, literals
+    SW    r20, 0(r9)
+    HALT
+"""
+
+
+def build_program(
+    n_cubes: int = 48, n_vars: int = 10, seed: int = 0
+) -> Program:
+    """Assemble the espresso-like workload on a random cover."""
+    cover = random_cover(n_cubes, n_vars, seed)
+    return assemble(source(cover, n_vars), name="espresso")
+
+
+def read_results(machine: Machine, program: Program, n_cubes: int) -> Tuple[List[int], int]:
+    """(final cover, literal count) from a halted machine."""
+    base = program.labels["cover"]
+    cover = [machine.read_memory(base + i) for i in range(n_cubes)]
+    literals = machine.read_memory(program.labels["literals"])
+    return cover, literals

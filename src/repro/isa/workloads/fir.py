@@ -1,0 +1,111 @@
+"""FIR filter workload (extension: a continuously multiplying DSP job).
+
+The paper's Section 3 workloads are "continuously operational" DSP
+kernels; an FIR filter is the canonical one.  Its profile is the
+anti-IDEA control case: the multiplier runs every few instructions
+(high fga *and* high bga — short runs), so burst-mode technologies buy
+little, matching the paper's conclusion that continuously active
+modules should use optimized fixed (V_DD, V_T) instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "reference_filter",
+    "random_signal",
+    "source",
+    "build_program",
+    "read_outputs",
+]
+
+
+def reference_filter(
+    samples: Sequence[int], taps: Sequence[int]
+) -> List[int]:
+    """Direct-form FIR, 32-bit wraparound arithmetic."""
+    outputs = []
+    for n in range(len(samples)):
+        accumulator = 0
+        for k, tap in enumerate(taps):
+            if n - k >= 0:
+                accumulator += tap * samples[n - k]
+        outputs.append(accumulator & 0xFFFFFFFF)
+    return outputs
+
+
+def random_signal(count: int, seed: int = 0, amplitude: int = 255) -> List[int]:
+    """Deterministic pseudo-random input samples."""
+    if count < 1:
+        raise AssemblyError("count must be >= 1")
+    rng = random.Random(seed)
+    return [rng.randrange(amplitude + 1) for _ in range(count)]
+
+
+def source(samples: Sequence[int], taps: Sequence[int]) -> str:
+    """Assembly for the direct-form FIR.
+
+    Register plan: r1 = samples base, r2 = taps base, r3 = outputs
+    base, r4 = n, r5 = k, r6 = accumulator, r7..r10 scratch.
+    """
+    if not samples or not taps:
+        raise AssemblyError("need samples and taps")
+    sample_words = ", ".join(str(s & 0xFFFFFFFF) for s in samples)
+    tap_words = ", ".join(str(t & 0xFFFFFFFF) for t in taps)
+    return f"""
+.data
+samples: .word {sample_words}
+taps:    .word {tap_words}
+outputs: .space {len(samples)}
+.text
+main:
+    LA    r1, samples
+    LA    r2, taps
+    LA    r3, outputs
+    LI    r4, 0               # n
+outer:
+    LI    r6, 0               # acc
+    LI    r5, 0               # k
+inner:
+    SUB   r7, r4, r5          # n - k
+    BLT   r7, zero, tap_done
+    ADD   r8, r1, r7
+    LW    r9, 0(r8)           # x[n-k]
+    ADD   r8, r2, r5
+    LW    r10, 0(r8)          # h[k]
+    MUL   r9, r9, r10
+    ADD   r6, r6, r9
+tap_done:
+    ADDI  r5, r5, 1
+    LI    r8, {len(taps)}
+    BLT   r5, r8, inner
+    ADD   r8, r3, r4
+    SW    r6, 0(r8)           # y[n]
+    ADDI  r4, r4, 1
+    LI    r8, {len(samples)}
+    BLT   r4, r8, outer
+    HALT
+"""
+
+
+def build_program(
+    n_samples: int = 64,
+    taps: Sequence[int] = (3, 7, 11, 7, 3),
+    seed: int = 0,
+) -> Tuple[Program, List[int], List[int]]:
+    """Assemble the FIR workload; returns (program, samples, taps)."""
+    samples = random_signal(n_samples, seed)
+    program = assemble(source(samples, taps), name="fir")
+    return program, samples, list(taps)
+
+
+def read_outputs(machine: Machine, program: Program, count: int) -> List[int]:
+    """Filter outputs from a halted machine."""
+    base = program.labels["outputs"]
+    return [machine.read_memory(base + i) for i in range(count)]

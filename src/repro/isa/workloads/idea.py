@@ -1,0 +1,336 @@
+"""IDEA block cipher workload (paper Table 3).
+
+The International Data Encryption Algorithm operates on 64-bit blocks
+as four 16-bit words with three group operations: XOR, addition mod
+2^16, and multiplication mod 2^16 + 1 (with 0 representing 2^16) — the
+last being why the paper's Table 3 shows the multiplier working hard.
+
+This module provides:
+
+* a pure-Python reference (:func:`encrypt_block`, :func:`decrypt_block`
+  and both key schedules), used by the tests;
+* :func:`source` — assembly for encrypting ``n_blocks`` 64-bit blocks
+  on the profiling ISA (subkeys precomputed into the data segment, as
+  a real implementation would);
+* :func:`read_ciphertext` — pulls the result words back out of a
+  finished machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "key_schedule",
+    "decrypt_key_schedule",
+    "mul_mod",
+    "add_mod",
+    "encrypt_block",
+    "decrypt_block",
+    "source",
+    "build_program",
+    "random_blocks",
+    "read_ciphertext",
+    "DEFAULT_KEY",
+]
+
+_MOD_MUL = 0x10001  # 2^16 + 1
+_MASK16 = 0xFFFF
+ROUNDS = 8
+
+#: 128-bit key used by the canned benchmark (eight 16-bit words).
+DEFAULT_KEY: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (group operations)
+# ----------------------------------------------------------------------
+def mul_mod(a: int, b: int) -> int:
+    """IDEA multiplication: mod 2^16+1 with 0 encoding 2^16."""
+    a = a or 0x10000
+    b = b or 0x10000
+    return (a * b % _MOD_MUL) & _MASK16
+
+
+def add_mod(a: int, b: int) -> int:
+    """IDEA addition: mod 2^16."""
+    return (a + b) & _MASK16
+
+
+def _mul_inverse(a: int) -> int:
+    """Multiplicative inverse in the IDEA group (0 encodes 2^16)."""
+    value = a or 0x10000
+    return pow(value, _MOD_MUL - 2, _MOD_MUL) & _MASK16
+
+
+def key_schedule(key_words: Sequence[int] = DEFAULT_KEY) -> List[int]:
+    """Expand a 128-bit key (eight 16-bit words) into 52 subkeys.
+
+    Standard schedule: emit the 8 words, rotate the 128-bit key left
+    by 25 bits, repeat.
+    """
+    if len(key_words) != 8:
+        raise AssemblyError("IDEA key must be eight 16-bit words")
+    if any(not 0 <= w <= _MASK16 for w in key_words):
+        raise AssemblyError("IDEA key words must be 16-bit")
+    key = 0
+    for word in key_words:
+        key = (key << 16) | word
+    subkeys: List[int] = []
+    while len(subkeys) < 52:
+        for i in range(8):
+            if len(subkeys) == 52:
+                break
+            subkeys.append((key >> (112 - 16 * i)) & _MASK16)
+        key = ((key << 25) | (key >> 103)) & ((1 << 128) - 1)
+    return subkeys
+
+
+def decrypt_key_schedule(key_words: Sequence[int] = DEFAULT_KEY) -> List[int]:
+    """Subkeys that make :func:`encrypt_block` invert itself."""
+    enc = key_schedule(key_words)
+    dec: List[int] = [0] * 52
+    # Output transform of decryption <- inverse of round-1 inputs.
+    dec[48] = _mul_inverse(enc[0])
+    dec[49] = (-enc[1]) & _MASK16
+    dec[50] = (-enc[2]) & _MASK16
+    dec[51] = _mul_inverse(enc[3])
+    for round_index in range(ROUNDS):
+        e = 6 * (ROUNDS - 1 - round_index)
+        d = 6 * round_index
+        dec[d + 4] = enc[e + 4]
+        dec[d + 5] = enc[e + 5]
+        swap = round_index > 0
+        dec[d + 0] = _mul_inverse(enc[e + 6])
+        dec[d + 3] = _mul_inverse(enc[e + 9])
+        if swap:
+            dec[d + 1] = (-enc[e + 8]) & _MASK16
+            dec[d + 2] = (-enc[e + 7]) & _MASK16
+        else:
+            dec[d + 1] = (-enc[e + 7]) & _MASK16
+            dec[d + 2] = (-enc[e + 8]) & _MASK16
+    return dec
+
+
+def _crypt_block(block: Sequence[int], subkeys: Sequence[int]) -> Tuple[int, int, int, int]:
+    if len(block) != 4:
+        raise AssemblyError("IDEA block must be four 16-bit words")
+    if len(subkeys) != 52:
+        raise AssemblyError("IDEA needs 52 subkeys")
+    x1, x2, x3, x4 = block
+    for r in range(ROUNDS):
+        k = subkeys[6 * r : 6 * r + 6]
+        a = mul_mod(x1, k[0])
+        b = add_mod(x2, k[1])
+        c = add_mod(x3, k[2])
+        d = mul_mod(x4, k[3])
+        e = a ^ c
+        f = b ^ d
+        t0 = mul_mod(e, k[4])
+        t1 = mul_mod(add_mod(f, t0), k[5])
+        t2 = add_mod(t0, t1)
+        # The branch crossover is part of the round, so this IS the
+        # post-swap state; the final round undoes the crossover.
+        x1 = a ^ t1
+        x2 = c ^ t1
+        x3 = b ^ t2
+        x4 = d ^ t2
+        if r == ROUNDS - 1:
+            x2, x3 = x3, x2
+    k = subkeys[48:52]
+    return (
+        mul_mod(x1, k[0]),
+        add_mod(x2, k[1]),
+        add_mod(x3, k[2]),
+        mul_mod(x4, k[3]),
+    )
+
+
+def encrypt_block(
+    block: Sequence[int], key_words: Sequence[int] = DEFAULT_KEY
+) -> Tuple[int, int, int, int]:
+    """Encrypt one 64-bit block (four 16-bit words)."""
+    return _crypt_block(block, key_schedule(key_words))
+
+
+def decrypt_block(
+    block: Sequence[int], key_words: Sequence[int] = DEFAULT_KEY
+) -> Tuple[int, int, int, int]:
+    """Decrypt one 64-bit block."""
+    return _crypt_block(block, decrypt_key_schedule(key_words))
+
+
+# ----------------------------------------------------------------------
+# Assembly generation
+# ----------------------------------------------------------------------
+_MULMOD_ROUTINE = """
+# mul_mod(r10, r11) -> r12; clobbers r13, r14.  IDEA multiplication:
+# mod 2^16+1 with 0 encoding 2^16.
+mulmod:
+    BEQ   r10, zero, mulmod_a0
+    BEQ   r11, zero, mulmod_b0
+    MUL   r13, r10, r11       # t = a * b  (< 2^32)
+    ANDI  r12, r13, 0xFFFF    # lo
+    SRLI  r13, r13, 16        # hi
+    BGEU  r12, r13, mulmod_nofix
+    ADDI  r12, r12, 1         # lo - hi + 0x10001, done in two adds
+mulmod_nofix:
+    SUB   r12, r12, r13
+    ANDI  r12, r12, 0xFFFF
+    RET
+mulmod_a0:
+    LI    r14, 0x10001
+    SUB   r12, r14, r11
+    ANDI  r12, r12, 0xFFFF
+    RET
+mulmod_b0:
+    LI    r14, 0x10001
+    SUB   r12, r14, r10
+    ANDI  r12, r12, 0xFFFF
+    RET
+"""
+
+
+def _round_asm(last: bool) -> str:
+    """One IDEA round; x1..x4 live in r20..r23, key pointer in r5."""
+    swap = """
+    MOV   r13, r21            # final round: undo the branch crossover
+    MOV   r21, r22
+    MOV   r22, r13""" if last else ""
+    return f"""
+    LW    r10, 0(r5)          # k1
+    MOV   r11, r20
+    CALL  mulmod
+    MOV   r24, r12            # a
+    LW    r13, 1(r5)          # k2
+    ADD   r25, r21, r13
+    ANDI  r25, r25, 0xFFFF    # b
+    LW    r13, 2(r5)          # k3
+    ADD   r26, r22, r13
+    ANDI  r26, r26, 0xFFFF    # c
+    LW    r10, 3(r5)          # k4
+    MOV   r11, r23
+    CALL  mulmod
+    MOV   r27, r12            # d
+    XOR   r10, r24, r26       # e = a ^ c
+    LW    r11, 4(r5)          # k5
+    CALL  mulmod
+    MOV   r28, r12            # t0
+    XOR   r13, r25, r27       # f = b ^ d
+    ADD   r10, r13, r28
+    ANDI  r10, r10, 0xFFFF    # f + t0
+    LW    r11, 5(r5)          # k6
+    CALL  mulmod              # t1
+    ADD   r29, r28, r12
+    ANDI  r29, r29, 0xFFFF    # t2 = t0 + t1
+    XOR   r20, r24, r12       # x1 = a ^ t1
+    XOR   r21, r26, r12       # x2 = c ^ t1
+    XOR   r22, r25, r29       # x3 = b ^ t2
+    XOR   r23, r27, r29       # x4 = d ^ t2{swap}
+    ADDI  r5, r5, 6           # advance key pointer
+"""
+
+
+def source(
+    blocks: Sequence[Sequence[int]],
+    key_words: Sequence[int] = DEFAULT_KEY,
+) -> str:
+    """Assembly encrypting ``blocks`` with the given key.
+
+    The eight rounds are unrolled (key pointer walks the schedule), the
+    multiplication group operation is a subroutine, and blocks are
+    processed in a loop — the shape of a real software IDEA.
+    """
+    if not blocks:
+        raise AssemblyError("need at least one block")
+    subkeys = key_schedule(key_words)
+    flat: List[int] = []
+    for block in blocks:
+        if len(block) != 4:
+            raise AssemblyError("each IDEA block is four 16-bit words")
+        if any(not 0 <= w <= _MASK16 for w in block):
+            raise AssemblyError("block words must be 16-bit")
+        flat.extend(block)
+    words = ", ".join(str(w) for w in subkeys)
+    data = ", ".join(str(w) for w in flat)
+    rounds = "".join(
+        _round_asm(last=(r == ROUNDS - 1)) for r in range(ROUNDS)
+    )
+    return f"""
+.data
+subkeys: .word {words}
+input:   .word {data}
+output:  .space {len(flat)}
+.text
+main:
+    LA    r1, input
+    LA    r2, output
+    LI    r4, {len(blocks)}
+block_loop:
+    LA    r5, subkeys
+    LW    r20, 0(r1)
+    LW    r21, 1(r1)
+    LW    r22, 2(r1)
+    LW    r23, 3(r1)
+{rounds}
+    # Output transform: k49..k52 at r5 (after 48 round keys).
+    LW    r10, 0(r5)
+    MOV   r11, r20
+    CALL  mulmod
+    MOV   r20, r12
+    LW    r13, 1(r5)
+    ADD   r21, r21, r13
+    ANDI  r21, r21, 0xFFFF
+    LW    r13, 2(r5)
+    ADD   r22, r22, r13
+    ANDI  r22, r22, 0xFFFF
+    LW    r10, 3(r5)
+    MOV   r11, r23
+    CALL  mulmod
+    MOV   r23, r12
+    SW    r20, 0(r2)
+    SW    r21, 1(r2)
+    SW    r22, 2(r2)
+    SW    r23, 3(r2)
+    ADDI  r1, r1, 4
+    ADDI  r2, r2, 4
+    ADDI  r4, r4, -1
+    BNE   r4, zero, block_loop
+    HALT
+{_MULMOD_ROUTINE}
+"""
+
+
+def build_program(
+    blocks: Sequence[Sequence[int]],
+    key_words: Sequence[int] = DEFAULT_KEY,
+) -> Program:
+    """Assemble the IDEA workload for the given blocks."""
+    return assemble(source(blocks, key_words), name="idea")
+
+
+def random_blocks(count: int, seed: int = 0) -> List[Tuple[int, int, int, int]]:
+    """Deterministic pseudo-random 64-bit plaintext blocks."""
+    if count < 1:
+        raise AssemblyError("count must be >= 1")
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randrange(0x10000) for _ in range(4))
+        for _ in range(count)
+    ]
+
+
+def read_ciphertext(machine: Machine, program: Program, n_blocks: int) -> List[Tuple[int, int, int, int]]:
+    """Extract the ciphertext blocks from a halted machine."""
+    base = program.labels["output"]
+    result = []
+    for i in range(n_blocks):
+        result.append(
+            tuple(machine.read_memory(base + 4 * i + j) for j in range(4))
+        )
+    return result

@@ -1,0 +1,169 @@
+"""Li-like list-interpreter kernel (paper Table 2).
+
+SPEC li is a Lisp interpreter; its hot loops chase cons cells, compare
+tags, and do pointer arithmetic — adder and memory work with almost no
+shifting and no multiplication, which is the Table 2 signature.
+
+The kernel allocates cons cells from a bump heap and runs the classic
+interpreter inner loops:
+
+1. build a list of ``n`` integers (cons),
+2. destructively reverse it (pointer swaps),
+3. sum its elements (car/cdr walk),
+4. look up ``n_lookups`` keys in an association list built from the
+   values (eq-test walk, the ``assq`` loop).
+
+A cons cell is two consecutive words: (car, cdr); nil is address 0
+(the data segment starts above it, so 0 is never a real cell).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "reference_kernel",
+    "source",
+    "build_program",
+    "read_results",
+]
+
+
+def reference_kernel(n: int, n_lookups: int) -> Tuple[int, int]:
+    """Python reference: (sum of list, count of successful lookups).
+
+    The list holds values ``1..n`` (built by consing 1 first, then
+    reversed so it reads 1..n again).  The assoc list maps each value
+    ``v`` to ``v * 2`` (associations built with ADDs, not MULs, to stay
+    faithful to li's integer behaviour); lookups probe keys
+    ``1, 3, 5, ...`` wrapping modulo ``n + 1``, counting hits.
+    """
+    values = list(range(1, n + 1))
+    total = sum(values)
+    hits = 0
+    key = 1
+    for _ in range(n_lookups):
+        if 1 <= key <= n:
+            hits += 1
+        key += 2
+        if key > n + 1:
+            key -= n + 1
+    return total, hits
+
+
+def source(n: int, n_lookups: int) -> str:
+    """Assembly implementing :func:`reference_kernel`.
+
+    Register plan: r1 = heap pointer, r2 = list head, r3 = assoc head,
+    r4 = loop counter, r5..r9 scratch, r20 = sum, r21 = hit count.
+    """
+    if n < 1:
+        raise AssemblyError("list length must be >= 1")
+    if n_lookups < 1:
+        raise AssemblyError("need at least one lookup")
+    return f"""
+.data
+heap_base: .space 4           # padding; heap grows from here
+results:   .space 2           # [sum, hits]
+.text
+main:
+    LA    r1, heap_base
+    ADDI  r1, r1, 8           # leave the labelled words alone
+    LI    r2, 0               # list = nil
+
+# ---- build: for v = n..1: list = cons(v, list) ---------------------
+    LI    r4, {n}
+build_loop:
+    SW    r4, 0(r1)           # car = v
+    SW    r2, 1(r1)           # cdr = list
+    MOV   r2, r1              # list = new cell
+    ADDI  r1, r1, 2           # bump heap
+    ADDI  r4, r4, -1
+    BNE   r4, zero, build_loop
+
+# ---- reverse (destructive) -----------------------------------------
+    LI    r5, 0               # prev = nil
+rev_loop:
+    BEQ   r2, zero, rev_done
+    LW    r6, 1(r2)           # next = cdr(cell)
+    SW    r5, 1(r2)           # cdr(cell) = prev
+    MOV   r5, r2              # prev = cell
+    MOV   r2, r6              # cell = next
+    J     rev_loop
+rev_done:
+    MOV   r2, r5              # list = prev (now n..1 -> 1..n order)
+
+# ---- sum the list ----------------------------------------------------
+    LI    r20, 0
+    MOV   r6, r2
+sum_loop:
+    BEQ   r6, zero, sum_done
+    LW    r7, 0(r6)           # car
+    ADD   r20, r20, r7
+    LW    r6, 1(r6)           # cdr
+    J     sum_loop
+sum_done:
+
+# ---- build assoc list: ((v . v+v) ...) -------------------------------
+    LI    r3, 0               # assoc = nil
+    MOV   r6, r2
+assoc_build:
+    BEQ   r6, zero, assoc_built
+    LW    r7, 0(r6)           # key v
+    ADD   r8, r7, r7          # value v + v
+    SW    r7, 0(r1)           # pair cell: (key . value)
+    SW    r8, 1(r1)
+    MOV   r9, r1
+    ADDI  r1, r1, 2
+    SW    r9, 0(r1)           # assoc cell: car = pair
+    SW    r3, 1(r1)           # cdr = assoc
+    MOV   r3, r1
+    ADDI  r1, r1, 2
+    LW    r6, 1(r6)
+    J     assoc_build
+assoc_built:
+
+# ---- assq loop: probe keys 1, 3, 5, ... wrapping mod (n + 1) ---------
+    LI    r21, 0              # hits
+    LI    r5, 1               # key
+    LI    r4, {n_lookups}
+lookup_loop:
+    MOV   r6, r3              # walk = assoc
+assq_walk:
+    BEQ   r6, zero, assq_miss
+    LW    r7, 0(r6)           # pair
+    LW    r8, 0(r7)           # pair key
+    BEQ   r8, r5, assq_hit
+    LW    r6, 1(r6)
+    J     assq_walk
+assq_hit:
+    ADDI  r21, r21, 1
+assq_miss:
+    ADDI  r5, r5, 2           # next key
+    LI    r9, {n + 1}
+    BLE   r5, r9, key_ok
+    SUB   r5, r5, r9
+key_ok:
+    ADDI  r4, r4, -1
+    BNE   r4, zero, lookup_loop
+
+    LA    r9, results
+    SW    r20, 0(r9)
+    SW    r21, 1(r9)
+    HALT
+"""
+
+
+def build_program(n: int = 64, n_lookups: int = 40) -> Program:
+    """Assemble the li-like workload."""
+    return assemble(source(n, n_lookups), name="li")
+
+
+def read_results(machine: Machine, program: Program) -> Tuple[int, int]:
+    """(sum, hits) from a halted machine."""
+    base = program.labels["results"]
+    return machine.read_memory(base), machine.read_memory(base + 1)

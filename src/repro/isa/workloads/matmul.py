@@ -1,0 +1,135 @@
+"""Integer matrix-multiply workload (extension).
+
+The run-length contrast case for the profiler: where IDEA's multiplies
+are isolated (bga = fga for the multiplier — every use pays a V_T
+toggle), this kernel unrolls its inner product by four and groups the
+phases (loads, then a burst of multiplies, then accumulates), so the
+multiplier's ``bga`` sits at roughly ``fga / 4`` and burst-mode
+technologies amortize each power-up over a run of useful work — the
+software-scheduling effect the paper's Fig. 7 block model rewards.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "random_matrix",
+    "reference_matmul",
+    "source",
+    "build_program",
+    "read_result",
+]
+
+
+def random_matrix(n: int, seed: int = 0, bound: int = 100) -> List[int]:
+    """A flat row-major n x n matrix of small non-negative ints."""
+    if n < 1:
+        raise AssemblyError("matrix size must be >= 1")
+    rng = random.Random(seed)
+    return [rng.randrange(bound) for _ in range(n * n)]
+
+
+def reference_matmul(
+    a: Sequence[int], b: Sequence[int], n: int
+) -> List[int]:
+    """Row-major C = A * B with 32-bit wraparound."""
+    if len(a) != n * n or len(b) != n * n:
+        raise AssemblyError("matrices must be n*n flat lists")
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            total = 0
+            for k in range(n):
+                total += a[i * n + k] * b[k * n + j]
+            c[i * n + j] = total & 0xFFFFFFFF
+    return c
+
+
+def source(a: Sequence[int], b: Sequence[int], n: int) -> str:
+    """Assembly for the 4-unrolled, phase-grouped triple loop.
+
+    ``n`` must be a multiple of 4 (the unroll factor).  Register plan:
+    r1/r2/r3 = A/B/C bases, r4/r5/r6 = i/j/k, r7 = A row pointer,
+    r8 = n, r19 = C pointer, r21 = B column pointer, r22 = A element
+    pointer, r10..r17 operand/product lanes, r20 = accumulator.
+    """
+    if n < 4 or n % 4:
+        raise AssemblyError("matrix size must be a positive multiple of 4")
+    words_a = ", ".join(str(v & 0xFFFFFFFF) for v in a)
+    words_b = ", ".join(str(v & 0xFFFFFFFF) for v in b)
+    return f"""
+.data
+mat_a: .word {words_a}
+mat_b: .word {words_b}
+mat_c: .space {n * n}
+.text
+main:
+    LA    r1, mat_a
+    LA    r2, mat_b
+    LA    r3, mat_c
+    LI    r8, {n}
+    LI    r4, 0               # i
+    MOV   r7, r1              # &A[i*n]
+    MOV   r19, r3             # &C[i*n]
+i_loop:
+    LI    r5, 0               # j
+j_loop:
+    LI    r20, 0              # acc
+    LI    r6, 0               # k
+    ADD   r21, r2, r5         # &B[0*n + j]
+    MOV   r22, r7             # &A[i*n]
+k_loop:
+    # ---- load phase ------------------------------------------------
+    LW    r10, 0(r22)
+    LW    r12, 1(r22)
+    LW    r14, 2(r22)
+    LW    r16, 3(r22)
+    LW    r11, 0(r21)
+    ADD   r21, r21, r8
+    LW    r13, 0(r21)
+    ADD   r21, r21, r8
+    LW    r15, 0(r21)
+    ADD   r21, r21, r8
+    LW    r17, 0(r21)
+    ADD   r21, r21, r8
+    # ---- multiply burst (a 4-long multiplier run) -------------------
+    MUL   r10, r10, r11
+    MUL   r12, r12, r13
+    MUL   r14, r14, r15
+    MUL   r16, r16, r17
+    # ---- accumulate --------------------------------------------------
+    ADD   r20, r20, r10
+    ADD   r20, r20, r12
+    ADD   r20, r20, r14
+    ADD   r20, r20, r16
+    ADDI  r22, r22, 4
+    ADDI  r6, r6, 4
+    BLT   r6, r8, k_loop
+    SW    r20, 0(r19)
+    ADDI  r19, r19, 1
+    ADDI  r5, r5, 1
+    BLT   r5, r8, j_loop
+    ADD   r7, r7, r8
+    ADDI  r4, r4, 1
+    BLT   r4, r8, i_loop
+    HALT
+"""
+
+
+def build_program(n: int = 8, seed: int = 0) -> Program:
+    """Assemble the workload over two random n x n matrices."""
+    a = random_matrix(n, seed)
+    b = random_matrix(n, seed + 1)
+    return assemble(source(a, b, n), name="matmul")
+
+
+def read_result(machine: Machine, program: Program, n: int) -> List[int]:
+    """The C matrix from a halted machine."""
+    base = program.labels["mat_c"]
+    return [machine.read_memory(base + i) for i in range(n * n)]

@@ -1,0 +1,121 @@
+"""Recursive quicksort workload (extension).
+
+A fourth application class for the profiler: recursive,
+compare-and-move dominated code (the shape of much general-purpose
+integer software).  Exercises the parts of the ISA the paper workloads
+do not — a call stack through ``sp``, deep ``CALL``/``RET`` nesting —
+and profiles like li (adder/memory heavy, no shifts or multiplies).
+
+The assembly implements in-place Lomuto-partition quicksort; the
+Python reference is ``sorted``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Program, assemble
+from repro.isa.machine import Machine
+
+__all__ = [
+    "random_values",
+    "source",
+    "build_program",
+    "read_sorted",
+]
+
+#: Word address where the call stack starts (grows downward).
+STACK_TOP = 0x8000
+
+
+def random_values(count: int, seed: int = 0, bound: int = 10_000) -> List[int]:
+    """Deterministic pseudo-random non-negative test data."""
+    if count < 1:
+        raise AssemblyError("count must be >= 1")
+    rng = random.Random(seed)
+    return [rng.randrange(bound) for _ in range(count)]
+
+
+def source(values: Sequence[int]) -> str:
+    """Assembly sorting ``values`` in place with recursive quicksort.
+
+    Register plan: r1 = array base (global), r10/r11 = lo/hi
+    arguments, r12..r18 partition scratch, sp = call stack.  Each
+    recursive frame stores (ra, hi, pivot-index).
+    """
+    if not values:
+        raise AssemblyError("need at least one value")
+    if any(v < 0 or v >= 2**31 for v in values):
+        raise AssemblyError("values must fit signed 32-bit, non-negative")
+    data = ", ".join(str(v) for v in values)
+    return f"""
+.data
+array: .word {data}
+.text
+main:
+    LI    sp, {STACK_TOP}
+    LA    r1, array
+    LI    r10, 0
+    LI    r11, {len(values) - 1}
+    CALL  quicksort
+    HALT
+
+# quicksort(lo=r10, hi=r11); clobbers r10-r18.
+quicksort:
+    BGE   r10, r11, qs_return
+
+    # ---- Lomuto partition: pivot = a[hi] -------------------------
+    ADD   r12, r1, r11
+    LW    r13, 0(r12)         # pivot value
+    MOV   r14, r10            # i = lo
+    MOV   r15, r10            # j = lo
+part_loop:
+    BGE   r15, r11, part_done
+    ADD   r12, r1, r15
+    LW    r16, 0(r12)         # a[j]
+    BGE   r16, r13, part_next # keep if a[j] >= pivot
+    ADD   r17, r1, r14
+    LW    r18, 0(r17)         # swap a[i] <-> a[j]
+    SW    r16, 0(r17)
+    SW    r18, 0(r12)
+    ADDI  r14, r14, 1         # i += 1
+part_next:
+    ADDI  r15, r15, 1
+    J     part_loop
+part_done:
+    ADD   r17, r1, r14        # swap a[i] <-> a[hi]
+    LW    r18, 0(r17)
+    ADD   r12, r1, r11
+    LW    r16, 0(r12)
+    SW    r16, 0(r17)
+    SW    r18, 0(r12)
+
+    # ---- recurse on both sides -----------------------------------
+    ADDI  sp, sp, -3
+    SW    ra, 0(sp)
+    SW    r11, 1(sp)          # original hi
+    SW    r14, 2(sp)          # pivot index
+    ADDI  r11, r14, -1        # right bound = p - 1 (lo unchanged)
+    CALL  quicksort
+    LW    r14, 2(sp)
+    ADDI  r10, r14, 1         # left bound = p + 1
+    LW    r11, 1(sp)
+    CALL  quicksort
+    LW    ra, 0(sp)
+    ADDI  sp, sp, 3
+qs_return:
+    RET
+"""
+
+
+def build_program(count: int = 64, seed: int = 0) -> Program:
+    """Assemble the quicksort workload over random data."""
+    return assemble(source(random_values(count, seed)), name="sort")
+
+
+def read_sorted(machine: Machine, program: Program, count: int) -> List[int]:
+    """The array contents after a halted run."""
+    base = program.labels["array"]
+    return [machine.read_memory(base + i) for i in range(count)]

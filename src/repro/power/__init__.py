@@ -1,0 +1,70 @@
+"""Power and energy models: the paper's core quantitative machinery.
+
+* :mod:`~repro.power.components` — the three power components of
+  Section 2 (switching Eq. 1, short-circuit, leakage).
+* :mod:`~repro.power.energy` — the per-cycle module energy models:
+  ``E_SOI`` (Eq. 3), ``E_SOIAS`` (Eq. 4), and the MTCMOS / VTCMOS
+  burst-mode variants of Section 4.
+* :mod:`~repro.power.estimator` — netlist + activity + technology ->
+  full power breakdown.
+* :mod:`~repro.power.optimizer` — fixed-throughput (V_DD, V_T)
+  optimization: the machinery behind Figs. 3-4.
+"""
+
+from repro.power.components import (
+    PowerBreakdown,
+    switching_power,
+    leakage_power,
+    short_circuit_power_veendrick,
+)
+from repro.power.energy import (
+    ModuleEnergyParameters,
+    e_soi,
+    e_soias,
+    e_soias_gated,
+    e_mtcmos,
+    e_vtcmos,
+    energy_ratio_soias_vs_soi,
+    module_parameters_from_activity,
+)
+from repro.power.estimator import PowerEstimator
+from repro.power.dualvt import DualVtAssignment, DualVtOptimizer
+from repro.power.sizing import GateSizingOptimizer, SizingSolution
+from repro.power.mtcmos import (
+    MtcmosSizing,
+    SleepTransistorSizer,
+    estimate_peak_current,
+)
+from repro.power.optimizer import (
+    RingOscillatorModel,
+    FixedThroughputOptimizer,
+    ModuleThroughputOptimizer,
+    OperatingPoint,
+)
+
+__all__ = [
+    "PowerBreakdown",
+    "switching_power",
+    "leakage_power",
+    "short_circuit_power_veendrick",
+    "ModuleEnergyParameters",
+    "e_soi",
+    "e_soias",
+    "e_soias_gated",
+    "e_mtcmos",
+    "e_vtcmos",
+    "energy_ratio_soias_vs_soi",
+    "module_parameters_from_activity",
+    "PowerEstimator",
+    "DualVtAssignment",
+    "DualVtOptimizer",
+    "GateSizingOptimizer",
+    "SizingSolution",
+    "MtcmosSizing",
+    "SleepTransistorSizer",
+    "estimate_peak_current",
+    "RingOscillatorModel",
+    "FixedThroughputOptimizer",
+    "ModuleThroughputOptimizer",
+    "OperatingPoint",
+]

@@ -1,0 +1,128 @@
+"""The three CMOS power components (paper Section 2).
+
+* switching: ``P = alpha_0->1 * C_L * V_DD^2 * f_clk`` (Eq. 1),
+* short-circuit: Veendrick's crowbar estimate, kept below ~10 % by
+  matched edge rates (and identically zero once
+  ``V_DD < V_Tn + |V_Tp|``),
+* leakage: ``P = I_leak * V_DD`` with the subthreshold current of
+  Eq. 2 supplied by the device layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "switching_power",
+    "leakage_power",
+    "short_circuit_power_veendrick",
+    "PowerBreakdown",
+]
+
+
+def switching_power(
+    alpha: float, capacitance_f: float, vdd: float, frequency_hz: float
+) -> float:
+    """Eq. 1: dynamic power of a node or module [W].
+
+    ``alpha`` is the 0->1 transition activity per clock; glitchy nodes
+    may exceed 1.0, so only negativity is rejected.
+    """
+    if alpha < 0.0:
+        raise AnalysisError(f"alpha must be >= 0, got {alpha}")
+    if capacitance_f < 0.0:
+        raise AnalysisError("capacitance must be >= 0")
+    if vdd <= 0.0 or frequency_hz <= 0.0:
+        raise AnalysisError("vdd and frequency must be positive")
+    return alpha * capacitance_f * vdd * vdd * frequency_hz
+
+
+def leakage_power(leakage_current_a: float, vdd: float) -> float:
+    """Static power: ``I_leak * V_DD`` [W]."""
+    if leakage_current_a < 0.0:
+        raise AnalysisError("leakage current must be >= 0")
+    if vdd <= 0.0:
+        raise AnalysisError("vdd must be positive")
+    return leakage_current_a * vdd
+
+
+def short_circuit_power_veendrick(
+    k_drive_a_per_v: float,
+    vdd: float,
+    vt_nmos: float,
+    vt_pmos: float,
+    transition_time_s: float,
+    frequency_hz: float,
+    transitions_per_cycle: float = 1.0,
+) -> float:
+    """Veendrick short-circuit power of one switching node [W].
+
+    ``P_sc = (k/12) * (V_DD - V_Tn - |V_Tp|)^3 * (tau/V_DD) * f * n``
+
+    Zero when the rails cannot overlap — scaled supplies kill this
+    component entirely, one of the paper's low-voltage wins.
+    """
+    if transition_time_s < 0.0:
+        raise AnalysisError("transition time must be >= 0")
+    if vdd <= 0.0 or frequency_hz <= 0.0:
+        raise AnalysisError("vdd and frequency must be positive")
+    if transitions_per_cycle < 0.0:
+        raise AnalysisError("transitions_per_cycle must be >= 0")
+    overlap = vdd - vt_nmos - abs(vt_pmos)
+    if overlap <= 0.0:
+        return 0.0
+    energy = (
+        k_drive_a_per_v / 12.0 * overlap**3 * transition_time_s / vdd
+    )
+    return energy * frequency_hz * transitions_per_cycle
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power split into the paper's three components [W]."""
+
+    switching_w: float
+    short_circuit_w: float
+    leakage_w: float
+
+    def __post_init__(self) -> None:
+        for name in ("switching_w", "short_circuit_w", "leakage_w"):
+            if getattr(self, name) < 0.0:
+                raise AnalysisError(f"{name} must be >= 0")
+
+    @property
+    def total_w(self) -> float:
+        """Sum of the three components [W]."""
+        return self.switching_w + self.short_circuit_w + self.leakage_w
+
+    def fraction(self, component: str) -> float:
+        """Share of one component ("switching", "short_circuit",
+        "leakage") in the total."""
+        value = {
+            "switching": self.switching_w,
+            "short_circuit": self.short_circuit_w,
+            "leakage": self.leakage_w,
+        }.get(component)
+        if value is None:
+            raise AnalysisError(f"unknown component {component!r}")
+        total = self.total_w
+        return value / total if total > 0.0 else 0.0
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        """All components scaled (e.g. module duplication)."""
+        if factor < 0.0:
+            raise AnalysisError("scale factor must be >= 0")
+        return PowerBreakdown(
+            switching_w=self.switching_w * factor,
+            short_circuit_w=self.short_circuit_w * factor,
+            leakage_w=self.leakage_w * factor,
+        )
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            switching_w=self.switching_w + other.switching_w,
+            short_circuit_w=self.short_circuit_w + other.short_circuit_w,
+            leakage_w=self.leakage_w + other.leakage_w,
+        )

@@ -1,0 +1,203 @@
+"""MTCMOS sleep-transistor sizing (extension of Section 4).
+
+The paper describes multiple-threshold gating — low-V_T logic in
+series with high-V_T sleep switches — but leaves sizing implicit
+("assuming proper device sizing").  This module makes the trade
+explicit:
+
+* a wider sleep device drops less virtual-rail voltage under the
+  module's peak current (smaller speed penalty) but leaks more in
+  standby and costs more area and sleep-signal capacitance;
+* :class:`SleepTransistorSizer` solves the width for a target speed
+  penalty and reports the standby leakage / control-energy / area
+  consequences, which feed :func:`repro.power.energy.e_mtcmos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.device.mosfet import Mosfet
+from repro.device.technology import Technology
+from repro.errors import OptimizationError
+from repro.tech.characterize import CellCharacterizer
+
+__all__ = ["MtcmosSizing", "SleepTransistorSizer", "estimate_peak_current"]
+
+_BISECTION_STEPS = 60
+_PROBE_VDS = 0.05
+
+
+def estimate_peak_current(
+    netlist: Netlist,
+    technology: Technology,
+    vdd: float,
+    simultaneity: float = 0.2,
+) -> float:
+    """Peak discharge current the sleep device must carry [A].
+
+    ``simultaneity`` is the fraction of gates switching in the same
+    evaluation window (0.2 is a common planning figure); each
+    switching gate draws its worst-case pull-down current.
+    """
+    if not 0.0 < simultaneity <= 1.0:
+        raise OptimizationError("simultaneity must be in (0, 1]")
+    characterizer = CellCharacterizer(technology)
+    total = sum(
+        characterizer.pull_down_current(instance.cell, vdd)
+        for instance in netlist.instances.values()
+    )
+    return simultaneity * total
+
+
+@dataclass(frozen=True)
+class MtcmosSizing:
+    """One sizing solution and its consequences."""
+
+    sleep_width_um: float
+    virtual_rail_droop_v: float
+    delay_penalty: float
+    standby_leakage_a: float
+    sleep_gate_capacitance_f: float
+    area_overhead_fraction: float
+
+
+class SleepTransistorSizer:
+    """Sizes the high-V_T sleep NMOS of one gated module.
+
+    Parameters
+    ----------
+    technology:
+        An MTCMOS technology (``is_mtcmos`` true).
+    peak_current_a:
+        Worst-case simultaneous discharge current through the virtual
+        ground (see :func:`estimate_peak_current`).
+    vdd:
+        Operating supply [V].
+    logic_width_um:
+        Total logic transistor width, for the area-overhead metric.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        peak_current_a: float,
+        vdd: float,
+        logic_width_um: float = 0.0,
+    ):
+        if not technology.is_mtcmos:
+            raise OptimizationError(
+                f"technology {technology.name!r} has no sleep devices"
+            )
+        if peak_current_a <= 0.0:
+            raise OptimizationError("peak current must be positive")
+        if vdd <= 0.0:
+            raise OptimizationError("vdd must be positive")
+        self.technology = technology
+        self.peak_current_a = peak_current_a
+        self.vdd = vdd
+        self.logic_width_um = logic_width_um
+        self._sleep_params = technology.sleep_transistors.nmos
+
+    # ------------------------------------------------------------------
+    # Electrical pieces
+    # ------------------------------------------------------------------
+    def on_conductance_per_um(self) -> float:
+        """Linear-region conductance of the sleep device [S/um]."""
+        probe = Mosfet(self._sleep_params, width_um=1.0)
+        return probe.drain_current(self.vdd, _PROBE_VDS) / _PROBE_VDS
+
+    def virtual_rail_droop(self, sleep_width_um: float) -> float:
+        """Virtual-ground bounce at peak current [V]."""
+        if sleep_width_um <= 0.0:
+            raise OptimizationError("sleep width must be positive")
+        conductance = self.on_conductance_per_um() * sleep_width_um
+        return self.peak_current_a / conductance
+
+    def delay_penalty(self, sleep_width_um: float) -> float:
+        """Fractional slowdown from the rail droop.
+
+        The droop subtracts from the gate overdrive; with the
+        alpha-power law the drive loss is
+        ``1 - ((V_ov - droop) / V_ov)^alpha`` and the delay penalty is
+        its reciprocal minus one.
+        """
+        droop = self.virtual_rail_droop(sleep_width_um)
+        logic = self.technology.transistors.nmos
+        overdrive = self.vdd - logic.vt0
+        if overdrive <= 0.0:
+            raise OptimizationError(
+                "logic devices have no overdrive at this supply"
+            )
+        if droop >= overdrive:
+            return float("inf")
+        drive_ratio = ((overdrive - droop) / overdrive) ** logic.alpha
+        return 1.0 / drive_ratio - 1.0
+
+    def standby_leakage(self, sleep_width_um: float) -> float:
+        """Off current of the sleep device (the module's standby floor)."""
+        device = Mosfet(self._sleep_params, width_um=sleep_width_um)
+        return device.off_current(self.vdd)
+
+    def sleep_gate_capacitance(self, sleep_width_um: float) -> float:
+        """Sleep-signal gate capacitance (the bga control load) [F]."""
+        return self.technology.gate_cap.gate_capacitance(
+            sleep_width_um, self.technology.drawn_length_um, self.vdd
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def solution(self, sleep_width_um: float) -> MtcmosSizing:
+        """Full consequence record for a chosen width."""
+        area = (
+            sleep_width_um / self.logic_width_um
+            if self.logic_width_um > 0.0
+            else 0.0
+        )
+        return MtcmosSizing(
+            sleep_width_um=sleep_width_um,
+            virtual_rail_droop_v=self.virtual_rail_droop(sleep_width_um),
+            delay_penalty=self.delay_penalty(sleep_width_um),
+            standby_leakage_a=self.standby_leakage(sleep_width_um),
+            sleep_gate_capacitance_f=self.sleep_gate_capacitance(
+                sleep_width_um
+            ),
+            area_overhead_fraction=area,
+        )
+
+    def size_for_penalty(
+        self,
+        max_delay_penalty: float = 0.05,
+        width_bounds_um=(0.5, 10000.0),
+    ) -> MtcmosSizing:
+        """Smallest sleep width meeting a delay-penalty budget.
+
+        Penalty decreases monotonically with width, so bisection
+        applies.
+
+        Raises
+        ------
+        OptimizationError
+            If even the widest allowed device misses the budget.
+        """
+        if max_delay_penalty <= 0.0:
+            raise OptimizationError("penalty budget must be positive")
+        low, high = float(width_bounds_um[0]), float(width_bounds_um[1])
+        if not 0.0 < low < high:
+            raise OptimizationError(f"bad width bounds [{low}, {high}]")
+        if self.delay_penalty(high) > max_delay_penalty:
+            raise OptimizationError(
+                f"even W = {high} um exceeds the {max_delay_penalty:.1%} "
+                "penalty budget; raise the bound or the budget"
+            )
+        if self.delay_penalty(low) <= max_delay_penalty:
+            return self.solution(low)
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (low + high)
+            if self.delay_penalty(mid) > max_delay_penalty:
+                low = mid
+            else:
+                high = mid
+        return self.solution(high)

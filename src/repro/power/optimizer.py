@@ -1,0 +1,445 @@
+"""Fixed-throughput (V_DD, V_T) optimization (paper Figs. 3-4).
+
+For a bounded-computation-rate application the delay is pinned and the
+knobs are the supply and the threshold:
+
+* :class:`RingOscillatorModel` — the experimental structure the paper
+  measured: stage delay, supply-for-delay solving, and energy per
+  cycle including leakage.
+* :class:`FixedThroughputOptimizer` — sweeps V_T solving V_DD for the
+  delay target at every point (Fig. 3) and finds the energy-optimal
+  pair (Fig. 4).  Because lowering V_T lets V_DD drop (quadratic
+  switching win) while raising leakage (exponential loss), the energy
+  is U-shaped in V_T with an optimum typically well below 1 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.device.technology import Technology
+from repro.errors import OptimizationError
+from repro.tech.cells import standard_cells
+from repro.tech.characterize import CellCharacterizer
+
+__all__ = [
+    "OperatingPoint",
+    "RingOscillatorModel",
+    "FixedThroughputOptimizer",
+    "ModuleThroughputOptimizer",
+]
+
+_BISECTION_STEPS = 70
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point on a fixed-delay locus."""
+
+    vt: float
+    vdd: float
+    stage_delay_s: float
+    energy_per_cycle_j: float
+    switching_energy_j: float
+    leakage_energy_j: float
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of the cycle energy."""
+        if self.energy_per_cycle_j <= 0.0:
+            return 0.0
+        return self.leakage_energy_j / self.energy_per_cycle_j
+
+
+class RingOscillatorModel:
+    """Analytical ring-oscillator: the paper's measurement structure.
+
+    Parameters
+    ----------
+    technology:
+        Base process; V_T is varied via ``with_vt``.
+    stages:
+        Inverters in the ring (odd; the paper used ~101-stage rings).
+    activity:
+        Average node transition activity of the *module* the ring
+        stands in for (1.0 for the ring itself, lower for logic).
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        stages: int = 101,
+        activity: float = 1.0,
+    ):
+        if stages < 3 or stages % 2 == 0:
+            raise OptimizationError("stages must be odd and >= 3")
+        if not 0.0 < activity <= 2.0:
+            raise OptimizationError("activity must be in (0, 2]")
+        self.technology = technology
+        self.stages = stages
+        self.activity = activity
+        self._inverter = standard_cells()["INV"]
+
+    def _corner(self, vt: float) -> CellCharacterizer:
+        return CellCharacterizer(self.technology.with_vt(vt))
+
+    def stage_delay(self, vdd: float, vt: float) -> float:
+        """Fanout-1 inverter delay at a corner [s]."""
+        if vdd <= 0.0:
+            raise OptimizationError("vdd must be positive")
+        return self._corner(vt).fanout_delay(self._inverter, vdd, fanout=1)
+
+    def oscillation_period(self, vdd: float, vt: float) -> float:
+        """Ring period: two traversals of the chain [s]."""
+        return 2.0 * self.stages * self.stage_delay(vdd, vt)
+
+    def solve_vdd_for_delay(
+        self,
+        target_stage_delay_s: float,
+        vt: float,
+        vdd_bounds: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Supply voltage giving the target stage delay (Fig. 3).
+
+        Delay decreases monotonically with V_DD, so bisection applies.
+
+        Raises
+        ------
+        OptimizationError
+            If the target is unreachable inside the bounds (too fast
+            even at max V_DD, or too slow even at min V_DD).
+        """
+        if target_stage_delay_s <= 0.0:
+            raise OptimizationError("target delay must be positive")
+        if vdd_bounds is None:
+            vdd_bounds = (self.technology.min_vdd, self.technology.max_vdd)
+        low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
+        if not 0.0 < low < high:
+            raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if self.stage_delay(high, vt) > target_stage_delay_s:
+            raise OptimizationError(
+                f"target {target_stage_delay_s:.3e} s unreachable: still "
+                f"slower at V_DD = {high} V (V_T = {vt} V)"
+            )
+        if self.stage_delay(low, vt) < target_stage_delay_s:
+            raise OptimizationError(
+                f"target {target_stage_delay_s:.3e} s unreachable: already "
+                f"faster at V_DD = {low} V (V_T = {vt} V)"
+            )
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (low + high)
+            if self.stage_delay(mid, vt) > target_stage_delay_s:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def energy_per_cycle(
+        self, vdd: float, vt: float, cycle_time_s: float
+    ) -> OperatingPoint:
+        """Switching + leakage energy of the ring per clock cycle [J].
+
+        Switching: every stage's load charges ``activity`` times per
+        cycle.  Leakage: every stage leaks for the whole cycle — this
+        is the term that turns the energy-vs-V_T curve back up at low
+        V_T (Fig. 4).
+        """
+        if cycle_time_s <= 0.0:
+            raise OptimizationError("cycle time must be positive")
+        corner = self._corner(vt)
+        load = self._inverter.input_capacitance(
+            self.technology.with_vt(vt), vdd
+        )
+        switching_per_stage = corner.energy_per_transition(
+            self._inverter, vdd, load
+        )
+        switching = self.stages * self.activity * switching_per_stage
+        leakage_current = self.stages * corner.leakage_current(
+            self._inverter, vdd
+        )
+        leakage = leakage_current * vdd * cycle_time_s
+        return OperatingPoint(
+            vt=vt,
+            vdd=vdd,
+            stage_delay_s=self.stage_delay(vdd, vt),
+            energy_per_cycle_j=switching + leakage,
+            switching_energy_j=switching,
+            leakage_energy_j=leakage,
+        )
+
+
+class FixedThroughputOptimizer:
+    """Finds energy-optimal (V_DD, V_T) at a fixed performance.
+
+    The performance constraint is a stage-delay target (equivalently a
+    ring-oscillator frequency, the paper's two "MHz" curve families in
+    Fig. 4); the cycle time against which leakage integrates is the
+    operation period ``cycle_stages * stage_delay``.
+    """
+
+    def __init__(
+        self,
+        ring: RingOscillatorModel,
+        cycle_stages: int = 20,
+    ):
+        if cycle_stages < 1:
+            raise OptimizationError("cycle_stages must be >= 1")
+        self.ring = ring
+        self.cycle_stages = cycle_stages
+
+    def locus_point(
+        self, vt: float, target_stage_delay_s: float
+    ) -> OperatingPoint:
+        """The fixed-delay operating point at one V_T."""
+        vdd = self.ring.solve_vdd_for_delay(target_stage_delay_s, vt)
+        cycle = self.cycle_stages * target_stage_delay_s
+        point = self.ring.energy_per_cycle(vdd, vt, cycle)
+        return point
+
+    def sweep(
+        self,
+        vts: Sequence[float],
+        target_stage_delay_s: float,
+        skip_infeasible: bool = True,
+    ) -> List[OperatingPoint]:
+        """Fig. 3/4 data: the fixed-delay locus over a V_T list."""
+        if not vts:
+            raise OptimizationError("empty V_T sweep")
+        points: List[OperatingPoint] = []
+        for vt in vts:
+            try:
+                points.append(self.locus_point(vt, target_stage_delay_s))
+            except OptimizationError:
+                if not skip_infeasible:
+                    raise
+        if not points:
+            raise OptimizationError(
+                "no feasible V_T in the sweep for this delay target"
+            )
+        return points
+
+    def optimum(
+        self,
+        target_stage_delay_s: float,
+        vt_bounds: Sequence[float] = (0.01, 0.6),
+        tolerance: float = 1e-3,
+    ) -> OperatingPoint:
+        """Golden-section search for the minimum-energy V_T (Fig. 4)."""
+        low, high = float(vt_bounds[0]), float(vt_bounds[1])
+        if not low < high:
+            raise OptimizationError(f"bad vt bounds [{low}, {high}]")
+
+        def energy(vt: float) -> float:
+            try:
+                return self.locus_point(vt, target_stage_delay_s).energy_per_cycle_j
+            except OptimizationError:
+                return float("inf")
+
+        golden = 0.6180339887498949
+        a, b = low, high
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        fc, fd = energy(c), energy(d)
+        if fc == float("inf") and fd == float("inf"):
+            raise OptimizationError(
+                "delay target infeasible across the whole V_T range"
+            )
+        while b - a > tolerance:
+            if fc <= fd:
+                b, d, fd = d, c, fc
+                c = b - golden * (b - a)
+                fc = energy(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + golden * (b - a)
+                fd = energy(d)
+        best_vt = c if fc <= fd else d
+        return self.locus_point(best_vt, target_stage_delay_s)
+
+
+class ModuleThroughputOptimizer:
+    """Fixed-throughput (V_DD, V_T) optimization for a real netlist.
+
+    The ring-oscillator version above mirrors the paper's measurement
+    structure; this one runs the same optimization on an arbitrary
+    module: delay from register-aware static timing, switching energy
+    from a simulated activity report (re-priced at each supply through
+    the non-linear C(V)), leakage from the cell models at each
+    (V_DD, V_T) corner.
+
+    Parameters
+    ----------
+    netlist:
+        The module under optimization.
+    technology:
+        Base process; ``vt`` below is an *absolute* logic threshold,
+        applied as a shift from the base V_T0.
+    activity_report:
+        Simulated activity at a representative stimulus (the alpha
+        values are treated as voltage-independent; the capacitances
+        are not).
+    """
+
+    def __init__(
+        self,
+        netlist,
+        technology: Technology,
+        activity_report,
+        wire_length_per_fanout_um: float = 5.0,
+    ):
+        from repro.circuits.timing import StaticTimingAnalyzer
+        from repro.power.estimator import PowerEstimator
+
+        self.netlist = netlist
+        self.technology = technology
+        self.report = activity_report
+        self._analyzer = StaticTimingAnalyzer(
+            technology, wire_length_per_fanout_um
+        )
+        self._estimator = PowerEstimator(
+            netlist, technology, wire_length_per_fanout_um
+        )
+        self._base_vt = technology.transistors.nmos.vt0
+        self._wire = wire_length_per_fanout_um
+
+    def _shift(self, vt: float) -> float:
+        return vt - self._base_vt
+
+    def delay(self, vdd: float, vt: float) -> float:
+        """Critical-path delay at an absolute-V_T corner [s]."""
+        return self._analyzer.analyze(
+            self.netlist, vdd, vt_shift=self._shift(vt)
+        ).delay_s
+
+    def solve_vdd_for_delay(
+        self,
+        target_delay_s: float,
+        vt: float,
+        vdd_bounds: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Supply meeting the delay target at one V_T (Fig. 3)."""
+        if target_delay_s <= 0.0:
+            raise OptimizationError("target delay must be positive")
+        if vdd_bounds is None:
+            vdd_bounds = (self.technology.min_vdd, self.technology.max_vdd)
+        low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
+        if not 0.0 < low < high:
+            raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if self.delay(high, vt) > target_delay_s:
+            raise OptimizationError(
+                f"target {target_delay_s:.3e} s unreachable at "
+                f"V_DD = {high} V (V_T = {vt} V)"
+            )
+        if self.delay(low, vt) < target_delay_s:
+            return low
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (low + high)
+            if self.delay(mid, vt) > target_delay_s:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def energy_per_operation(
+        self, vdd: float, vt: float, operation_time_s: float
+    ) -> OperatingPoint:
+        """Switching + leakage energy for one operation period [J]."""
+        if operation_time_s <= 0.0:
+            raise OptimizationError("operation time must be positive")
+        switching = self.report.switching_energy_per_cycle(
+            self.netlist, self.technology, vdd, self._wire
+        )
+        leakage = (
+            self._estimator.leakage_current(vdd, self._shift(vt))
+            * vdd
+            * operation_time_s
+        )
+        return OperatingPoint(
+            vt=vt,
+            vdd=vdd,
+            stage_delay_s=self.delay(vdd, vt),
+            energy_per_cycle_j=switching + leakage,
+            switching_energy_j=switching,
+            leakage_energy_j=leakage,
+        )
+
+    def locus_point(
+        self, vt: float, target_delay_s: float, utilization: float = 1.0
+    ) -> OperatingPoint:
+        """Fixed-throughput point: V_DD solved, leakage over the period.
+
+        ``utilization`` < 1 means the module is clocked slower than its
+        critical path allows (operation period = delay / utilization),
+        lengthening the leakage integration window.
+        """
+        if not 0.0 < utilization <= 1.0:
+            raise OptimizationError("utilization must be in (0, 1]")
+        vdd = self.solve_vdd_for_delay(target_delay_s, vt)
+        return self.energy_per_operation(
+            vdd, vt, target_delay_s / utilization
+        )
+
+    def sweep(
+        self,
+        vts: Sequence[float],
+        target_delay_s: float,
+        utilization: float = 1.0,
+    ) -> List[OperatingPoint]:
+        """Fixed-throughput locus over a V_T list (Figs. 3-4 shape)."""
+        if not vts:
+            raise OptimizationError("empty V_T sweep")
+        points = []
+        for vt in vts:
+            try:
+                points.append(
+                    self.locus_point(vt, target_delay_s, utilization)
+                )
+            except OptimizationError:
+                continue
+        if not points:
+            raise OptimizationError(
+                "no feasible V_T in the sweep for this delay target"
+            )
+        return points
+
+    def optimum(
+        self,
+        target_delay_s: float,
+        vt_bounds: Sequence[float] = (0.02, 0.5),
+        utilization: float = 1.0,
+        tolerance: float = 2e-3,
+    ) -> OperatingPoint:
+        """Golden-section minimum-energy V_T at fixed throughput."""
+        low, high = float(vt_bounds[0]), float(vt_bounds[1])
+        if not low < high:
+            raise OptimizationError(f"bad vt bounds [{low}, {high}]")
+
+        def energy(vt: float) -> float:
+            try:
+                return self.locus_point(
+                    vt, target_delay_s, utilization
+                ).energy_per_cycle_j
+            except OptimizationError:
+                return float("inf")
+
+        golden = 0.6180339887498949
+        a, b = low, high
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        fc, fd = energy(c), energy(d)
+        if fc == float("inf") and fd == float("inf"):
+            raise OptimizationError(
+                "delay target infeasible across the whole V_T range"
+            )
+        while b - a > tolerance:
+            if fc <= fd:
+                b, d, fd = d, c, fc
+                c = b - golden * (b - a)
+                fc = energy(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + golden * (b - a)
+                fd = energy(d)
+        best_vt = c if fc <= fd else d
+        return self.locus_point(best_vt, target_delay_s, utilization)

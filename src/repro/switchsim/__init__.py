@@ -1,0 +1,36 @@
+"""Event-driven switch-level logic simulation (the IRSIM substitute).
+
+The paper measures node transition activity — including glitches — with
+a switch-level simulator.  This package provides the same observable:
+
+* :class:`~repro.switchsim.simulator.SwitchLevelSimulator` — an
+  event-driven gate-level simulator with inertial delays derived from
+  the cell characterizer, so late-arriving inputs re-evaluate gates and
+  produce the glitch transitions visible in the paper's Figs. 8-9.
+* :mod:`~repro.switchsim.stimulus` — random, correlated and counting
+  input-pattern generators.
+* :class:`~repro.switchsim.activity.ActivityReport` — per-node
+  transition counts, activity factors (the alpha of Eq. 1) and the
+  histograms of Figs. 8-9.
+"""
+
+from repro.switchsim.events import Event, EventQueue
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.activity import ActivityReport
+from repro.switchsim.stimulus import (
+    random_bus_vectors,
+    counting_bus_vectors,
+    gray_code_bus_vectors,
+    vectors_from_values,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SwitchLevelSimulator",
+    "ActivityReport",
+    "random_bus_vectors",
+    "counting_bus_vectors",
+    "gray_code_bus_vectors",
+    "vectors_from_values",
+]

@@ -1,0 +1,109 @@
+"""Time-ordered event queue with inertial-delay cancellation.
+
+Events carry a per-net generation number; scheduling a newer event for
+the same net invalidates any older pending one (lazy deletion on pop).
+Time is integer femtoseconds so event ordering is exact and runs are
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled value change on a net.
+
+    Ordering is (time, sequence) so simultaneous events pop in
+    scheduling order — deterministic across runs.
+    """
+
+    time_fs: int
+    sequence: int
+    net: str = field(compare=False)
+    value: Optional[int] = field(compare=False)
+    generation: int = field(compare=False, default=0)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with per-net superseding."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = 0
+        self._generation: Dict[str, int] = {}
+        self._pending_value: Dict[str, Optional[int]] = {}
+        self._pending_time: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time_fs: int, net: str, value: Optional[int]) -> None:
+        """Schedule ``net`` to take ``value``, superseding older events.
+
+        Inertial-delay semantics: at most one event per net is live; a
+        later scheduling replaces it (the earlier pulse is swallowed).
+        """
+        if time_fs < 0:
+            raise SimulationError(f"cannot schedule in negative time: {time_fs}")
+        generation = self._generation.get(net, 0) + 1
+        self._generation[net] = generation
+        self._pending_value[net] = value
+        self._pending_time[net] = time_fs
+        self._sequence += 1
+        heapq.heappush(
+            self._heap,
+            Event(
+                time_fs=time_fs,
+                sequence=self._sequence,
+                net=net,
+                value=value,
+                generation=generation,
+            ),
+        )
+
+    def cancel(self, net: str) -> None:
+        """Invalidate any pending event for ``net``."""
+        if net in self._pending_value:
+            self._generation[net] = self._generation.get(net, 0) + 1
+            del self._pending_value[net]
+            self._pending_time.pop(net, None)
+
+    def pending_value(self, net: str) -> Optional[int]:
+        """Value the net is destined for, or None if nothing pending.
+
+        Note a pending event *to* ``None`` (unknown) is reported the
+        same as no pending event; callers use :meth:`has_pending` to
+        distinguish.
+        """
+        return self._pending_value.get(net)
+
+    def has_pending(self, net: str) -> bool:
+        """Whether a live event exists for ``net``."""
+        return net in self._pending_value
+
+    def pop(self) -> Optional[Event]:
+        """Next live event in time order, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if self._generation.get(event.net) == event.generation:
+                del self._pending_value[event.net]
+                self._pending_time.pop(event.net, None)
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None."""
+        while self._heap:
+            event = self._heap[0]
+            if self._generation.get(event.net) == event.generation:
+                return event.time_fs
+            heapq.heappop(self._heap)
+        return None

@@ -1,0 +1,290 @@
+"""Characterized cell library with liberty-style JSON serialization.
+
+A :class:`CellLibrary` owns a cell catalog plus a characterized corner
+table over a (V_DD, V_T-shift) grid.  Lookups bilinearly interpolate
+the table — in log space for leakage, which is exponential in both
+axes — exactly the way a downstream power tool would consume a
+``.lib`` file instead of re-running SPICE.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LibraryError
+from repro.tech.cells import Cell, standard_cells
+from repro.tech.characterize import CellCharacterizer, CellTimings
+from repro.device.technology import Technology
+
+__all__ = ["CellLibrary"]
+
+_TABLE_FIELDS = (
+    "delay_s",
+    "energy_per_transition_j",
+    "leakage_current_a",
+    "input_capacitance_f",
+    "output_capacitance_f",
+)
+_LOG_FIELDS = frozenset({"leakage_current_a"})
+
+
+class CellLibrary:
+    """Cell catalog + characterized corner tables.
+
+    Two construction paths:
+
+    * :meth:`characterized` — from a live :class:`Technology`; can both
+      look up table corners and re-characterize exactly.
+    * :meth:`from_json` — from a serialized library; lookup only, the
+      way third-party tools consume a liberty file.
+    """
+
+    def __init__(
+        self,
+        technology: Optional[Technology],
+        cells: Optional[Dict[str, Cell]] = None,
+        name: str = "",
+    ):
+        self.technology = technology
+        self.cells = dict(standard_cells() if cells is None else cells)
+        self.name = name or (technology.name if technology else "detached")
+        self._vdd_grid: List[float] = []
+        self._vt_shift_grid: List[float] = []
+        self._load_f: float = 0.0
+        # tables[cell][field][i_vdd][i_vt]
+        self._tables: Dict[str, Dict[str, List[List[float]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def characterized(
+        cls,
+        technology: Technology,
+        vdd_grid: Sequence[float],
+        vt_shift_grid: Sequence[float] = (0.0,),
+        load_f: float = 0.0,
+        cells: Optional[Dict[str, Cell]] = None,
+    ) -> "CellLibrary":
+        """Build and fill a library over a corner grid."""
+        library = cls(technology, cells=cells)
+        library.build_corner_table(vdd_grid, vt_shift_grid, load_f)
+        return library
+
+    def cell(self, name: str) -> Cell:
+        """Catalog lookup by name."""
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise LibraryError(
+                f"no cell {name!r} in library {self.name!r}; available: "
+                f"{sorted(self.cells)}"
+            ) from None
+
+    @property
+    def characterizer(self) -> CellCharacterizer:
+        """Live characterizer (requires an attached technology)."""
+        if self.technology is None:
+            raise LibraryError(
+                "this library was loaded from JSON and has no technology "
+                "attached; only lookup() is available"
+            )
+        return CellCharacterizer(self.technology)
+
+    # ------------------------------------------------------------------
+    # Corner table
+    # ------------------------------------------------------------------
+    def build_corner_table(
+        self,
+        vdd_grid: Sequence[float],
+        vt_shift_grid: Sequence[float] = (0.0,),
+        load_f: float = 0.0,
+    ) -> None:
+        """(Re)characterize every cell over the grid."""
+        vdds = sorted(set(float(v) for v in vdd_grid))
+        shifts = sorted(set(float(v) for v in vt_shift_grid))
+        if len(vdds) < 1 or len(shifts) < 1:
+            raise LibraryError("corner grids must be non-empty")
+        characterizer = self.characterizer
+        tables: Dict[str, Dict[str, List[List[float]]]] = {}
+        for cell_name, cell in self.cells.items():
+            per_field: Dict[str, List[List[float]]] = {
+                field: [] for field in _TABLE_FIELDS
+            }
+            for vdd in vdds:
+                rows: Dict[str, List[float]] = {
+                    field: [] for field in _TABLE_FIELDS
+                }
+                for shift in shifts:
+                    timing = characterizer.characterize(
+                        cell, vdd, load_f=load_f, vt_shift=shift
+                    )
+                    for field in _TABLE_FIELDS:
+                        rows[field].append(getattr(timing, field))
+                for field in _TABLE_FIELDS:
+                    per_field[field].append(rows[field])
+            tables[cell_name] = per_field
+        self._vdd_grid = vdds
+        self._vt_shift_grid = shifts
+        self._load_f = load_f
+        self._tables = tables
+
+    def lookup(
+        self, cell_name: str, vdd: float, vt_shift: float = 0.0
+    ) -> CellTimings:
+        """Bilinear table interpolation at an arbitrary corner."""
+        if not self._tables:
+            raise LibraryError(
+                "no corner table built; call build_corner_table() first"
+            )
+        if cell_name not in self._tables:
+            raise LibraryError(f"cell {cell_name!r} not in corner table")
+        values = {
+            field: self._interpolate(
+                self._tables[cell_name][field],
+                vdd,
+                vt_shift,
+                log_space=field in _LOG_FIELDS,
+            )
+            for field in _TABLE_FIELDS
+        }
+        return CellTimings(
+            cell_name=cell_name,
+            vdd=vdd,
+            vt_shift=vt_shift,
+            load_f=self._load_f,
+            delay_s=values["delay_s"],
+            energy_per_transition_j=values["energy_per_transition_j"],
+            leakage_current_a=values["leakage_current_a"],
+            input_capacitance_f=values["input_capacitance_f"],
+            output_capacitance_f=values["output_capacitance_f"],
+        )
+
+    def _axis_bracket(
+        self, grid: List[float], value: float, axis_name: str
+    ) -> Tuple[int, int, float]:
+        if not grid:
+            raise LibraryError("empty grid")
+        if len(grid) == 1:
+            if not math.isclose(value, grid[0], rel_tol=1e-9):
+                raise LibraryError(
+                    f"{axis_name} = {value} outside single-point grid "
+                    f"[{grid[0]}]"
+                )
+            return 0, 0, 0.0
+        if value < grid[0] - 1e-12 or value > grid[-1] + 1e-12:
+            raise LibraryError(
+                f"{axis_name} = {value} outside table range "
+                f"[{grid[0]}, {grid[-1]}]; extrapolation refused"
+            )
+        hi = min(max(bisect.bisect_left(grid, value), 1), len(grid) - 1)
+        lo = hi - 1
+        span = grid[hi] - grid[lo]
+        fraction = 0.0 if span == 0.0 else (value - grid[lo]) / span
+        return lo, hi, min(max(fraction, 0.0), 1.0)
+
+    def _interpolate(
+        self,
+        table: List[List[float]],
+        vdd: float,
+        vt_shift: float,
+        log_space: bool,
+    ) -> float:
+        i0, i1, fv = self._axis_bracket(self._vdd_grid, vdd, "vdd")
+        j0, j1, fs = self._axis_bracket(
+            self._vt_shift_grid, vt_shift, "vt_shift"
+        )
+        corners = [table[i0][j0], table[i0][j1], table[i1][j0], table[i1][j1]]
+        if log_space:
+            if any(c <= 0.0 for c in corners):
+                log_space = False  # degenerate corner; fall back to linear
+            else:
+                corners = [math.log(c) for c in corners]
+        c00, c01, c10, c11 = corners
+        low = c00 * (1.0 - fs) + c01 * fs
+        high = c10 * (1.0 - fs) + c11 * fs
+        value = low * (1.0 - fv) + high * fv
+        return math.exp(value) if log_space else value
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize catalog + corner tables to a JSON document."""
+        if not self._tables:
+            raise LibraryError("build a corner table before serializing")
+        payload = {
+            "format": "repro-liberty-lite-v1",
+            "name": self.name,
+            "vdd_grid": self._vdd_grid,
+            "vt_shift_grid": self._vt_shift_grid,
+            "load_f": self._load_f,
+            "cells": {
+                name: {
+                    "n_inputs": cell.n_inputs,
+                    "truth_table": list(cell.truth_table),
+                    "nmos_path_widths_um": list(cell.nmos_path_widths_um),
+                    "pmos_path_widths_um": list(cell.pmos_path_widths_um),
+                    "nmos_count": cell.nmos_count,
+                    "pmos_count": cell.pmos_count,
+                    "nmos_drains_on_output": cell.nmos_drains_on_output,
+                    "pmos_drains_on_output": cell.pmos_drains_on_output,
+                    "input_nmos_width_um": cell.input_nmos_width_um,
+                    "input_pmos_width_um": cell.input_pmos_width_um,
+                    "tables": self._tables[name],
+                }
+                for name, cell in self.cells.items()
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_json` output to a file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, document: str) -> "CellLibrary":
+        """Load a lookup-only library from a JSON document."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise LibraryError(f"malformed library JSON: {error}") from error
+        if payload.get("format") != "repro-liberty-lite-v1":
+            raise LibraryError(
+                f"unsupported library format {payload.get('format')!r}"
+            )
+        cells: Dict[str, Cell] = {}
+        tables: Dict[str, Dict[str, List[List[float]]]] = {}
+        for name, record in payload["cells"].items():
+            cells[name] = Cell(
+                name=name,
+                n_inputs=record["n_inputs"],
+                truth_table=tuple(record["truth_table"]),
+                nmos_path_widths_um=tuple(record["nmos_path_widths_um"]),
+                pmos_path_widths_um=tuple(record["pmos_path_widths_um"]),
+                nmos_count=record["nmos_count"],
+                pmos_count=record["pmos_count"],
+                nmos_drains_on_output=record["nmos_drains_on_output"],
+                pmos_drains_on_output=record["pmos_drains_on_output"],
+                input_nmos_width_um=record["input_nmos_width_um"],
+                input_pmos_width_um=record["input_pmos_width_um"],
+            )
+            tables[name] = {
+                field: record["tables"][field] for field in _TABLE_FIELDS
+            }
+        library = cls(None, cells=cells, name=payload["name"])
+        library._vdd_grid = [float(v) for v in payload["vdd_grid"]]
+        library._vt_shift_grid = [float(v) for v in payload["vt_shift_grid"]]
+        library._load_f = float(payload["load_f"])
+        library._tables = tables
+        return library
+
+    @classmethod
+    def load(cls, path: str) -> "CellLibrary":
+        """Read a library previously written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,179 @@
+"""Physical constants and unit helpers.
+
+All quantities in the library are SI unless a name says otherwise
+(``*_um`` for micrometres, ``*_ff`` for femtofarads, ...).  The helpers
+here exist so call sites read like the paper: ``nm(9)``, ``ff(50)``,
+``mv_per_decade(66)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BOLTZMANN",
+    "ELECTRON_CHARGE",
+    "EPSILON_0",
+    "EPSILON_SI",
+    "EPSILON_OX",
+    "ROOM_TEMPERATURE_K",
+    "LN10",
+    "thermal_voltage",
+    "nm",
+    "um",
+    "mm",
+    "ff",
+    "pf",
+    "ns",
+    "ps",
+    "mhz",
+    "khz",
+    "ghz",
+    "mw",
+    "uw",
+    "nw",
+    "ua",
+    "na",
+    "pa",
+    "mv",
+    "to_ff",
+    "to_ps",
+    "to_uw",
+    "decades",
+]
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+#: Elementary charge [C].
+ELECTRON_CHARGE = 1.602176634e-19
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+#: Permittivity of silicon [F/m].
+EPSILON_SI = 11.7 * EPSILON_0
+#: Permittivity of silicon dioxide [F/m].
+EPSILON_OX = 3.9 * EPSILON_0
+#: Default device temperature [K].
+ROOM_TEMPERATURE_K = 300.0
+#: Natural log of 10, used to convert subthreshold swing to ideality.
+LN10 = math.log(10.0)
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return the thermal voltage ``kT/q`` in volts.
+
+    At the default 300 K this is ~25.85 mV, the quantity the paper calls
+    ``V_t`` in its subthreshold-current expression (Eq. 2).
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELECTRON_CHARGE
+
+
+def nm(value: float) -> float:
+    """Nanometres to metres."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimetres to metres."""
+    return value * 1e-3
+
+
+def ff(value: float) -> float:
+    """Femtofarads to farads."""
+    return value * 1e-15
+
+
+def pf(value: float) -> float:
+    """Picofarads to farads."""
+    return value * 1e-12
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * 1e-12
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * 1e6
+
+
+def khz(value: float) -> float:
+    """Kilohertz to hertz."""
+    return value * 1e3
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * 1e9
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def nw(value: float) -> float:
+    """Nanowatts to watts."""
+    return value * 1e-9
+
+
+def ua(value: float) -> float:
+    """Microamperes to amperes."""
+    return value * 1e-6
+
+
+def na(value: float) -> float:
+    """Nanoamperes to amperes."""
+    return value * 1e-9
+
+
+def pa(value: float) -> float:
+    """Picoamperes to amperes."""
+    return value * 1e-12
+
+
+def mv(value: float) -> float:
+    """Millivolts to volts."""
+    return value * 1e-3
+
+
+def to_ff(farads: float) -> float:
+    """Farads to femtofarads (for reporting)."""
+    return farads * 1e15
+
+
+def to_ps(seconds: float) -> float:
+    """Seconds to picoseconds (for reporting)."""
+    return seconds * 1e12
+
+
+def to_uw(watts: float) -> float:
+    """Watts to microwatts (for reporting)."""
+    return watts * 1e6
+
+
+def decades(ratio: float) -> float:
+    """Express a positive ratio in decades (``log10``).
+
+    Used when checking the paper's "~4 decade" off-current statements.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return math.log10(ratio)

@@ -1,0 +1,80 @@
+"""Unit tests for the technology comparator."""
+
+import pytest
+
+from repro.analysis.comparator import TechnologyComparator
+from repro.errors import AnalysisError
+from repro.power.energy import ModuleEnergyParameters
+
+
+@pytest.fixture
+def module():
+    return ModuleEnergyParameters(
+        name="shifter",
+        switched_capacitance_f=250e-15,
+        leakage_low_vt_a=3e-7,
+        leakage_high_vt_a=5e-11,
+        back_gate_capacitance_f=260e-15,
+        back_gate_swing_v=3.0,
+    )
+
+
+@pytest.fixture
+def comparator(module):
+    return TechnologyComparator(module, vdd=1.0, t_cycle_s=1e-6)
+
+
+class TestVerdicts:
+    def test_idle_unit_all_burst_modes_win(self, comparator):
+        verdicts = comparator.all_verdicts(fga=0.01, bga=0.005)
+        assert verdicts["soias"].wins
+        assert verdicts["mtcmos"].wins
+
+    def test_busy_unit_soias_loses(self, comparator):
+        verdict = comparator.verdict("soias", fga=1.0, bga=0.9)
+        assert not verdict.wins
+        assert verdict.saving_percent < 0.0
+
+    def test_saving_percent_definition(self, comparator):
+        verdict = comparator.verdict("soias", fga=0.05, bga=0.01)
+        assert verdict.saving_percent == pytest.approx(
+            100.0 * (1.0 - verdict.ratio)
+        )
+
+    def test_mtcmos_cheaper_control_than_soias_here(self, comparator):
+        # Control charges to V_DD = 1 V instead of the 3 V back-gate
+        # rail: 9x cheaper per toggle at equal capacitance.
+        soias = comparator.verdict("soias", fga=0.2, bga=0.1)
+        mtcmos = comparator.verdict("mtcmos", fga=0.2, bga=0.1)
+        assert mtcmos.candidate_energy_j < soias.candidate_energy_j
+
+    def test_vtcmos_pays_for_the_well(self, comparator):
+        # Default well model: 3x the back-plane capacitance at 3 V
+        # swing -> the most expensive control of the three.
+        vtcmos = comparator.verdict("vtcmos", fga=0.2, bga=0.1)
+        soias = comparator.verdict("soias", fga=0.2, bga=0.1)
+        assert vtcmos.candidate_energy_j > soias.candidate_energy_j
+
+    def test_unknown_technology_rejected(self, comparator):
+        with pytest.raises(AnalysisError, match="unknown technology"):
+            comparator.verdict("pixie-dust", 0.1, 0.05)
+
+    def test_verdict_metadata(self, comparator, module):
+        verdict = comparator.verdict("soias", 0.1, 0.05)
+        assert verdict.module == module.name
+        assert verdict.technology == "soias"
+        assert verdict.fga == 0.1
+
+    def test_operating_point_validated(self, module):
+        with pytest.raises(AnalysisError):
+            TechnologyComparator(module, vdd=0.0, t_cycle_s=1e-6)
+
+
+class TestBaseline:
+    def test_baseline_is_eq3(self, comparator, module):
+        fga = 0.3
+        expected = (
+            fga * module.switched_capacitance_f
+            + module.leakage_low_vt_a * 1e-6
+        )
+        assert comparator.baseline_energy(fga) == pytest.approx(expected)

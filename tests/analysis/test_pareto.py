@@ -1,0 +1,104 @@
+"""Tests for energy-delay exploration and Pareto fronts."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    DesignPoint,
+    EnergyDelayExplorer,
+    pareto_front,
+)
+from repro.device.technology import soi_low_vt
+from repro.errors import AnalysisError
+
+VDD_GRID = [0.3, 0.5, 0.8, 1.2]
+VT_GRID = [0.1, 0.2, 0.3]
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return EnergyDelayExplorer(soi_low_vt(), stages=11)
+
+
+class TestDesignPoint:
+    def test_edp(self):
+        point = DesignPoint(vdd=1.0, vt=0.2, delay_s=2.0, energy_j=3.0)
+        assert point.energy_delay_product == 6.0
+
+    def test_domination(self):
+        fast_cheap = DesignPoint(1.0, 0.2, 1.0, 1.0)
+        slow_costly = DesignPoint(1.0, 0.2, 2.0, 2.0)
+        tied = DesignPoint(1.0, 0.2, 1.0, 1.0)
+        assert fast_cheap.dominates(slow_costly)
+        assert not slow_costly.dominates(fast_cheap)
+        assert not fast_cheap.dominates(tied)
+
+
+class TestParetoFront:
+    def test_front_is_nondominated_and_sorted(self):
+        points = [
+            DesignPoint(0, 0, 3.0, 1.0),
+            DesignPoint(0, 0, 1.0, 3.0),
+            DesignPoint(0, 0, 2.0, 2.0),
+            DesignPoint(0, 0, 2.5, 2.5),  # dominated by (2, 2)
+        ]
+        front = pareto_front(points)
+        delays = [p.delay_s for p in front]
+        energies = [p.energy_j for p in front]
+        assert delays == sorted(delays)
+        assert energies == sorted(energies, reverse=True)
+        assert all(p.delay_s != 2.5 for p in front)
+
+    def test_single_point(self):
+        point = DesignPoint(0, 0, 1.0, 1.0)
+        assert pareto_front([point]) == [point]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            pareto_front([])
+
+
+class TestExplorer:
+    def test_grid_size(self, explorer):
+        points = explorer.explore(VDD_GRID, VT_GRID)
+        assert len(points) == len(VDD_GRID) * len(VT_GRID)
+
+    def test_front_nondominated_within_grid(self, explorer):
+        points = explorer.explore(VDD_GRID, VT_GRID)
+        front = explorer.front(VDD_GRID, VT_GRID)
+        for candidate in front:
+            assert not any(p.dominates(candidate) for p in points)
+
+    def test_front_shows_the_energy_delay_trade(self, explorer):
+        front = explorer.front(VDD_GRID, VT_GRID)
+        assert len(front) >= 2
+        delays = [p.delay_s for p in front]
+        energies = [p.energy_j for p in front]
+        assert delays == sorted(delays)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_minimum_edp_is_grid_minimum(self, explorer):
+        best = explorer.minimum_edp_point(VDD_GRID, VT_GRID)
+        points = explorer.explore(VDD_GRID, VT_GRID)
+        assert best.energy_delay_product == min(
+            p.energy_delay_product for p in points
+        )
+
+    def test_energy_under_delay_bound(self, explorer):
+        fastest = min(
+            explorer.explore(VDD_GRID, VT_GRID), key=lambda p: p.delay_s
+        )
+        relaxed = explorer.minimum_energy_under_delay(
+            VDD_GRID, VT_GRID, 10.0 * fastest.delay_s
+        )
+        tight = explorer.minimum_energy_under_delay(
+            VDD_GRID, VT_GRID, 1.01 * fastest.delay_s
+        )
+        assert relaxed.energy_j <= tight.energy_j
+
+    def test_impossible_bound_rejected(self, explorer):
+        with pytest.raises(AnalysisError, match="bound"):
+            explorer.minimum_energy_under_delay(VDD_GRID, VT_GRID, 1e-18)
+
+    def test_empty_grid_rejected(self, explorer):
+        with pytest.raises(AnalysisError):
+            explorer.explore([], VT_GRID)

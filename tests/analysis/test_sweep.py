@@ -1,0 +1,60 @@
+"""Unit tests for sweep containers."""
+
+import pytest
+
+from repro.analysis.sweep import Sweep1D, sweep_1d, sweep_2d
+from repro.errors import AnalysisError
+
+
+class TestSweep1D:
+    def test_samples_function(self):
+        sweep = sweep_1d("x", "x^2", [0.0, 1.0, 2.0], lambda x: x * x)
+        assert sweep.ys == (0.0, 1.0, 4.0)
+
+    def test_argmin_argmax(self):
+        sweep = sweep_1d("x", "y", [-2.0, 0.0, 3.0], lambda x: x * x)
+        assert sweep.argmin() == (0.0, 0.0)
+        assert sweep.argmax() == (3.0, 9.0)
+
+    def test_monotonicity_checks(self):
+        rising = sweep_1d("x", "y", [1.0, 2.0, 3.0], lambda x: x)
+        assert rising.is_monotone(increasing=True)
+        assert not rising.is_monotone(increasing=False)
+
+    def test_interior_minimum_detection(self):
+        u_shape = sweep_1d("x", "y", [-1.0, 0.0, 1.0], lambda x: x * x)
+        assert u_shape.has_interior_minimum()
+        slope = sweep_1d("x", "y", [0.0, 1.0], lambda x: x)
+        assert not slope.has_interior_minimum()
+
+    def test_rows(self):
+        sweep = sweep_1d("x", "y", [1.0, 2.0], lambda x: 2 * x)
+        assert sweep.rows() == [(1.0, 2.0), (2.0, 4.0)]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sweep_1d("x", "y", [], lambda x: x)
+        with pytest.raises(AnalysisError):
+            Sweep1D("x", "y", (1.0,), (1.0, 2.0))
+
+
+class TestSweep2D:
+    def test_grid_orientation(self):
+        grid = sweep_2d(
+            "x", "y", "z", [1.0, 2.0], [10.0, 20.0, 30.0],
+            lambda x, y: x * y,
+        )
+        assert grid.at(0, 0) == 10.0
+        assert grid.at(1, 2) == 60.0
+
+    def test_none_cells(self):
+        grid = sweep_2d(
+            "x", "y", "z", [1.0, 2.0], [1.0, 2.0],
+            lambda x, y: None if y > x else x + y,
+        )
+        assert grid.at(0, 1) is None
+        assert grid.defined_cells() == 3
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sweep_2d("x", "y", "z", [], [1.0], lambda x, y: 0.0)

@@ -1,0 +1,59 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table, format_value
+from repro.errors import AnalysisError
+
+
+class TestFormatValue:
+    def test_scalars(self):
+        assert format_value(None) == "-"
+        assert format_value("text") == "text"
+        assert format_value(True) == "yes"
+        assert format_value(42) == "42"
+        assert format_value(0.0) == "0"
+
+    def test_engineering_thresholds(self):
+        assert "e" in format_value(1.5e-12)
+        assert "e" in format_value(2.5e7)
+        assert "e" not in format_value(12.5)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["adder", 1], ["mult", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: 'v' column starts at the same offset everywhere.
+        offset = lines[0].index("v")
+        assert lines[2][offset] == "1"
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_headerless_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [[1]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(AnalysisError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series("x", "y", [1.0, 2.0], [10.0, 20.0])
+        assert "x" in text and "y" in text
+        assert "10" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_series("x", "y", [1.0], [1.0, 2.0])

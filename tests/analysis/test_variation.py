@@ -1,0 +1,140 @@
+"""Tests for Monte-Carlo V_T variation analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.variation import (
+    Distribution,
+    MonteCarloAnalyzer,
+    lognormal_leakage_amplification,
+)
+from repro.device.technology import soi_low_vt
+from repro.errors import AnalysisError
+from repro.tech.cells import standard_cells
+
+
+@pytest.fixture(scope="module")
+def inverter():
+    return standard_cells()["INV"]
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return MonteCarloAnalyzer(
+        soi_low_vt(), vt_sigma=0.03, n_samples=400, seed=1
+    )
+
+
+class TestDistribution:
+    def test_moments(self):
+        d = Distribution(samples=(1.0, 2.0, 3.0, 4.0))
+        assert d.mean == pytest.approx(2.5)
+        assert d.std == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert d.coefficient_of_variation == pytest.approx(d.std / 2.5)
+
+    def test_percentiles(self):
+        d = Distribution(samples=tuple(float(i) for i in range(101)))
+        assert d.percentile(0) == 0.0
+        assert d.percentile(50) == pytest.approx(50.0)
+        assert d.percentile(100) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            Distribution(samples=(1.0,))
+        with pytest.raises(AnalysisError):
+            Distribution(samples=(1.0, 2.0)).percentile(101)
+
+
+class TestSampling:
+    def test_deterministic_by_seed(self, analyzer):
+        assert analyzer.sample_vt_shifts() == analyzer.sample_vt_shifts()
+
+    def test_sample_moments_match_sigma(self, analyzer):
+        shifts = analyzer.sample_vt_shifts()
+        mean = sum(shifts) / len(shifts)
+        var = sum((s - mean) ** 2 for s in shifts) / (len(shifts) - 1)
+        assert abs(mean) < 0.01
+        assert math.sqrt(var) == pytest.approx(0.03, rel=0.2)
+
+    def test_zero_sigma_collapses(self, inverter):
+        tight = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.0, n_samples=10
+        )
+        d = tight.delay_distribution(inverter, 1.0)
+        assert d.coefficient_of_variation < 1e-12
+
+
+class TestLeakageAmplification:
+    def test_closed_form_value(self):
+        # sigma_ln = 0.03 * ln10 / 0.066 ~ 1.047 -> exp(0.548) ~ 1.73.
+        amplification = lognormal_leakage_amplification(0.03, 0.066)
+        assert amplification == pytest.approx(1.73, rel=0.02)
+
+    def test_measured_matches_closed_form(self, analyzer, inverter):
+        measured = analyzer.leakage_amplification(inverter, 1.0)
+        predicted = lognormal_leakage_amplification(0.03, 0.066)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_amplification_grows_with_sigma(self, inverter):
+        small = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.01, n_samples=300, seed=2
+        ).leakage_amplification(inverter, 1.0)
+        large = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.05, n_samples=300, seed=2
+        ).leakage_amplification(inverter, 1.0)
+        assert large > small > 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            lognormal_leakage_amplification(-0.01, 0.066)
+
+
+class TestDelaySpread:
+    def test_spread_grows_as_vdd_falls(self, analyzer, inverter):
+        # The low-voltage variation penalty: CV(delay) explodes as the
+        # overdrive shrinks.
+        sweep = analyzer.delay_spread_vs_vdd(
+            inverter, [1.2, 0.8, 0.5, 0.35]
+        )
+        cvs = [cv for _, cv in sweep]
+        assert cvs == sorted(cvs)
+        assert cvs[-1] > 3.0 * cvs[0]
+
+    def test_empty_sweep_rejected(self, analyzer, inverter):
+        with pytest.raises(AnalysisError):
+            analyzer.delay_spread_vs_vdd(inverter, [])
+
+
+class TestTimingYield:
+    def test_guard_band_exceeds_nominal_solve(self, analyzer, inverter):
+        from repro.tech.characterize import CellCharacterizer
+
+        nominal = CellCharacterizer(soi_low_vt())
+        target = nominal.propagation_delay(inverter, 0.6, 10e-15)
+        guarded_vdd = analyzer.timing_yield_vdd(
+            inverter, target, percentile=99.0
+        )
+        # Slow-corner devices need more supply than the nominal 0.6 V.
+        assert guarded_vdd > 0.6
+
+    def test_looser_percentile_needs_less_guard_band(
+        self, analyzer, inverter
+    ):
+        from repro.tech.characterize import CellCharacterizer
+
+        nominal = CellCharacterizer(soi_low_vt())
+        target = nominal.propagation_delay(inverter, 0.6, 10e-15)
+        strict = analyzer.timing_yield_vdd(inverter, target, percentile=99.0)
+        loose = analyzer.timing_yield_vdd(inverter, target, percentile=50.0)
+        assert loose < strict
+
+    def test_unreachable_target_rejected(self, analyzer, inverter):
+        with pytest.raises(AnalysisError, match="unreachable"):
+            analyzer.timing_yield_vdd(inverter, 1e-18)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            MonteCarloAnalyzer(soi_low_vt(), vt_sigma=-1.0)
+        with pytest.raises(AnalysisError):
+            MonteCarloAnalyzer(soi_low_vt(), n_samples=1)

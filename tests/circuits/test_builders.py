@@ -1,0 +1,167 @@
+"""Functional verification of the netlist builders against Python ints."""
+
+import random
+
+import pytest
+
+from repro.circuits.builders import (
+    array_multiplier,
+    barrel_shifter,
+    carry_select_adder,
+    equality_comparator,
+    ring_oscillator,
+    ripple_carry_adder,
+)
+from repro.errors import NetlistError
+
+
+def bus_values(prefix, width, value):
+    return {f"{prefix}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_exhaustive_small_or_sampled(self, width):
+        netlist = ripple_carry_adder(width)
+        rng = random.Random(1)
+        pairs = (
+            [(a, b) for a in range(2**width) for b in range(2**width)]
+            if width <= 4
+            else [
+                (rng.randrange(2**width), rng.randrange(2**width))
+                for _ in range(200)
+            ]
+        )
+        for a, b in pairs:
+            inputs = {**bus_values("a", width, a), **bus_values("b", width, b)}
+            values = netlist.evaluate(inputs)
+            result = sum(values[f"sum[{i}]"] << i for i in range(width))
+            result |= values["cout"] << width
+            assert result == a + b, f"{a}+{b}"
+
+    def test_carry_in_variant(self):
+        netlist = ripple_carry_adder(4, with_carry_in=True)
+        inputs = {
+            **bus_values("a", 4, 7),
+            **bus_values("b", 4, 8),
+            "cin": 1,
+        }
+        values = netlist.evaluate(inputs)
+        result = sum(values[f"sum[{i}]"] << i for i in range(4))
+        result |= values["cout"] << 4
+        assert result == 16
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+
+    def test_gate_count_scales_linearly(self):
+        small = len(ripple_carry_adder(4).instances)
+        large = len(ripple_carry_adder(8).instances)
+        assert large == pytest.approx(2 * small, abs=8)
+
+
+class TestCarrySelectAdder:
+    @pytest.mark.parametrize("width,block", [(8, 4), (8, 3), (6, 2)])
+    def test_matches_integer_addition(self, width, block):
+        netlist = carry_select_adder(width, block)
+        rng = random.Random(2)
+        for _ in range(150):
+            a = rng.randrange(2**width)
+            b = rng.randrange(2**width)
+            inputs = {**bus_values("a", width, a), **bus_values("b", width, b)}
+            values = netlist.evaluate(inputs)
+            result = sum(values[f"sum[{i}]"] << i for i in range(width))
+            result |= values["cout"] << width
+            assert result == a + b, f"{a}+{b}"
+
+    def test_uses_more_gates_than_ripple(self):
+        assert len(carry_select_adder(8, 4).instances) > len(
+            ripple_carry_adder(8).instances
+        )
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            carry_select_adder(0)
+        with pytest.raises(NetlistError):
+            carry_select_adder(8, 0)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_matches_python_shift(self, width):
+        netlist = barrel_shifter(width)
+        stages = width.bit_length() - 1
+        rng = random.Random(3)
+        for _ in range(150):
+            a = rng.randrange(2**width)
+            shift = rng.randrange(width)
+            inputs = {
+                **bus_values("a", width, a),
+                **bus_values("s", stages, shift),
+            }
+            result = netlist.evaluate_bus(inputs, "y", width)
+            assert result == (a << shift) & (2**width - 1), f"{a}<<{shift}"
+
+    def test_power_of_two_required(self):
+        with pytest.raises(NetlistError, match="power of two"):
+            barrel_shifter(6)
+
+
+class TestArrayMultiplier:
+    def test_exhaustive_4x4(self):
+        netlist = array_multiplier(4)
+        for a in range(16):
+            for b in range(16):
+                inputs = {**bus_values("a", 4, a), **bus_values("b", 4, b)}
+                result = netlist.evaluate_bus(inputs, "p", 8)
+                assert result == a * b, f"{a}*{b}"
+
+    def test_sampled_8x8(self):
+        netlist = array_multiplier(8)
+        rng = random.Random(4)
+        for _ in range(60):
+            a = rng.randrange(256)
+            b = rng.randrange(256)
+            inputs = {**bus_values("a", 8, a), **bus_values("b", 8, b)}
+            assert netlist.evaluate_bus(inputs, "p", 16) == a * b
+
+    def test_multiplier_is_largest_unit(self):
+        # Fig. 10 context: the multiplier dwarfs the adder and shifter.
+        mult = len(array_multiplier(8).instances)
+        add = len(ripple_carry_adder(8).instances)
+        shift = len(barrel_shifter(8).instances)
+        assert mult > 3 * add
+        assert mult > 3 * shift
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            array_multiplier(1)
+
+
+class TestEqualityComparator:
+    @pytest.mark.parametrize("width", [1, 5, 8])
+    def test_matches_equality(self, width):
+        netlist = equality_comparator(width)
+        rng = random.Random(5)
+        for _ in range(100):
+            a = rng.randrange(2**width)
+            b = a if rng.random() < 0.5 else rng.randrange(2**width)
+            inputs = {**bus_values("a", width, a), **bus_values("b", width, b)}
+            assert netlist.evaluate(inputs)["eq"] == int(a == b)
+
+
+class TestRingOscillator:
+    def test_structure(self):
+        ring = ring_oscillator(5)
+        assert len(ring.instances) == 5
+        assert ring.primary_inputs == []
+
+    def test_cyclic_so_not_levelizable(self):
+        with pytest.raises(NetlistError, match="cycle"):
+            ring_oscillator(3).levelize()
+
+    @pytest.mark.parametrize("stages", [2, 4, 1])
+    def test_even_or_short_rejected(self, stages):
+        with pytest.raises(NetlistError):
+            ring_oscillator(stages)

@@ -1,0 +1,145 @@
+"""Tests for the .rnet structural netlist format."""
+
+import random
+
+import pytest
+
+from repro.circuits.builders import (
+    array_multiplier,
+    carry_select_adder,
+    pipelined_adder,
+    ripple_carry_adder,
+)
+from repro.circuits.io import (
+    load_netlist,
+    parse_netlist,
+    save_netlist,
+    write_netlist,
+)
+from repro.errors import NetlistError
+
+
+def bus(prefix, width, value):
+    return {f"{prefix}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+class TestWriter:
+    def test_statements_present(self):
+        text = write_netlist(ripple_carry_adder(2))
+        assert text.startswith("netlist rca2")
+        assert "input a[0]" in text
+        assert "output cout" in text
+        assert "gate XOR2" in text
+
+    def test_registers_serialized(self):
+        text = write_netlist(pipelined_adder(4, 2))
+        assert "register " in text
+        assert "init 0" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: ripple_carry_adder(6),
+            lambda: carry_select_adder(8, 3),
+            lambda: array_multiplier(4),
+            lambda: pipelined_adder(8, 2),
+        ],
+        ids=["ripple", "select", "multiplier", "pipeline"],
+    )
+    def test_structure_preserved(self, builder):
+        original = builder()
+        recovered = parse_netlist(write_netlist(original))
+        assert recovered.name == original.name
+        assert recovered.primary_inputs == original.primary_inputs
+        assert recovered.primary_outputs == original.primary_outputs
+        assert set(recovered.instances) == set(original.instances)
+        assert set(recovered.registers) == set(original.registers)
+        for name, instance in original.instances.items():
+            twin = recovered.instances[name]
+            assert twin.cell.name == instance.cell.name
+            assert twin.inputs == instance.inputs
+            assert twin.output == instance.output
+
+    def test_functional_equivalence(self):
+        original = ripple_carry_adder(6)
+        recovered = parse_netlist(write_netlist(original))
+        rng = random.Random(3)
+        for _ in range(20):
+            a, b = rng.randrange(64), rng.randrange(64)
+            inputs = {**bus("a", 6, a), **bus("b", 6, b)}
+            assert recovered.evaluate(inputs) == original.evaluate(inputs)
+
+    def test_sequential_equivalence(self):
+        original = pipelined_adder(6, 2)
+        recovered = parse_netlist(write_netlist(original))
+        rng = random.Random(4)
+        vectors = [
+            {**bus("a", 6, rng.randrange(64)), **bus("b", 6, rng.randrange(64))}
+            for _ in range(6)
+        ]
+        assert recovered.evaluate_sequence(vectors) == (
+            original.evaluate_sequence(vectors)
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "adder.rnet"
+        original = ripple_carry_adder(4)
+        save_netlist(original, str(path))
+        recovered = load_netlist(str(path))
+        assert write_netlist(recovered) == write_netlist(original)
+
+
+class TestParserErrors:
+    def test_requires_header(self):
+        with pytest.raises(NetlistError, match="netlist <name>"):
+            parse_netlist("input a\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            parse_netlist("netlist a\nnetlist b\n")
+
+    def test_unknown_cell_lists_catalog(self):
+        with pytest.raises(NetlistError, match="unknown cell"):
+            parse_netlist("netlist x\ninput a\ngate FROB g a -> y\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(NetlistError, match="keyword"):
+            parse_netlist("netlist x\nwire a\n")
+
+    def test_bad_gate_arity_reported_with_line(self):
+        with pytest.raises(NetlistError, match="line 3"):
+            parse_netlist("netlist x\ninput a\ngate NAND2 g a -> y\n")
+
+    def test_bad_register_syntax(self):
+        with pytest.raises(NetlistError, match="register"):
+            parse_netlist("netlist x\ninput a\nregister r a -> q init 2\n")
+
+    def test_bad_constant(self):
+        with pytest.raises(NetlistError, match="constant"):
+            parse_netlist("netlist x\nconstant k 3\n")
+
+    def test_empty_file(self):
+        with pytest.raises(NetlistError, match="empty"):
+            parse_netlist("# only a comment\n")
+
+    def test_structural_violations_surface(self):
+        with pytest.raises(NetlistError, match="already driven"):
+            parse_netlist(
+                "netlist x\ninput a\ngate INV g1 a -> y\n"
+                "gate INV g2 a -> y\n"
+            )
+
+    def test_comments_and_blanks_ignored(self):
+        netlist = parse_netlist(
+            """
+            # a tiny design
+            netlist tiny
+
+            input a   # the only input
+            gate INV g a -> y
+            output y
+            """
+        )
+        assert netlist.evaluate({"a": 0})["y"] == 1

@@ -1,0 +1,66 @@
+"""Unit tests for the canned datapaths and scenarios."""
+
+import pytest
+
+from repro.core.scenarios import (
+    DatapathUnit,
+    Scenario,
+    continuous_scenario,
+    standard_datapath,
+    xserver_scenario,
+)
+from repro.errors import AnalysisError
+
+
+class TestScenarios:
+    def test_xserver_duty(self):
+        scenario = xserver_scenario()
+        assert scenario.duty_cycle == pytest.approx(0.2)
+        assert "X" in scenario.description or "idle" in scenario.description
+
+    def test_continuous_duty(self):
+        assert continuous_scenario().duty_cycle == 1.0
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Scenario(name="bad", duty_cycle=0.0, description="")
+
+
+class TestStandardDatapath:
+    def test_units_match_profiler_names(self):
+        units = standard_datapath(width=8, stimulus_vectors=10)
+        assert set(units) == {"adder", "shifter", "multiplier"}
+
+    def test_netlists_functional(self):
+        units = standard_datapath(width=4, stimulus_vectors=10)
+        adder = units["adder"].netlist
+        values = adder.evaluate(
+            {f"a[{i}]": 1 for i in range(4)} | {f"b[{i}]": 0 for i in range(4)}
+        )
+        assert values["sum[0]"] == 1
+
+    def test_stimulus_drives_all_inputs(self):
+        units = standard_datapath(width=8, stimulus_vectors=10)
+        for unit in units.values():
+            vector = unit.vectors[0]
+            for net in unit.netlist.primary_inputs:
+                assert net in vector, (unit.name, net)
+
+    def test_non_power_of_two_width_rounds_shifter(self):
+        units = standard_datapath(width=6, stimulus_vectors=10)
+        # Shifter width rounds up to 8.
+        assert len(units["shifter"].netlist.primary_outputs) == 8
+
+    def test_width_validated(self):
+        with pytest.raises(AnalysisError):
+            standard_datapath(width=1)
+
+    def test_too_few_vectors_rejected(self):
+        with pytest.raises(AnalysisError, match="two stimulus"):
+            DatapathUnit(
+                name="x",
+                netlist=standard_datapath(width=4, stimulus_vectors=5)[
+                    "adder"
+                ].netlist,
+                vectors=({"a[0]": 0},),
+            )

@@ -1,0 +1,153 @@
+"""Unit tests for the non-linear capacitance models (paper Fig. 1)."""
+
+import pytest
+
+from repro.device.capacitance import (
+    GateCapacitanceModel,
+    JunctionCapacitanceModel,
+    WireCapacitanceModel,
+)
+from repro.errors import DeviceModelError
+
+
+class TestGateCapacitance:
+    def test_instantaneous_capacitance_bounded_by_cox(self):
+        model = GateCapacitanceModel()
+        for v in [0.0, 0.5, 1.0, 2.0, 5.0]:
+            c = model.capacitance_at(v)
+            assert model.c_ox_f_per_um2 * model.depletion_floor <= c
+            assert c <= model.c_ox_f_per_um2
+
+    def test_capacitance_rises_with_voltage(self):
+        model = GateCapacitanceModel()
+        values = [model.capacitance_at(v * 0.1) for v in range(40)]
+        assert values == sorted(values)
+
+    def test_switched_capacitance_rises_with_vdd(self):
+        # The Fig. 1 effect: C_sw grows monotonically with V_DD.
+        model = GateCapacitanceModel()
+        sweep = [model.switched_capacitance(0.5 + 0.25 * i) for i in range(12)]
+        assert sweep == sorted(sweep)
+
+    def test_switched_capacitance_bounds(self):
+        model = GateCapacitanceModel()
+        c_sw = model.switched_capacitance(1.0)
+        assert model.c_ox_f_per_um2 * model.depletion_floor < c_sw
+        assert c_sw < model.c_ox_f_per_um2
+
+    def test_switched_capacitance_approaches_cox_at_high_vdd(self):
+        model = GateCapacitanceModel(v_mid=0.6, v_width=0.2)
+        c_sw = model.switched_capacitance(10.0)
+        assert c_sw > 0.95 * model.c_ox_f_per_um2
+
+    def test_charge_consistency(self):
+        # C_sw * V_DD must equal the integral of c(V): check against a
+        # numeric Riemann sum.
+        model = GateCapacitanceModel()
+        vdd = 1.5
+        steps = 20000
+        dv = vdd / steps
+        charge = sum(
+            model.capacitance_at((i + 0.5) * dv) * dv for i in range(steps)
+        )
+        assert model.switched_capacitance(vdd) == pytest.approx(
+            charge / vdd, rel=1e-6
+        )
+
+    def test_from_oxide_thickness_magnitude(self):
+        # t_ox = 9 nm -> C_ox ~ 3.8 fF/um^2.
+        model = GateCapacitanceModel.from_oxide_thickness(9.0)
+        assert model.c_ox_f_per_um2 == pytest.approx(3.84e-15, rel=0.02)
+
+    def test_gate_capacitance_scales_with_area(self):
+        model = GateCapacitanceModel()
+        small = model.gate_capacitance(1.0, 0.5, 1.0)
+        big = model.gate_capacitance(2.0, 1.0, 1.0)
+        assert big == pytest.approx(4.0 * small)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(DeviceModelError):
+            GateCapacitanceModel().switched_capacitance(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"c_ox_f_per_um2": 0.0},
+            {"depletion_floor": 0.0},
+            {"depletion_floor": 1.0},
+            {"v_width": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(DeviceModelError):
+            GateCapacitanceModel(**kwargs)
+
+
+class TestJunctionCapacitance:
+    def test_zero_bias_gives_cj0(self):
+        model = JunctionCapacitanceModel()
+        assert model.capacitance_at(0.0) == pytest.approx(
+            model.c_j0_f_per_um2
+        )
+
+    def test_capacitance_falls_with_reverse_bias(self):
+        model = JunctionCapacitanceModel()
+        values = [model.capacitance_at(v * 0.2) for v in range(15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_switched_capacitance_falls_with_vdd(self):
+        model = JunctionCapacitanceModel()
+        sweep = [model.switched_capacitance(0.5 + 0.25 * i) for i in range(12)]
+        assert sweep == sorted(sweep, reverse=True)
+
+    def test_charge_consistency(self):
+        model = JunctionCapacitanceModel()
+        vdd = 2.0
+        steps = 20000
+        dv = vdd / steps
+        charge = sum(
+            model.capacitance_at((i + 0.5) * dv) * dv for i in range(steps)
+        )
+        assert model.switched_capacitance(vdd) == pytest.approx(
+            charge / vdd, rel=1e-6
+        )
+
+    def test_drain_capacitance_scales_with_geometry(self):
+        model = JunctionCapacitanceModel()
+        assert model.drain_capacitance(2.0, 0.6, 1.0) == pytest.approx(
+            2.0 * model.drain_capacitance(1.0, 0.6, 1.0)
+        )
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(DeviceModelError):
+            JunctionCapacitanceModel().capacitance_at(-0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"c_j0_f_per_um2": 0.0},
+            {"built_in": 0.0},
+            {"grading": 0.0},
+            {"grading": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(DeviceModelError):
+            JunctionCapacitanceModel(**kwargs)
+
+
+class TestWireCapacitance:
+    def test_linear_in_length(self):
+        model = WireCapacitanceModel(c_per_um=0.2e-15)
+        assert model.wire_capacitance(10.0) == pytest.approx(2.0e-15)
+
+    def test_zero_length_allowed(self):
+        assert WireCapacitanceModel().wire_capacitance(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DeviceModelError):
+            WireCapacitanceModel().wire_capacitance(-1.0)
+
+    def test_nonpositive_unit_capacitance_rejected(self):
+        with pytest.raises(DeviceModelError):
+            WireCapacitanceModel(c_per_um=0.0)

@@ -1,0 +1,228 @@
+"""Unit tests for the blended MOSFET drain-current model."""
+
+import math
+
+import pytest
+
+from repro.device.mosfet import (
+    Mosfet,
+    MosfetParameters,
+    fit_i_spec_for_off_current,
+    fit_k_drive_for_on_current,
+)
+from repro.errors import CalibrationError, DeviceModelError
+
+
+@pytest.fixture
+def nmos():
+    return Mosfet(MosfetParameters(), width_um=1.0)
+
+
+class TestParameterValidation:
+    def test_default_parameters_are_valid(self):
+        MosfetParameters()
+
+    def test_rejects_unknown_polarity(self):
+        with pytest.raises(DeviceModelError, match="polarity"):
+            MosfetParameters(polarity="cmos")
+
+    def test_rejects_swing_below_thermal_limit(self):
+        # 50 mV/dec < kT/q ln10 ~ 59.5 mV/dec at 300 K.
+        with pytest.raises(DeviceModelError, match="swing"):
+            MosfetParameters(subthreshold_swing=0.050)
+
+    def test_accepts_swing_at_60mv(self):
+        MosfetParameters(subthreshold_swing=0.060)
+
+    @pytest.mark.parametrize("field", ["i_spec", "k_drive", "vdsat_coeff"])
+    def test_rejects_nonpositive_scale_parameters(self, field):
+        with pytest.raises(DeviceModelError, match=field):
+            MosfetParameters(**{field: 0.0})
+
+    @pytest.mark.parametrize("alpha", [0.5, 2.5])
+    def test_rejects_alpha_outside_range(self, alpha):
+        with pytest.raises(DeviceModelError, match="alpha"):
+            MosfetParameters(alpha=alpha)
+
+    def test_rejects_negative_dibl(self):
+        with pytest.raises(DeviceModelError):
+            MosfetParameters(dibl=-0.1)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(DeviceModelError, match="width"):
+            Mosfet(MosfetParameters(), width_um=0.0)
+
+    def test_ideality_matches_swing(self):
+        p = MosfetParameters(subthreshold_swing=0.066)
+        assert p.ideality == pytest.approx(
+            0.066 / (p.thermal_voltage * math.log(10.0))
+        )
+
+    def test_with_vt0_changes_only_vt(self):
+        p = MosfetParameters()
+        q = p.with_vt0(0.2)
+        assert q.vt0 == 0.2
+        assert q.k_drive == p.k_drive
+
+    def test_with_temperature_scales_swing(self):
+        p = MosfetParameters(temperature_k=300.0, subthreshold_swing=0.066)
+        hot = p.with_temperature(400.0)
+        assert hot.subthreshold_swing == pytest.approx(0.066 * 400.0 / 300.0)
+        # Ideality n is temperature-invariant under this scaling.
+        assert hot.ideality == pytest.approx(p.ideality)
+
+
+class TestSubthresholdRegime:
+    def test_current_at_threshold_equals_i_spec(self, nmos):
+        p = nmos.parameters
+        vds = 1.0
+        vt = nmos.effective_vt(vds)
+        current = nmos.subthreshold_current(vt, vds)
+        assert current == pytest.approx(p.i_spec, rel=1e-6)
+
+    def test_slope_matches_swing_parameter(self, nmos):
+        extracted = nmos.subthreshold_slope_mv_per_decade(vds=1.0)
+        assert extracted == pytest.approx(
+            nmos.parameters.subthreshold_swing * 1e3, rel=1e-3
+        )
+
+    def test_one_swing_below_threshold_is_one_decade(self, nmos):
+        vds = 1.0
+        vt = nmos.effective_vt(vds)
+        s = nmos.parameters.subthreshold_swing
+        ratio = nmos.subthreshold_current(
+            vt, vds
+        ) / nmos.subthreshold_current(vt - s, vds)
+        assert math.log10(ratio) == pytest.approx(1.0, rel=1e-6)
+
+    def test_vds_independence_above_100mv(self, nmos):
+        # Paper: for V_ds >~ 0.1 V the leakage no longer depends on V_ds
+        # (other than through DIBL, disabled here).
+        quiet = Mosfet(MosfetParameters(dibl=0.0))
+        low = quiet.subthreshold_current(0.0, 0.15)
+        high = quiet.subthreshold_current(0.0, 1.5)
+        assert high == pytest.approx(low, rel=5e-3)
+
+    def test_small_vds_suppresses_leakage(self, nmos):
+        tiny = nmos.subthreshold_current(0.0, 0.01)
+        full = nmos.subthreshold_current(0.0, 1.0)
+        assert tiny < 0.5 * full
+
+    def test_clamped_above_threshold(self, nmos):
+        vds = 1.0
+        at_vt = nmos.subthreshold_current(nmos.effective_vt(vds), vds)
+        above = nmos.subthreshold_current(nmos.effective_vt(vds) + 0.5, vds)
+        assert above == pytest.approx(at_vt)
+
+    def test_negative_vds_rejected(self, nmos):
+        with pytest.raises(DeviceModelError):
+            nmos.subthreshold_current(0.5, -0.1)
+
+
+class TestStrongInversionRegime:
+    def test_zero_below_threshold(self, nmos):
+        assert nmos.strong_inversion_current(0.1, 1.0) == 0.0
+
+    def test_alpha_power_scaling_in_saturation(self):
+        p = MosfetParameters(dibl=0.0, channel_length_modulation=0.0)
+        device = Mosfet(p)
+        # Deep saturation: large vds.
+        i1 = device.strong_inversion_current(p.vt0 + 0.4, 3.0)
+        i2 = device.strong_inversion_current(p.vt0 + 0.8, 3.0)
+        assert i2 / i1 == pytest.approx(2.0**p.alpha, rel=1e-6)
+
+    def test_linear_region_below_vdsat(self):
+        p = MosfetParameters(dibl=0.0, channel_length_modulation=0.0)
+        device = Mosfet(p)
+        vgs = p.vt0 + 0.6
+        overdrive = 0.6
+        vdsat = p.vdsat_coeff * overdrive ** (p.alpha / 2.0)
+        shallow = device.strong_inversion_current(vgs, vdsat / 4.0)
+        deep = device.strong_inversion_current(vgs, vdsat)
+        assert shallow < deep
+
+    def test_continuous_at_vdsat(self):
+        p = MosfetParameters(dibl=0.0, channel_length_modulation=0.0)
+        device = Mosfet(p)
+        vgs = p.vt0 + 0.5
+        vdsat = p.vdsat_coeff * 0.5 ** (p.alpha / 2.0)
+        below = device.strong_inversion_current(vgs, vdsat * 0.9999)
+        above = device.strong_inversion_current(vgs, vdsat * 1.0001)
+        assert below == pytest.approx(above, rel=1e-3)
+
+    def test_width_scales_current(self):
+        p = MosfetParameters()
+        narrow = Mosfet(p, width_um=1.0)
+        wide = Mosfet(p, width_um=4.0)
+        assert wide.on_current(1.5) == pytest.approx(
+            4.0 * narrow.on_current(1.5)
+        )
+
+
+class TestTotalCurrent:
+    def test_continuity_across_threshold(self, nmos):
+        # No jumps: scan V_gs finely around V_T.
+        vds = 1.0
+        previous = nmos.drain_current(0.0, vds)
+        for i in range(1, 200):
+            vgs = i * 0.01
+            current = nmos.drain_current(vgs, vds)
+            assert current >= previous  # monotone
+            assert current < previous * 5.0 + 1e-15  # no decade jumps per 10 mV
+            previous = current
+
+    def test_on_off_ratio_is_large(self, nmos):
+        ratio = nmos.on_current(1.5) / nmos.off_current(1.5)
+        assert ratio > 1e4
+
+    def test_dibl_raises_off_current(self):
+        flat = Mosfet(MosfetParameters(dibl=0.0))
+        droop = Mosfet(MosfetParameters(dibl=0.1))
+        assert droop.off_current(1.5) > flat.off_current(1.5)
+
+    def test_vt_shift_moves_off_current_exponentially(self, nmos):
+        p = nmos.parameters
+        shift = -0.1  # lower V_T by 100 mV
+        ratio = nmos.off_current(1.0, vt_shift=shift) / nmos.off_current(1.0)
+        expected_decades = 0.1 / p.subthreshold_swing
+        assert math.log10(ratio) == pytest.approx(expected_decades, rel=1e-6)
+
+    def test_iv_curve_matches_pointwise(self, nmos):
+        sweep = [0.0, 0.25, 0.5, 1.0]
+        curve = nmos.iv_curve(sweep, vds=1.0)
+        assert curve == [nmos.drain_current(v, 1.0) for v in sweep]
+
+    def test_repr_mentions_key_facts(self, nmos):
+        text = repr(nmos)
+        assert "nmos" in text and "66" in text
+
+
+class TestCalibration:
+    def test_fit_off_current(self):
+        p = MosfetParameters(vt0=0.4)
+        fitted = fit_i_spec_for_off_current(p, 1e-12, vdd=1.0)
+        device = Mosfet(fitted)
+        assert device.off_current(1.0) == pytest.approx(1e-12, rel=1e-9)
+
+    def test_fit_on_current(self):
+        p = MosfetParameters(vt0=0.25)
+        fitted = fit_k_drive_for_on_current(p, 3.0e-4, vdd=1.0)
+        device = Mosfet(fitted)
+        assert device.on_current(1.0) == pytest.approx(3.0e-4, rel=1e-9)
+
+    def test_fit_on_current_rejects_target_below_floor(self):
+        p = MosfetParameters(vt0=0.05, i_spec=1e-5)
+        with pytest.raises(CalibrationError, match="floor"):
+            fit_k_drive_for_on_current(p, 1e-9, vdd=1.0)
+
+    def test_fit_on_current_rejects_device_that_never_turns_on(self):
+        p = MosfetParameters(vt0=1.8, dibl=0.0)
+        with pytest.raises(CalibrationError, match="turn on"):
+            fit_k_drive_for_on_current(p, 1e-4, vdd=1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-12])
+    def test_fit_rejects_nonpositive_targets(self, bad):
+        with pytest.raises(CalibrationError):
+            fit_i_spec_for_off_current(MosfetParameters(), bad, 1.0)
+        with pytest.raises(CalibrationError):
+            fit_k_drive_for_on_current(MosfetParameters(), bad, 1.0)

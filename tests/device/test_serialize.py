@@ -1,0 +1,73 @@
+"""Round-trip tests for technology serialization."""
+
+import json
+
+import pytest
+
+from repro.device.mosfet import Mosfet
+from repro.device.serialize import (
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.device.technology import (
+    bulk_cmos_06um,
+    mtcmos_technology,
+    soi_low_vt,
+    soias_technology,
+)
+from repro.errors import DeviceModelError
+
+ALL_CORNERS = [bulk_cmos_06um, soi_low_vt, soias_technology, mtcmos_technology]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_CORNERS)
+    def test_dict_round_trip_is_identical(self, factory):
+        original = factory()
+        recovered = technology_from_dict(technology_to_dict(original))
+        assert recovered == original
+
+    @pytest.mark.parametrize("factory", ALL_CORNERS)
+    def test_file_round_trip(self, factory, tmp_path):
+        original = factory()
+        path = tmp_path / "tech.json"
+        save_technology(original, str(path))
+        assert load_technology(str(path)) == original
+
+    def test_recovered_technology_is_functional(self, tmp_path):
+        path = tmp_path / "soias.json"
+        save_technology(soias_technology(), str(path))
+        recovered = load_technology(str(path))
+        assert recovered.is_back_gated
+        device = Mosfet(recovered.transistors.nmos)
+        assert device.on_current(1.0) > device.off_current(1.0)
+        assert recovered.back_gate.vt_at(3.0) == pytest.approx(0.184)
+
+    def test_mtcmos_sleep_pair_preserved(self, tmp_path):
+        path = tmp_path / "mt.json"
+        save_technology(mtcmos_technology(), str(path))
+        recovered = load_technology(str(path))
+        assert recovered.is_mtcmos
+        assert recovered.sleep_transistors.nmos.vt0 == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DeviceModelError, match="format"):
+            technology_from_dict({"format": "something-else"})
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DeviceModelError, match="malformed"):
+            load_technology(str(path))
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(soi_low_vt(), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["transistors"]["nmos"]["subthreshold_swing"] == (
+            pytest.approx(0.066)
+        )

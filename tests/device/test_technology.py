@@ -1,0 +1,128 @@
+"""Unit tests for the named technology corners."""
+
+import pytest
+
+from repro.device.mosfet import MosfetParameters
+from repro.device.technology import (
+    Technology,
+    TransistorPair,
+    bulk_cmos_06um,
+    mtcmos_technology,
+    soi_low_vt,
+    soias_technology,
+)
+from repro.errors import DeviceModelError
+
+
+class TestTransistorPair:
+    def test_polarity_enforced(self):
+        n = MosfetParameters(polarity="nmos")
+        with pytest.raises(DeviceModelError):
+            TransistorPair(nmos=n, pmos=n)
+
+    def test_with_vt0_defaults_pmos_to_nmos_value(self):
+        pair = soi_low_vt().transistors.with_vt0(0.3)
+        assert pair.nmos.vt0 == 0.3
+        assert pair.pmos.vt0 == 0.3
+
+    def test_with_vt0_separate_pmos(self):
+        pair = soi_low_vt().transistors.with_vt0(0.3, 0.35)
+        assert pair.pmos.vt0 == 0.35
+
+
+class TestTechnologyValidation:
+    def test_nominal_vdd_must_be_in_range(self):
+        with pytest.raises(DeviceModelError, match="nominal_vdd"):
+            Technology(
+                name="bad",
+                transistors=soi_low_vt().transistors,
+                nominal_vdd=5.0,
+                min_vdd=0.3,
+                max_vdd=2.0,
+            )
+
+    def test_back_gate_requires_swing(self):
+        base = soias_technology()
+        with pytest.raises(DeviceModelError, match="swing"):
+            Technology(
+                name="bad",
+                transistors=base.transistors,
+                back_gate=base.back_gate,
+                back_gate_swing=0.0,
+            )
+
+
+class TestCorners:
+    def test_bulk_is_3v_class(self):
+        tech = bulk_cmos_06um()
+        assert tech.nominal_vdd == pytest.approx(3.3)
+        assert tech.transistors.nmos.vt0 > 0.5
+        assert not tech.is_back_gated and not tech.is_mtcmos
+
+    def test_soi_low_vt_defaults(self):
+        tech = soi_low_vt()
+        assert tech.transistors.nmos.vt0 == pytest.approx(0.184)
+        assert tech.nominal_vdd == pytest.approx(1.0)
+
+    def test_pmos_is_weaker_than_nmos(self):
+        tech = soi_low_vt()
+        n = tech.nmos(1.0)
+        p = tech.pmos(1.0)
+        assert p.on_current(1.0) < n.on_current(1.0)
+
+    def test_soias_has_back_gate(self):
+        tech = soias_technology()
+        assert tech.is_back_gated
+        assert tech.back_gate_cap_f_per_um2 > 0.0
+        assert tech.back_gate_swing == pytest.approx(3.0)
+
+    def test_soias_active_vs_standby_vt(self):
+        tech = soias_technology()
+        assert tech.active_vt(3.0) < tech.standby_vt()
+        assert tech.standby_vt() == pytest.approx(0.448)
+
+    def test_soias_active_vt_defaults_to_full_drive(self):
+        tech = soias_technology()
+        full = tech.back_gate.vt_at(tech.back_gate.max_back_gate_bias)
+        assert tech.active_vt() == pytest.approx(full)
+
+    def test_mtcmos_pair(self):
+        tech = mtcmos_technology(low_vt=0.2, high_vt=0.5)
+        assert tech.is_mtcmos
+        assert tech.active_vt() == pytest.approx(0.2)
+        assert tech.standby_vt() == pytest.approx(0.5)
+        sleep = tech.sleep_nmos(10.0)
+        logic = tech.nmos(10.0)
+        assert sleep.off_current(1.0) < logic.off_current(1.0)
+
+    def test_mtcmos_requires_ordered_thresholds(self):
+        with pytest.raises(DeviceModelError, match="low_vt"):
+            mtcmos_technology(low_vt=0.5, high_vt=0.2)
+
+    def test_sleep_nmos_unavailable_on_plain_soi(self):
+        with pytest.raises(DeviceModelError, match="sleep"):
+            soi_low_vt().sleep_nmos(1.0)
+
+    def test_non_backgated_active_vt_is_vt0(self):
+        tech = soi_low_vt()
+        assert tech.active_vt() == pytest.approx(0.184)
+
+
+class TestDerivedCorners:
+    def test_with_vt_shifts_thresholds(self):
+        tech = soi_low_vt().with_vt(0.3)
+        assert tech.transistors.nmos.vt0 == pytest.approx(0.3)
+        assert "0.300" in tech.name
+
+    def test_with_vdd(self):
+        tech = soi_low_vt().with_vdd(0.8)
+        assert tech.nominal_vdd == pytest.approx(0.8)
+
+    def test_with_vdd_out_of_range_rejected(self):
+        with pytest.raises(DeviceModelError):
+            soi_low_vt().with_vdd(5.0)
+
+    def test_device_factories_use_width(self):
+        tech = soi_low_vt()
+        assert tech.nmos(3.0).width_um == 3.0
+        assert tech.pmos(6.0).width_um == 6.0

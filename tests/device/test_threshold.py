@@ -1,0 +1,148 @@
+"""Unit tests for body-bias and SOIAS back-gate threshold models."""
+
+import pytest
+
+from repro.device.threshold import (
+    BodyBiasModel,
+    SoiasBackGateModel,
+    soias_from_film_stack,
+)
+from repro.errors import DeviceModelError
+
+
+class TestBodyBiasModel:
+    def test_zero_bias_gives_vt0(self):
+        model = BodyBiasModel(vt0=0.45)
+        assert model.vt_at(0.0) == pytest.approx(0.45)
+
+    def test_reverse_bias_raises_vt(self):
+        model = BodyBiasModel(vt0=0.45)
+        assert model.vt_at(2.0) > 0.45
+
+    def test_forward_bias_lowers_vt(self):
+        model = BodyBiasModel(vt0=0.45, phi_f=0.35)
+        assert model.vt_at(-0.3) < 0.45
+
+    def test_square_root_shape(self):
+        # Doubling V_sb must give LESS than double the shift: the
+        # square-root weakness the paper calls out.
+        model = BodyBiasModel(vt0=0.45)
+        shift1 = model.vt_at(1.0) - model.vt_at(0.0)
+        shift2 = model.vt_at(2.0) - model.vt_at(0.0)
+        assert shift2 < 2.0 * shift1
+
+    def test_vsb_for_vt_round_trips(self):
+        model = BodyBiasModel(vt0=0.45)
+        target = 0.6
+        vsb = model.vsb_for_vt(target)
+        assert model.vt_at(vsb) == pytest.approx(target, rel=1e-9)
+
+    def test_unreachable_target_raises(self):
+        model = BodyBiasModel(vt0=0.45, gamma=0.2, max_reverse_bias=3.0)
+        with pytest.raises(DeviceModelError, match="beyond"):
+            model.vsb_for_vt(1.5)
+
+    def test_large_shift_needs_large_voltage(self):
+        # A few hundred mV of V_T shift costs volts of body bias.
+        model = BodyBiasModel(vt0=0.3, gamma=0.4, phi_f=0.35)
+        vsb = model.vsb_for_vt(0.6)
+        assert vsb > 1.5
+
+    def test_sensitivity_decreases_with_bias(self):
+        model = BodyBiasModel(vt0=0.45)
+        assert model.vt_sensitivity(2.0) < model.vt_sensitivity(0.0)
+
+    def test_excess_forward_bias_rejected(self):
+        model = BodyBiasModel(vt0=0.45, phi_f=0.35)
+        with pytest.raises(DeviceModelError, match="forward"):
+            model.vt_at(-1.0)
+
+    def test_excess_reverse_bias_rejected(self):
+        model = BodyBiasModel(vt0=0.45, max_reverse_bias=3.0)
+        with pytest.raises(DeviceModelError, match="exceeds"):
+            model.vt_at(4.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"gamma": 0.0}, {"phi_f": -0.1}, {"max_reverse_bias": 0.0}]
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(DeviceModelError):
+            BodyBiasModel(vt0=0.45, **kwargs)
+
+
+class TestSoiasBackGateModel:
+    def test_standby_threshold_at_zero_bias(self):
+        model = SoiasBackGateModel()
+        assert model.vt_at(0.0) == pytest.approx(model.vt_standby)
+
+    def test_linear_coupling(self):
+        model = SoiasBackGateModel(vt_standby=0.448, coupling=0.088)
+        shift1 = model.vt_at(0.0) - model.vt_at(1.0)
+        shift3 = model.vt_at(0.0) - model.vt_at(3.0)
+        assert shift3 == pytest.approx(3.0 * shift1, rel=1e-12)
+
+    def test_paper_fig6_operating_points(self):
+        # V_T = 0.448 V at V_gb = 0; ~0.184 V at 3 V forward drive.
+        model = SoiasBackGateModel(vt_standby=0.448, coupling=0.088)
+        assert model.vt_at(3.0) == pytest.approx(0.184, abs=1e-9)
+
+    def test_vgb_for_vt_round_trips(self):
+        model = SoiasBackGateModel()
+        vgb = model.vgb_for_vt(0.25)
+        assert model.vt_at(vgb) == pytest.approx(0.25, rel=1e-9)
+
+    def test_vt_shift_is_negative_for_forward_drive(self):
+        model = SoiasBackGateModel()
+        assert model.vt_shift_at(2.0) < 0.0
+
+    def test_active_floor(self):
+        model = SoiasBackGateModel(
+            vt_standby=0.448, coupling=0.088, max_back_gate_bias=4.0
+        )
+        assert model.vt_active_floor == pytest.approx(0.448 - 0.352)
+
+    def test_reverse_drive_rejected(self):
+        with pytest.raises(DeviceModelError, match="reverse"):
+            SoiasBackGateModel().vt_at(-0.5)
+
+    def test_excess_drive_rejected(self):
+        model = SoiasBackGateModel(max_back_gate_bias=3.0)
+        with pytest.raises(DeviceModelError, match="exceeds"):
+            model.vt_at(3.5)
+
+    @pytest.mark.parametrize("coupling", [0.0, 1.0, -0.1])
+    def test_invalid_coupling_rejected(self, coupling):
+        with pytest.raises(DeviceModelError, match="coupling"):
+            SoiasBackGateModel(coupling=coupling)
+
+
+class TestFilmStackDerivation:
+    def test_paper_stack_coupling_near_008(self):
+        model = soias_from_film_stack(
+            t_fox_nm=9.0, t_si_nm=40.5, t_box_nm=100.0
+        )
+        assert 0.06 < model.coupling < 0.1
+
+    def test_thicker_front_oxide_increases_coupling(self):
+        thin = soias_from_film_stack(t_fox_nm=6.0)
+        thick = soias_from_film_stack(t_fox_nm=12.0)
+        assert thick.coupling > thin.coupling
+
+    def test_thicker_buried_oxide_decreases_coupling(self):
+        shallow = soias_from_film_stack(t_box_nm=50.0)
+        deep = soias_from_film_stack(t_box_nm=200.0)
+        assert deep.coupling < shallow.coupling
+
+    def test_three_volts_of_drive_shifts_roughly_quarter_volt(self):
+        # Fig. 6: 3 V of back-gate drive moved V_T by ~264 mV.
+        model = soias_from_film_stack()
+        shift = model.vt_standby - model.vt_at(3.0)
+        assert 0.18 < shift < 0.30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"t_fox_nm": 0.0}, {"t_si_nm": -1.0}, {"t_box_nm": 0.0}],
+    )
+    def test_invalid_thicknesses_rejected(self, kwargs):
+        with pytest.raises(DeviceModelError):
+            soias_from_film_stack(**kwargs)

@@ -1,0 +1,213 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import DATA_BASE, assemble
+
+
+class TestBasicAssembly:
+    def test_minimal_program(self):
+        program = assemble("HALT")
+        assert program.size == 1
+        assert program.instructions[0].mnemonic == "HALT"
+
+    def test_labels_resolve_to_pcs(self):
+        program = assemble(
+            """
+            main: ADDI r1, r0, 1
+            loop: ADDI r1, r1, 1
+                  BNE r1, r0, loop
+                  HALT
+            """
+        )
+        assert program.labels["main"] == 0
+        assert program.labels["loop"] == 1
+        branch = program.instructions[2]
+        assert branch.operands[2] == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            """
+            # leading comment
+            ADDI r1, r0, 5   # trailing comment
+            ; semicolon comment
+            HALT
+            """
+        )
+        assert program.size == 2
+
+    def test_register_aliases(self):
+        program = assemble("ADDI sp, zero, 4\nJALR r0, ra, 0\nHALT")
+        assert program.instructions[0].operands[:2] == (30, 0)
+        assert program.instructions[1].operands[1] == 31
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("addi r1, r0, 1\nhalt")
+        assert program.instructions[0].mnemonic == "ADDI"
+
+    def test_hex_immediates(self):
+        program = assemble("ADDI r1, r0, 0x10\nHALT")
+        assert program.instructions[0].operands[2] == 16
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError, match="no instructions"):
+            assemble("# nothing here")
+
+
+class TestDataSegment:
+    def test_word_directive(self):
+        program = assemble(
+            """
+            .data
+            table: .word 10, 20, 0x1E
+            .text
+            HALT
+            """
+        )
+        base = program.labels["table"]
+        assert base == DATA_BASE
+        assert [program.data[base + i] for i in range(3)] == [10, 20, 30]
+
+    def test_space_directive_zero_fills(self):
+        program = assemble(
+            """
+            .data
+            buf: .space 4
+            .text
+            HALT
+            """
+        )
+        base = program.labels["buf"]
+        assert [program.data[base + i] for i in range(4)] == [0, 0, 0, 0]
+
+    def test_consecutive_data_labels(self):
+        program = assemble(
+            """
+            .data
+            a: .word 1, 2
+            b: .word 3
+            .text
+            HALT
+            """
+        )
+        assert program.labels["b"] == program.labels["a"] + 2
+
+    def test_negative_words_wrap(self):
+        program = assemble(".data\nx: .word -1\n.text\nHALT")
+        assert program.data[program.labels["x"]] == 0xFFFFFFFF
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblyError, match="instruction in .data"):
+            assemble(".data\nADDI r1, r0, 1\n.text\nHALT")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError, match="directive"):
+            assemble(".data\nx: .blob 3\n.text\nHALT")
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_single_addi(self):
+        program = assemble("LI r1, 100\nHALT")
+        assert program.size == 2
+        assert program.instructions[0].mnemonic == "ADDI"
+
+    def test_li_large_expands_to_pair(self):
+        program = assemble("LI r1, 0x12345\nHALT")
+        assert program.size == 3
+        assert program.instructions[0].mnemonic == "LUI"
+        assert program.instructions[1].mnemonic == "ORI"
+
+    def test_li_expansion_keeps_labels_consistent(self):
+        program = assemble(
+            """
+            LI r1, 0x12345
+            after: HALT
+            """
+        )
+        assert program.labels["after"] == 2
+
+    def test_la_always_pair(self):
+        program = assemble(
+            """
+            .data
+            x: .word 7
+            .text
+            LA r1, x
+            HALT
+            """
+        )
+        assert program.size == 3
+
+    def test_mov_not_subi(self):
+        program = assemble("MOV r1, r2\nNOT r3, r4\nSUBI r5, r6, 3\nHALT")
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == ["ADDI", "XORI", "ADDI", "HALT"]
+        assert program.instructions[1].operands[2] == -1
+        assert program.instructions[2].operands[2] == -3
+
+    def test_j_call_ret(self):
+        program = assemble(
+            """
+            main: J end
+            func: RET
+            end:  CALL func
+                  HALT
+            """
+        )
+        j, ret, call, _ = program.instructions
+        assert (j.mnemonic, j.operands[0]) == ("JAL", 0)
+        assert ret.mnemonic == "JALR"
+        assert (call.mnemonic, call.operands[0]) == ("JAL", 31)
+
+    def test_bgt_ble_swap_operands(self):
+        program = assemble(
+            """
+            loop: BGT r1, r2, loop
+                  BLE r3, r4, loop
+                  HALT
+            """
+        )
+        bgt, ble, _ = program.instructions
+        assert bgt.mnemonic == "BLT" and bgt.operands[:2] == (2, 1)
+        assert ble.mnemonic == "BGE" and ble.operands[:2] == (4, 3)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("FROB r1, r2, r3")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("ADDI r99, r0, 1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="usage"):
+            assemble("ADD r1, r2")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError, match="16-bit"):
+            assemble("ADDI r1, r0, 70000")
+
+    def test_unknown_branch_label(self):
+        with pytest.raises(AssemblyError, match="unknown label"):
+            assemble("BEQ r1, r2, nowhere\nHALT")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: NOP\nx: HALT")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="imm\\(rs\\)"):
+            assemble("LW r1, r2\nHALT")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("NOP\nNOP\nFROB r1\nHALT")
+
+    def test_entry_of_missing_label(self):
+        program = assemble("HALT")
+        assert program.entry() == 0  # "main" defaults to 0
+        with pytest.raises(AssemblyError, match="no label"):
+            program.entry("elsewhere")

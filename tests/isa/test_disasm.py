@@ -1,0 +1,112 @@
+"""Tests for the disassembler: round trips and listings."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_instruction, listing
+from repro.isa.machine import Machine
+from repro.isa.workloads import crc, idea, li_like
+
+
+def round_trip(source, name="p"):
+    original = assemble(source, name=name)
+    recovered = assemble(disassemble(original), name=name)
+    return original, recovered
+
+
+class TestInstructionForms:
+    def test_each_format_disassembles(self):
+        program = assemble(
+            """
+            .data
+            x: .word 7
+            .text
+            main: ADD r1, r2, r3
+            ADDI r4, r5, -6
+            LUI r7, 12
+            LW r8, 2(r9)
+            BEQ r1, r2, main
+            JAL r0, main
+            HALT
+            """
+        )
+        text = disassemble(program)
+        for token in ("ADD r1, r2, r3", "ADDI r4, r5, -6", "LUI r7, 12",
+                      "LW r8, 2(r9)", "BEQ", "JAL", "HALT"):
+            assert token in text
+
+    def test_branch_targets_use_labels(self):
+        program = assemble("loop: ADDI r1, r1, 1\nBNE r1, r0, loop\nHALT")
+        text = disassemble(program)
+        assert "loop" in text or "L0" in text
+
+    def test_unknown_labels_fall_back_to_pc(self):
+        program = assemble("BEQ r0, r0, 2\nNOP\nHALT")
+        rendered = disassemble_instruction(
+            program.instructions[0], {}
+        )
+        assert rendered.endswith(", 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "HALT",
+            "LI r1, 70000\nSLLI r2, r1, 3\nHALT",
+            """
+            .data
+            t: .word 1, 2, 3
+            .text
+            main: LA r1, t
+            LW r2, 0(r1)
+            MUL r3, r2, r2
+            SW r3, 1(r1)
+            HALT
+            """,
+        ],
+    )
+    def test_instruction_streams_identical(self, source):
+        original, recovered = round_trip(source)
+        assert len(original.instructions) == len(recovered.instructions)
+        for a, b in zip(original.instructions, recovered.instructions):
+            assert a.mnemonic == b.mnemonic
+            assert a.operands == b.operands
+
+    def test_data_segment_preserved(self):
+        original, recovered = round_trip(
+            ".data\nx: .word 5, 6\ny: .word 7\n.text\nHALT"
+        )
+        assert original.data == recovered.data
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            idea.build_program(idea.random_blocks(2)),
+            li_like.build_program(8, 4),
+            crc.build_program(4),
+        ],
+        ids=["idea", "li", "crc"],
+    )
+    def test_workloads_round_trip_and_run_identically(self, program):
+        recovered = assemble(disassemble(program), name=program.name)
+        m1, m2 = Machine(program), Machine(recovered)
+        m1.run()
+        m2.run()
+        assert m1.instructions_retired == m2.instructions_retired
+        assert m1.registers == m2.registers
+        assert m1.memory == m2.memory
+
+
+class TestListing:
+    def test_listing_shows_units(self):
+        program = assemble("MUL r1, r2, r3\nHALT")
+        text = listing(program)
+        assert "multiplier" in text
+        assert "; -" in text  # HALT uses nothing
+
+    def test_listing_numbers_every_instruction(self):
+        program = assemble("NOP\nNOP\nHALT")
+        lines = listing(program).strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].strip().startswith("0")

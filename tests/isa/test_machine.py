@@ -1,0 +1,226 @@
+"""Unit tests for the ISA interpreter."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+
+
+def run(source, max_instructions=100_000):
+    machine = Machine(assemble(source))
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        m = run("LI r1, 40\nLI r2, 2\nADD r3, r1, r2\nSUB r4, r1, r2\nHALT")
+        assert m.read_register(3) == 42
+        assert m.read_register(4) == 38
+
+    def test_wraparound_32bit(self):
+        m = run("LI r1, -1\nADDI r2, r1, 1\nHALT")
+        assert m.read_register(1) == 0xFFFFFFFF
+        assert m.read_register(2) == 0
+
+    def test_r0_is_hardwired_zero(self):
+        m = run("ADDI r0, r0, 5\nMOV r1, r0\nHALT")
+        assert m.read_register(0) == 0
+        assert m.read_register(1) == 0
+
+    def test_slt_signed_vs_unsigned(self):
+        m = run(
+            """
+            LI r1, -1
+            LI r2, 1
+            SLT r3, r1, r2      # -1 < 1 signed -> 1
+            SLTU r4, r1, r2     # 0xFFFFFFFF < 1 unsigned -> 0
+            HALT
+            """
+        )
+        assert m.read_register(3) == 1
+        assert m.read_register(4) == 0
+
+    def test_mul_and_mulhu(self):
+        m = run(
+            """
+            LI r1, 0x10000
+            LI r2, 0x10000
+            MUL r3, r1, r2      # low 32 bits of 2^32 = 0
+            MULHU r4, r1, r2    # high 32 bits = 1
+            HALT
+            """
+        )
+        assert m.read_register(3) == 0
+        assert m.read_register(4) == 1
+
+
+class TestShifts:
+    def test_logical_shifts(self):
+        m = run("LI r1, 0x80\nSLLI r2, r1, 4\nSRLI r3, r1, 3\nHALT")
+        assert m.read_register(2) == 0x800
+        assert m.read_register(3) == 0x10
+
+    def test_arithmetic_shift_sign_extends(self):
+        m = run("LI r1, -8\nSRAI r2, r1, 1\nSRLI r3, r1, 1\nHALT")
+        assert m.read_register(2) == 0xFFFFFFFC  # -4
+        assert m.read_register(3) == 0x7FFFFFFC
+
+    def test_register_shift_amount_masked(self):
+        m = run("LI r1, 1\nLI r2, 33\nSLL r3, r1, r2\nHALT")
+        assert m.read_register(3) == 2  # 33 & 31 == 1
+
+
+class TestLogic:
+    def test_bitwise_ops(self):
+        m = run(
+            """
+            LI r1, 0xF0F0
+            LI r2, 0x0FF0
+            AND r3, r1, r2
+            OR  r4, r1, r2
+            XOR r5, r1, r2
+            HALT
+            """
+        )
+        assert m.read_register(3) == 0x00F0
+        assert m.read_register(4) == 0xFFF0
+        assert m.read_register(5) == 0xFF00
+
+    def test_lui_ori_builds_32bit(self):
+        m = run("LUI r1, 0xDEAD\nORI r1, r1, 0xBEEF\nHALT")
+        assert m.read_register(1) == 0xDEADBEEF
+
+    def test_xori_negative_is_full_not(self):
+        m = run("LI r1, 0\nNOT r2, r1\nHALT")
+        assert m.read_register(2) == 0xFFFFFFFF
+
+
+class TestMemory:
+    def test_load_store(self):
+        m = run(
+            """
+            .data
+            cell: .word 99
+            .text
+            LA r1, cell
+            LW r2, 0(r1)
+            ADDI r2, r2, 1
+            SW r2, 0(r1)
+            LW r3, 0(r1)
+            HALT
+            """
+        )
+        assert m.read_register(3) == 100
+
+    def test_uninitialized_memory_reads_zero(self):
+        m = run("LI r1, 5000\nLW r2, 0(r1)\nHALT")
+        assert m.read_register(2) == 0
+
+    def test_memory_footprint_guard(self):
+        program = assemble(
+            """
+            LI r1, 0
+            loop: SW r1, 0(r1)
+            ADDI r1, r1, 1
+            J loop
+            """
+        )
+        machine = Machine(program, memory_limit_words=100)
+        with pytest.raises(MachineError, match="footprint"):
+            machine.run()
+
+
+class TestControlFlow:
+    def test_loop_terminates(self):
+        m = run(
+            """
+            LI r1, 10
+            LI r2, 0
+            loop: ADD r2, r2, r1
+            ADDI r1, r1, -1
+            BNE r1, zero, loop
+            HALT
+            """
+        )
+        assert m.read_register(2) == 55
+
+    def test_signed_branches(self):
+        m = run(
+            """
+            LI r1, -5
+            LI r2, 3
+            LI r3, 0
+            BLT r1, r2, taken
+            LI r3, 99
+            taken: HALT
+            """
+        )
+        assert m.read_register(3) == 0
+
+    def test_unsigned_branches(self):
+        m = run(
+            """
+            LI r1, -1      # 0xFFFFFFFF
+            LI r2, 1
+            LI r3, 0
+            BLTU r1, r2, taken   # not taken: 0xFFFFFFFF > 1 unsigned
+            LI r3, 42
+            taken: HALT
+            """
+        )
+        assert m.read_register(3) == 42
+
+    def test_call_and_return(self):
+        m = run(
+            """
+            main: LI r1, 5
+                  CALL double
+                  MOV r3, r2
+                  HALT
+            double: ADD r2, r1, r1
+                  RET
+            """
+        )
+        assert m.read_register(3) == 10
+
+    def test_jal_records_return_address(self):
+        m = run("main: JAL r5, target\ntarget: HALT")
+        assert m.read_register(5) == 1
+
+    def test_pc_out_of_range_traps(self):
+        program = assemble("NOP\nNOP")  # no HALT: runs off the end
+        machine = Machine(program)
+        with pytest.raises(MachineError, match="PC"):
+            machine.run()
+
+    def test_instruction_budget(self):
+        program = assemble("loop: J loop")
+        machine = Machine(program)
+        with pytest.raises(MachineError, match="budget"):
+            machine.run(max_instructions=1000)
+
+    def test_step_after_halt_rejected(self):
+        machine = Machine(assemble("HALT"))
+        machine.run()
+        with pytest.raises(MachineError, match="halted"):
+            machine.step()
+
+
+class TestInstrumentation:
+    def test_hook_sees_every_retired_instruction(self):
+        program = assemble("LI r1, 3\nloop: ADDI r1, r1, -1\nBNE r1, zero, loop\nHALT")
+        machine = Machine(program)
+        seen = []
+        machine.add_hook(lambda pc, instr: seen.append(instr.mnemonic))
+        machine.run()
+        assert seen.count("ADDI") == 1 + 3  # LI expansion + 3 loop decrements
+        assert seen.count("BNE") == 3
+        assert seen[-1] == "HALT"
+
+    def test_instructions_retired_counter(self):
+        machine = Machine(assemble("NOP\nNOP\nHALT"))
+        retired = machine.run()
+        assert retired == 3
+        assert machine.instructions_retired == 3

@@ -1,0 +1,102 @@
+"""Unit tests for gating policies (hysteresis on V_T control)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.policy import UnitTraceRecorder, apply_hysteresis
+
+
+def record(source):
+    machine = Machine(assemble(source))
+    recorder = UnitTraceRecorder()
+    machine.add_hook(recorder)
+    machine.run()
+    return recorder
+
+
+@pytest.fixture
+def bursty_recorder():
+    # adder x3, logic x2 (idle gap of 2 for the adder), adder x2, halt.
+    return record(
+        """
+        ADD r1, r0, r0
+        ADD r1, r0, r0
+        ADD r1, r0, r0
+        XOR r2, r1, r1
+        XOR r2, r1, r1
+        ADD r1, r0, r0
+        ADD r1, r0, r0
+        HALT
+        """
+    )
+
+
+class TestTraceRecorder:
+    def test_rle_trace(self, bursty_recorder):
+        trace = bursty_recorder.trace("adder")
+        assert trace == [(True, 3), (False, 2), (True, 2), (False, 1)]
+
+    def test_total_counts_all_instructions(self, bursty_recorder):
+        assert bursty_recorder.total == 8
+
+    def test_unknown_unit_rejected(self, bursty_recorder):
+        with pytest.raises(ProfileError, match="not recorded"):
+            bursty_recorder.trace("fpu")
+
+
+class TestHysteresis:
+    def test_zero_threshold_matches_plain_bga(self, bursty_recorder):
+        stats = bursty_recorder.gated_stats("adder", idle_threshold=0)
+        assert stats.uses == 5
+        assert stats.powered_cycles == 5
+        assert stats.toggles == 2
+        assert stats.bga == pytest.approx(2.0 / 8.0)
+
+    def test_threshold_bridges_short_gaps(self, bursty_recorder):
+        # Gap of 2 <= threshold 2: unit stays powered through it.
+        stats = bursty_recorder.gated_stats("adder", idle_threshold=2)
+        assert stats.toggles == 1
+        assert stats.powered_cycles == 5 + 2 + 1  # gap + final tail
+        # Wait: final idle run is length 1 <= threshold, also powered.
+        assert stats.bga == pytest.approx(1.0 / 8.0)
+
+    def test_threshold_one_does_not_bridge_gap_of_two(
+        self, bursty_recorder
+    ):
+        stats = bursty_recorder.gated_stats("adder", idle_threshold=1)
+        assert stats.toggles == 2
+        # One cycle of each idle window is spent powered.
+        assert stats.powered_cycles == 5 + 1 + 1
+
+    def test_powered_fraction_monotone_in_threshold(self, bursty_recorder):
+        fractions = [
+            bursty_recorder.gated_stats("adder", k).powered_fraction
+            for k in range(0, 5)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_bga_monotone_nonincreasing_in_threshold(self, bursty_recorder):
+        toggles = [
+            bursty_recorder.gated_stats("adder", k).bga
+            for k in range(0, 5)
+        ]
+        assert toggles == sorted(toggles, reverse=True)
+
+    def test_use_fraction_invariant(self, bursty_recorder):
+        for k in (0, 1, 3):
+            stats = bursty_recorder.gated_stats("adder", k)
+            assert stats.use_fraction == pytest.approx(5.0 / 8.0)
+
+    def test_never_used_unit(self, bursty_recorder):
+        stats = bursty_recorder.gated_stats("multiplier", idle_threshold=4)
+        assert stats.uses == 0
+        assert stats.toggles == 0
+        assert stats.powered_fraction == 0.0
+
+    def test_validation(self, bursty_recorder):
+        with pytest.raises(ProfileError):
+            bursty_recorder.gated_stats("adder", idle_threshold=-1)
+        with pytest.raises(ProfileError):
+            apply_hysteresis([(True, 1)], "adder", 0, 0)

@@ -1,0 +1,138 @@
+"""Unit tests for fga/bga extraction (the ATOM analogue)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import instruction_set
+from repro.isa.machine import Machine
+from repro.isa.profiler import AtomProfiler, profile_program
+
+
+class TestUnitAnnotations:
+    def test_paper_assumption_loads_use_adder(self):
+        specs = instruction_set()
+        assert "adder" in specs["LW"].units
+        assert "adder" in specs["SW"].units
+
+    def test_paper_assumption_compares_use_adder(self):
+        specs = instruction_set()
+        for branch in ("BEQ", "BNE", "BLT", "BGEU"):
+            assert "adder" in specs[branch].units
+
+    def test_shift_and_multiply_units(self):
+        specs = instruction_set()
+        assert specs["SLLI"].units == frozenset({"shifter"})
+        assert specs["MUL"].units == frozenset({"multiplier"})
+
+    def test_halt_uses_nothing(self):
+        assert instruction_set()["HALT"].units == frozenset()
+
+
+class TestCounting:
+    def test_fga_is_use_fraction(self):
+        # 4 adds + 1 halt: adder fga = 4/5.
+        program = assemble("ADD r1, r0, r0\n" * 4 + "HALT")
+        profile = profile_program(program)
+        assert profile.fga("adder") == pytest.approx(4.0 / 5.0)
+
+    def test_bga_counts_runs_not_uses(self):
+        # add add add (one run) shift add add (second run) halt
+        program = assemble(
+            """
+            ADD r1, r0, r0
+            ADD r1, r0, r0
+            ADD r1, r0, r0
+            SLLI r2, r1, 1
+            ADD r1, r0, r0
+            ADD r1, r0, r0
+            HALT
+            """
+        )
+        profile = profile_program(program)
+        adder = profile.stats("adder")
+        assert adder.uses == 5
+        assert adder.runs == 2
+        assert adder.bga == pytest.approx(2.0 / 7.0)
+
+    def test_sequential_uses_give_minimal_bga(self):
+        # The paper: "if all the uses of a block were sequential, bga
+        # would be 1/total".
+        program = assemble("ADD r1, r0, r0\n" * 9 + "HALT")
+        profile = profile_program(program)
+        assert profile.bga("adder") == pytest.approx(1.0 / 10.0)
+
+    def test_bga_never_exceeds_fga(self):
+        program = assemble(
+            """
+            LI r1, 50
+            loop: SLLI r2, r1, 1
+            MUL r3, r2, r2
+            ADDI r1, r1, -1
+            BNE r1, zero, loop
+            HALT
+            """
+        )
+        profile = profile_program(program)
+        for unit in ("adder", "shifter", "multiplier"):
+            assert profile.bga(unit) <= profile.fga(unit)
+
+    def test_mean_run_length(self):
+        program = assemble("ADD r1, r0, r0\n" * 6 + "HALT")
+        stats = profile_program(program).stats("adder")
+        assert stats.mean_run_length == pytest.approx(6.0)
+
+    def test_unused_unit_zero(self):
+        profile = profile_program(assemble("NOP\nHALT"))
+        assert profile.fga("multiplier") == 0.0
+        assert profile.stats("multiplier").mean_run_length == 0.0
+
+    def test_unknown_unit_rejected(self):
+        profile = profile_program(assemble("HALT"))
+        with pytest.raises(ProfileError, match="unknown unit"):
+            profile.fga("fpu")
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ProfileError, match="no instructions"):
+            AtomProfiler().profile("empty")
+
+
+class TestDutyCycleScaling:
+    def test_scaling_divides_activities(self):
+        program = assemble("ADD r1, r0, r0\n" * 4 + "HALT")
+        profile = profile_program(program)
+        scaled = profile.scaled_by_duty_cycle(0.2)
+        assert scaled.fga("adder") == pytest.approx(
+            profile.fga("adder") * 0.2, rel=1e-6
+        )
+        assert scaled.bga("adder") == pytest.approx(
+            profile.bga("adder") * 0.2, rel=1e-6
+        )
+
+    def test_uses_and_runs_preserved(self):
+        program = assemble("ADD r1, r0, r0\nHALT")
+        scaled = profile_program(program).scaled_by_duty_cycle(0.5)
+        assert scaled.stats("adder").uses == 1
+
+    def test_full_duty_is_identity(self):
+        program = assemble("ADD r1, r0, r0\nHALT")
+        profile = profile_program(program)
+        same = profile.scaled_by_duty_cycle(1.0)
+        assert same.fga("adder") == pytest.approx(profile.fga("adder"))
+
+    @pytest.mark.parametrize("duty", [0.0, -0.5, 1.5])
+    def test_invalid_duty_rejected(self, duty):
+        profile = profile_program(assemble("HALT\n"))
+        with pytest.raises(ProfileError, match="duty"):
+            profile.scaled_by_duty_cycle(duty)
+
+
+class TestProfileProgramHelper:
+    def test_accepts_preconfigured_machine(self):
+        program = assemble("ADD r1, r0, r0\nHALT")
+        machine = Machine(program)
+        extra = []
+        machine.add_hook(lambda pc, instr: extra.append(pc))
+        profile = profile_program(program, machine=machine)
+        assert profile.total_instructions == 2
+        assert len(extra) == 2

@@ -1,0 +1,331 @@
+"""Workload correctness (vs Python references) and profile shapes.
+
+The profile-shape tests are the Table 1-3 acceptance criteria: each
+workload's functional-unit mix must match its SPEC counterpart's
+qualitative signature.
+"""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.machine import Machine
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import (
+    crc,
+    espresso_like,
+    fir,
+    idea,
+    li_like,
+    matmul,
+    sort,
+)
+
+
+def run(program):
+    machine = Machine(program)
+    machine.run()
+    return machine
+
+
+class TestIdeaReference:
+    def test_published_test_vector(self):
+        # The canonical IDEA vector: K = 0001..0008, PT = 0000 0001
+        # 0002 0003 -> CT = 11FB ED2B 0198 6DE5.
+        assert idea.encrypt_block((0, 1, 2, 3), (1, 2, 3, 4, 5, 6, 7, 8)) == (
+            0x11FB, 0xED2B, 0x0198, 0x6DE5,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_encrypt_decrypt_round_trip(self, seed):
+        for block in idea.random_blocks(8, seed=seed):
+            assert idea.decrypt_block(idea.encrypt_block(block)) == block
+
+    def test_mul_mod_group_properties(self):
+        # 0 encodes 2^16; the group is Z*_65537.
+        assert idea.mul_mod(1, 1) == 1
+        assert idea.mul_mod(0, 1) == 0  # 65536 * 1 = 65536 -> encoded 0
+        assert idea.mul_mod(0, 0) == 1  # (-1) * (-1) = 1 mod 65537
+        assert idea.mul_mod(2, 32768) == 0  # 65536
+
+    def test_key_schedule_length_and_first_words(self):
+        subkeys = idea.key_schedule((1, 2, 3, 4, 5, 6, 7, 8))
+        assert len(subkeys) == 52
+        assert subkeys[:8] == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_key_schedule_rotation(self):
+        # Ninth subkey comes from the 25-bit-rotated key.
+        subkeys = idea.key_schedule((1, 2, 3, 4, 5, 6, 7, 8))
+        key = 0
+        for word in (1, 2, 3, 4, 5, 6, 7, 8):
+            key = (key << 16) | word
+        rotated = ((key << 25) | (key >> 103)) & ((1 << 128) - 1)
+        assert subkeys[8] == (rotated >> 112) & 0xFFFF
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(AssemblyError):
+            idea.key_schedule((1, 2, 3))
+        with pytest.raises(AssemblyError):
+            idea.key_schedule((1, 2, 3, 4, 5, 6, 7, 1 << 17))
+
+
+class TestIdeaAssembly:
+    def test_assembly_matches_reference(self):
+        blocks = idea.random_blocks(4, seed=9)
+        program = idea.build_program(blocks)
+        machine = run(program)
+        assert idea.read_ciphertext(machine, program, 4) == [
+            idea.encrypt_block(b) for b in blocks
+        ]
+
+    def test_assembly_handles_zero_words(self):
+        # 0 encodes 2^16 in the multiply; exercise that path.
+        blocks = [(0, 0, 0, 0), (0xFFFF, 0, 1, 0)]
+        program = idea.build_program(blocks)
+        machine = run(program)
+        assert idea.read_ciphertext(machine, program, 2) == [
+            idea.encrypt_block(b) for b in blocks
+        ]
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(AssemblyError):
+            idea.source([])
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(AssemblyError):
+            idea.source([(1, 2, 3)])
+
+
+class TestEspressoKernel:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_assembly_matches_reference(self, seed):
+        n_cubes, n_vars = 32, 8
+        cover = espresso_like.random_cover(n_cubes, n_vars, seed)
+        program = espresso_like.build_program(n_cubes, n_vars, seed)
+        machine = run(program)
+        got_cover, got_literals = espresso_like.read_results(
+            machine, program, n_cubes
+        )
+        ref_cover, ref_literals = espresso_like.reference_kernel(
+            cover, n_vars
+        )
+        assert got_cover == ref_cover
+        assert got_literals == ref_literals
+
+    def test_containment_removes_specific_cubes(self):
+        # A full don't-care cube contains everything.
+        n_vars = 3
+        dc = 0b111111
+        cover = [dc, 0b111001, 0b011011]
+        result, _ = espresso_like.reference_kernel(cover, n_vars)
+        assert result == [dc, 0, 0]
+
+    def test_distance_one_merge(self):
+        # x1 and !x1 (other vars don't-care) merge into don't-care.
+        n_vars = 2
+        a = 0b11_10  # var0 = true, var1 = dc
+        b = 0b11_01  # var0 = complement, var1 = dc
+        result, _ = espresso_like.reference_kernel([a, b], n_vars)
+        assert result == [0b11_11, 0]
+
+    def test_duplicates_deduped(self):
+        cover = [0b1110, 0b1110]
+        result, _ = espresso_like.reference_kernel(cover, 2)
+        assert result == [0b1110, 0]
+
+    def test_cover_validation(self):
+        with pytest.raises(AssemblyError):
+            espresso_like.random_cover(1, 4)
+        with pytest.raises(AssemblyError):
+            espresso_like.random_cover(8, 20)
+
+
+class TestLiKernel:
+    @pytest.mark.parametrize("n,lookups", [(10, 5), (64, 40), (1, 1)])
+    def test_assembly_matches_reference(self, n, lookups):
+        program = li_like.build_program(n, lookups)
+        machine = run(program)
+        assert li_like.read_results(machine, program) == (
+            li_like.reference_kernel(n, lookups)
+        )
+
+    def test_reference_sum(self):
+        total, _ = li_like.reference_kernel(100, 1)
+        assert total == 5050
+
+    def test_parameters_validated(self):
+        with pytest.raises(AssemblyError):
+            li_like.source(0, 1)
+        with pytest.raises(AssemblyError):
+            li_like.source(1, 0)
+
+
+class TestFirKernel:
+    def test_assembly_matches_reference(self):
+        program, samples, taps = fir.build_program(40, seed=5)
+        machine = run(program)
+        assert fir.read_outputs(machine, program, 40) == (
+            fir.reference_filter(samples, taps)
+        )
+
+    def test_impulse_response_recovers_taps(self):
+        taps = [3, 7, 11]
+        outputs = fir.reference_filter([1, 0, 0, 0], taps)
+        assert outputs == [3, 7, 11, 0]
+
+
+class TestCrcKernel:
+    def test_assembly_matches_reference(self):
+        message = crc.random_message(12, seed=8)
+        program = crc.build_program(12, seed=8)
+        machine = run(program)
+        assert crc.read_crc(machine, program) == crc.reference_crc(message)
+
+    def test_known_value_of_zero_word(self):
+        # CRC-32 of a single zero word: xor-in/out only path.
+        value = crc.reference_crc([0])
+        assert value == crc.reference_crc([0])  # deterministic
+        assert value != 0
+
+    def test_different_messages_differ(self):
+        assert crc.reference_crc([1]) != crc.reference_crc([2])
+
+
+class TestSortKernel:
+    @pytest.mark.parametrize("count,seed", [(1, 0), (2, 1), (17, 2), (64, 3)])
+    def test_assembly_sorts_correctly(self, count, seed):
+        values = sort.random_values(count, seed)
+        program = sort.build_program(count, seed)
+        machine = run(program)
+        assert sort.read_sorted(machine, program, count) == sorted(values)
+
+    def test_duplicates_and_presorted_inputs(self):
+        from repro.isa.assembler import assemble
+
+        for values in ([5, 5, 5, 5], [1, 2, 3, 4, 5], [5, 4, 3, 2, 1]):
+            program = assemble(sort.source(values), name="sort")
+            machine = run(program)
+            assert sort.read_sorted(
+                machine, program, len(values)
+            ) == sorted(values)
+
+    def test_recursion_uses_the_stack(self):
+        program = sort.build_program(32, seed=4)
+        machine = Machine(program)
+        machine.run()
+        # Stack frames were written below STACK_TOP.
+        touched = [
+            address
+            for address in machine.memory
+            if program.labels["array"] + 32 <= address < sort.STACK_TOP
+        ]
+        assert touched
+
+    def test_profile_is_add_and_memory_heavy(self):
+        profile = profile_program(sort.build_program(48, seed=5))
+        assert profile.fga("adder") > 0.6
+        assert profile.fga("memory") > 0.15
+        assert profile.fga("multiplier") == 0.0
+        assert profile.fga("shifter") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AssemblyError):
+            sort.source([])
+        with pytest.raises(AssemblyError):
+            sort.source([-1])
+        with pytest.raises(AssemblyError):
+            sort.random_values(0)
+
+
+class TestMatmulKernel:
+    @pytest.mark.parametrize("n,seed", [(4, 0), (8, 1)])
+    def test_assembly_matches_reference(self, n, seed):
+        a = matmul.random_matrix(n, seed)
+        b = matmul.random_matrix(n, seed + 1)
+        program = matmul.build_program(n, seed)
+        machine = run(program)
+        assert matmul.read_result(machine, program, n) == (
+            matmul.reference_matmul(a, b, n)
+        )
+
+    def test_identity_matrix(self):
+        from repro.isa.assembler import assemble
+
+        n = 4
+        identity = [
+            1 if i == j else 0 for i in range(n) for j in range(n)
+        ]
+        other = matmul.random_matrix(n, seed=3)
+        program = assemble(matmul.source(identity, other, n), name="mm")
+        machine = run(program)
+        assert matmul.read_result(machine, program, n) == other
+
+    def test_multiplier_runs_of_four(self):
+        profile = profile_program(matmul.build_program(8))
+        stats = profile.stats("multiplier")
+        assert stats.mean_run_length == pytest.approx(4.0)
+        assert stats.bga == pytest.approx(stats.fga / 4.0)
+
+    def test_clustered_multiplies_beat_idea_on_bga(self):
+        # The run-length contrast: IDEA's multiplier toggles per use,
+        # matmul's amortizes a power-up over four.
+        matmul_profile = profile_program(matmul.build_program(8))
+        idea_profile = profile_program(
+            idea.build_program(idea.random_blocks(4))
+        )
+        matmul_ratio = matmul_profile.bga("multiplier") / (
+            matmul_profile.fga("multiplier")
+        )
+        idea_ratio = idea_profile.bga("multiplier") / (
+            idea_profile.fga("multiplier")
+        )
+        assert matmul_ratio < 0.5 * idea_ratio
+
+    def test_size_validation(self):
+        with pytest.raises(AssemblyError):
+            matmul.source([1], [1], 1)
+        with pytest.raises(AssemblyError):
+            matmul.source([0] * 36, [0] * 36, 6)  # not a multiple of 4
+        with pytest.raises(AssemblyError):
+            matmul.reference_matmul([1, 2], [3, 4], 4)
+
+
+class TestProfileShapes:
+    """The Tables 1-3 acceptance criteria."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return {
+            "espresso": profile_program(espresso_like.build_program()),
+            "li": profile_program(li_like.build_program()),
+            "idea": profile_program(
+                idea.build_program(idea.random_blocks(8))
+            ),
+        }
+
+    def test_idea_is_the_multiplier_workload(self, profiles):
+        idea_mult = profiles["idea"].fga("multiplier")
+        assert idea_mult > 0.03
+        assert profiles["espresso"].fga("multiplier") == 0.0
+        assert profiles["li"].fga("multiplier") == 0.0
+
+    def test_espresso_is_shift_heavy(self, profiles):
+        assert profiles["espresso"].fga("shifter") > 0.05
+        assert (
+            profiles["espresso"].fga("shifter")
+            > profiles["li"].fga("shifter")
+        )
+
+    def test_li_is_add_heavy_with_no_shifts(self, profiles):
+        assert profiles["li"].fga("adder") > 0.5
+        assert profiles["li"].fga("shifter") == 0.0
+
+    def test_adder_bga_well_below_fga(self, profiles):
+        # Adder uses cluster into long runs in all three workloads.
+        for profile in profiles.values():
+            adder = profile.stats("adder")
+            assert adder.bga < 0.7 * adder.fga
+
+    def test_bga_bounded_by_fga_everywhere(self, profiles):
+        for profile in profiles.values():
+            for unit in ("adder", "shifter", "multiplier", "logic"):
+                assert profile.bga(unit) <= profile.fga(unit) + 1e-12

@@ -1,0 +1,109 @@
+"""Unit tests for the Section 2 power components."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.power.components import (
+    PowerBreakdown,
+    leakage_power,
+    short_circuit_power_veendrick,
+    switching_power,
+)
+
+
+class TestSwitchingPower:
+    def test_eq1_formula(self):
+        # P = alpha * C * V^2 * f
+        assert switching_power(0.5, 100e-15, 2.0, 1e6) == pytest.approx(
+            0.5 * 100e-15 * 4.0 * 1e6
+        )
+
+    def test_quadratic_in_vdd(self):
+        p1 = switching_power(1.0, 1e-12, 1.0, 1e6)
+        p3 = switching_power(1.0, 1e-12, 3.0, 1e6)
+        assert p3 / p1 == pytest.approx(9.0)
+
+    def test_glitchy_alpha_above_one_allowed(self):
+        assert switching_power(1.5, 1e-12, 1.0, 1e6) > 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(AnalysisError, match="alpha"):
+            switching_power(-0.1, 1e-12, 1.0, 1e6)
+
+    def test_nonpositive_operating_point_rejected(self):
+        with pytest.raises(AnalysisError):
+            switching_power(0.5, 1e-12, 0.0, 1e6)
+        with pytest.raises(AnalysisError):
+            switching_power(0.5, 1e-12, 1.0, 0.0)
+
+
+class TestLeakagePower:
+    def test_formula(self):
+        assert leakage_power(1e-9, 1.5) == pytest.approx(1.5e-9)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(AnalysisError):
+            leakage_power(-1e-9, 1.0)
+
+
+class TestShortCircuitPower:
+    def test_zero_without_rail_overlap(self):
+        # V_DD < V_Tn + |V_Tp|: both devices never conduct at once.
+        assert (
+            short_circuit_power_veendrick(
+                1e-4, 0.5, 0.3, 0.3, 1e-9, 1e6
+            )
+            == 0.0
+        )
+
+    def test_cubic_in_overlap(self):
+        p1 = short_circuit_power_veendrick(1e-4, 1.0, 0.2, 0.2, 1e-9, 1e6)
+        # Same overlap achieved with double vdd and huge thresholds to
+        # isolate the 1/vdd factor is messy; instead scale thresholds.
+        p2 = short_circuit_power_veendrick(1e-4, 1.4, 0.1, 0.1, 1e-9, 1e6)
+        overlap1, overlap2 = 0.6, 1.2
+        expected = (overlap2 / overlap1) ** 3 * (1.0 / 1.4)
+        assert p2 / p1 == pytest.approx(expected)
+
+    def test_linear_in_transition_time(self):
+        slow = short_circuit_power_veendrick(1e-4, 1.0, 0.2, 0.2, 2e-9, 1e6)
+        fast = short_circuit_power_veendrick(1e-4, 1.0, 0.2, 0.2, 1e-9, 1e6)
+        assert slow == pytest.approx(2.0 * fast)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            short_circuit_power_veendrick(1e-4, 1.0, 0.2, 0.2, -1e-9, 1e6)
+        with pytest.raises(AnalysisError):
+            short_circuit_power_veendrick(
+                1e-4, 1.0, 0.2, 0.2, 1e-9, 1e6, transitions_per_cycle=-1.0
+            )
+
+
+class TestPowerBreakdown:
+    def test_total_and_fractions(self):
+        breakdown = PowerBreakdown(6.0, 1.0, 3.0)
+        assert breakdown.total_w == pytest.approx(10.0)
+        assert breakdown.fraction("switching") == pytest.approx(0.6)
+        assert breakdown.fraction("leakage") == pytest.approx(0.3)
+
+    def test_zero_total_fraction(self):
+        breakdown = PowerBreakdown(0.0, 0.0, 0.0)
+        assert breakdown.fraction("switching") == 0.0
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown component"):
+            PowerBreakdown(1.0, 0.0, 0.0).fraction("magic")
+
+    def test_addition_and_scaling(self):
+        a = PowerBreakdown(1.0, 0.5, 0.25)
+        b = PowerBreakdown(2.0, 0.5, 0.75)
+        combined = a + b
+        assert combined.switching_w == pytest.approx(3.0)
+        assert combined.total_w == pytest.approx(5.0)
+        assert a.scaled(2.0).leakage_w == pytest.approx(0.5)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(AnalysisError):
+            PowerBreakdown(-1.0, 0.0, 0.0)
+        with pytest.raises(AnalysisError):
+            PowerBreakdown(1.0, 0.0, 0.0).scaled(-1.0)

@@ -1,0 +1,137 @@
+"""Unit tests for MTCMOS sleep-transistor sizing."""
+
+import pytest
+
+from repro.circuits.builders import ripple_carry_adder
+from repro.device.technology import mtcmos_technology, soi_low_vt
+from repro.errors import OptimizationError
+from repro.power.energy import ModuleEnergyParameters, e_soias, e_soias_gated
+from repro.power.mtcmos import SleepTransistorSizer, estimate_peak_current
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return mtcmos_technology()
+
+
+@pytest.fixture(scope="module")
+def sizer(tech):
+    return SleepTransistorSizer(
+        tech, peak_current_a=3e-3, vdd=1.0, logic_width_um=500.0
+    )
+
+
+class TestPeakCurrent:
+    def test_positive_and_scales_with_netlist(self, tech):
+        small = estimate_peak_current(ripple_carry_adder(4), tech, 1.0)
+        large = estimate_peak_current(ripple_carry_adder(16), tech, 1.0)
+        assert 0.0 < small < large
+
+    def test_simultaneity_scales_linearly(self, tech):
+        adder = ripple_carry_adder(8)
+        half = estimate_peak_current(adder, tech, 1.0, simultaneity=0.1)
+        full = estimate_peak_current(adder, tech, 1.0, simultaneity=0.2)
+        assert full == pytest.approx(2.0 * half)
+
+    def test_validation(self, tech):
+        with pytest.raises(OptimizationError):
+            estimate_peak_current(
+                ripple_carry_adder(4), tech, 1.0, simultaneity=0.0
+            )
+
+
+class TestElectricalPieces:
+    def test_droop_inverse_in_width(self, sizer):
+        assert sizer.virtual_rail_droop(200.0) == pytest.approx(
+            0.5 * sizer.virtual_rail_droop(100.0)
+        )
+
+    def test_delay_penalty_decreases_with_width(self, sizer):
+        penalties = [
+            sizer.delay_penalty(w) for w in (50.0, 100.0, 400.0, 1600.0)
+        ]
+        assert penalties == sorted(penalties, reverse=True)
+        assert penalties[-1] > 0.0
+
+    def test_huge_droop_gives_infinite_penalty(self, sizer):
+        assert sizer.delay_penalty(0.1) == float("inf")
+
+    def test_standby_leakage_linear_in_width(self, sizer):
+        assert sizer.standby_leakage(200.0) == pytest.approx(
+            2.0 * sizer.standby_leakage(100.0)
+        )
+
+    def test_sleep_device_leaks_far_less_than_logic(self, sizer, tech):
+        # The whole point: high-V_T sleep off-current << low-V_T logic.
+        logic_leak = tech.nmos(100.0).off_current(1.0)
+        assert sizer.standby_leakage(100.0) < logic_leak / 100.0
+
+
+class TestSizing:
+    def test_meets_penalty_budget(self, sizer):
+        solution = sizer.size_for_penalty(0.05)
+        assert solution.delay_penalty <= 0.05 * 1.001
+
+    def test_tighter_budget_needs_wider_device(self, sizer):
+        tight = sizer.size_for_penalty(0.02)
+        loose = sizer.size_for_penalty(0.10)
+        assert tight.sleep_width_um > loose.sleep_width_um
+        assert tight.standby_leakage_a > loose.standby_leakage_a
+
+    def test_area_overhead_reported(self, sizer):
+        solution = sizer.size_for_penalty(0.05)
+        assert solution.area_overhead_fraction == pytest.approx(
+            solution.sleep_width_um / 500.0
+        )
+
+    def test_control_capacitance_positive(self, sizer):
+        assert sizer.size_for_penalty(0.05).sleep_gate_capacitance_f > 0.0
+
+    def test_impossible_budget_rejected(self, sizer):
+        with pytest.raises(OptimizationError, match="penalty"):
+            sizer.size_for_penalty(1e-9, width_bounds_um=(0.5, 10.0))
+
+    def test_non_mtcmos_technology_rejected(self):
+        with pytest.raises(OptimizationError, match="sleep"):
+            SleepTransistorSizer(soi_low_vt(), 1e-3, 1.0)
+
+    def test_bad_parameters_rejected(self, tech):
+        with pytest.raises(OptimizationError):
+            SleepTransistorSizer(tech, 0.0, 1.0)
+        with pytest.raises(OptimizationError):
+            SleepTransistorSizer(tech, 1e-3, 1.0).size_for_penalty(0.0)
+
+
+class TestGatedEnergyModel:
+    @pytest.fixture
+    def module(self):
+        return ModuleEnergyParameters(
+            name="adder",
+            switched_capacitance_f=300e-15,
+            leakage_low_vt_a=5e-7,
+            leakage_high_vt_a=1e-10,
+            back_gate_capacitance_f=250e-15,
+            back_gate_swing_v=3.0,
+        )
+
+    def test_reduces_to_eq4_without_hysteresis(self, module):
+        gated = e_soias_gated(module, 0.3, 0.3, 0.05, 1.0, 1e-6)
+        plain = e_soias(module, 0.3, 0.05, 1.0, 1e-6)
+        assert gated == pytest.approx(plain)
+
+    def test_keep_alive_adds_leakage(self, module):
+        lazy = e_soias_gated(module, 0.3, 0.6, 0.01, 1.0, 1e-6)
+        eager = e_soias_gated(module, 0.3, 0.3, 0.01, 1.0, 1e-6)
+        assert lazy > eager
+
+    def test_hysteresis_can_win_when_toggles_are_expensive(self, module):
+        # Expensive control, cheap leakage: merging gaps pays off.
+        eager = e_soias_gated(module, 0.3, 0.3, 0.10, 1.0, 1e-8)
+        lazy = e_soias_gated(module, 0.3, 0.5, 0.01, 1.0, 1e-8)
+        assert lazy < eager
+
+    def test_powered_fraction_bounds_enforced(self, module):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="powered_fraction"):
+            e_soias_gated(module, 0.5, 0.4, 0.1, 1.0, 1e-6)

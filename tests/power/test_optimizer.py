@@ -1,0 +1,228 @@
+"""Unit tests for the fixed-throughput optimizer (Figs. 3-4 machinery)."""
+
+import pytest
+
+from repro.device.technology import soi_low_vt
+from repro.errors import OptimizationError
+from repro.power.optimizer import FixedThroughputOptimizer, RingOscillatorModel
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return RingOscillatorModel(soi_low_vt(), stages=101)
+
+
+@pytest.fixture(scope="module")
+def target(ring):
+    # A mid-range delay target: achievable over a wide V_T span.
+    return 2.0 * ring.stage_delay(1.0, 0.2)
+
+
+@pytest.fixture(scope="module")
+def optimizer(ring):
+    return FixedThroughputOptimizer(ring, cycle_stages=202)
+
+
+class TestRingModel:
+    def test_stage_delay_falls_with_vdd(self, ring):
+        delays = [ring.stage_delay(0.4 + 0.2 * i, 0.2) for i in range(6)]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_stage_delay_rises_with_vt(self, ring):
+        assert ring.stage_delay(0.8, 0.3) > ring.stage_delay(0.8, 0.1)
+
+    def test_oscillation_period(self, ring):
+        assert ring.oscillation_period(1.0, 0.2) == pytest.approx(
+            2 * 101 * ring.stage_delay(1.0, 0.2)
+        )
+
+    def test_even_stage_count_rejected(self):
+        with pytest.raises(OptimizationError):
+            RingOscillatorModel(soi_low_vt(), stages=100)
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(OptimizationError):
+            RingOscillatorModel(soi_low_vt(), activity=0.0)
+
+
+class TestVddSolve:
+    def test_solution_hits_target(self, ring, target):
+        vdd = ring.solve_vdd_for_delay(target, vt=0.2)
+        assert ring.stage_delay(vdd, 0.2) == pytest.approx(target, rel=1e-6)
+
+    def test_fig3_vdd_falls_with_vt(self, ring, target):
+        # The headline of Fig. 3: lower V_T allows lower V_DD at fixed
+        # performance.
+        vdds = [
+            ring.solve_vdd_for_delay(target, vt)
+            for vt in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert vdds == sorted(vdds)
+
+    def test_fig3_slower_target_needs_less_vdd(self, ring, target):
+        fast = ring.solve_vdd_for_delay(target, 0.25)
+        slow = ring.solve_vdd_for_delay(2.0 * target, 0.25)
+        assert slow < fast
+
+    def test_unreachable_fast_target(self, ring):
+        with pytest.raises(OptimizationError, match="unreachable"):
+            ring.solve_vdd_for_delay(1e-15, vt=0.4)
+
+    def test_unreachable_slow_target(self, ring):
+        with pytest.raises(OptimizationError, match="unreachable"):
+            ring.solve_vdd_for_delay(1.0, vt=0.05)
+
+    def test_bad_bounds_rejected(self, ring, target):
+        with pytest.raises(OptimizationError, match="bounds"):
+            ring.solve_vdd_for_delay(target, 0.2, vdd_bounds=(1.0, 0.5))
+
+
+class TestEnergyModel:
+    def test_energy_components_positive(self, ring):
+        point = ring.energy_per_cycle(0.8, 0.2, 1e-8)
+        assert point.switching_energy_j > 0.0
+        assert point.leakage_energy_j > 0.0
+        assert point.energy_per_cycle_j == pytest.approx(
+            point.switching_energy_j + point.leakage_energy_j
+        )
+
+    def test_leakage_scales_with_cycle_time(self, ring):
+        short = ring.energy_per_cycle(0.8, 0.2, 1e-9)
+        long = ring.energy_per_cycle(0.8, 0.2, 1e-6)
+        assert long.leakage_energy_j == pytest.approx(
+            1000.0 * short.leakage_energy_j
+        )
+        assert long.switching_energy_j == pytest.approx(
+            short.switching_energy_j
+        )
+
+    def test_lower_vt_leaks_more(self, ring):
+        high = ring.energy_per_cycle(0.6, 0.35, 1e-7)
+        low = ring.energy_per_cycle(0.6, 0.05, 1e-7)
+        assert low.leakage_energy_j > 100.0 * high.leakage_energy_j
+
+
+class TestModuleThroughputOptimizer:
+    @pytest.fixture(scope="class")
+    def module_optimizer(self):
+        from repro.circuits.builders import ripple_carry_adder
+        from repro.power.optimizer import ModuleThroughputOptimizer
+        from repro.switchsim.simulator import SwitchLevelSimulator
+        from repro.switchsim.stimulus import random_bus_vectors
+
+        technology = soi_low_vt()
+        adder = ripple_carry_adder(8)
+        report = SwitchLevelSimulator(adder, technology, 1.0).run_vectors(
+            random_bus_vectors({"a": 8, "b": 8}, 60, seed=0)
+        )
+        return ModuleThroughputOptimizer(adder, technology, report)
+
+    @pytest.fixture(scope="class")
+    def module_target(self, module_optimizer):
+        base_vt = module_optimizer.technology.transistors.nmos.vt0
+        return 3.0 * module_optimizer.delay(1.0, base_vt)
+
+    def test_solved_vdd_hits_target(self, module_optimizer, module_target):
+        vdd = module_optimizer.solve_vdd_for_delay(module_target, 0.25)
+        assert module_optimizer.delay(vdd, 0.25) == pytest.approx(
+            module_target, rel=1e-5
+        )
+
+    def test_locus_vdd_rises_with_vt(self, module_optimizer, module_target):
+        points = module_optimizer.sweep(
+            [0.1, 0.2, 0.3, 0.4], module_target
+        )
+        vdds = [p.vdd for p in points]
+        assert vdds == sorted(vdds)
+
+    def test_low_utilization_has_interior_optimum(
+        self, module_optimizer, module_target
+    ):
+        points = module_optimizer.sweep(
+            [0.05 + 0.05 * i for i in range(8)],
+            module_target,
+            utilization=0.02,
+        )
+        energies = [p.energy_per_cycle_j for p in points]
+        best = min(range(len(energies)), key=energies.__getitem__)
+        assert 0 < best < len(energies) - 1
+
+    def test_lower_utilization_raises_optimal_vt(
+        self, module_optimizer, module_target
+    ):
+        busy = module_optimizer.optimum(module_target, utilization=1.0)
+        idle = module_optimizer.optimum(module_target, utilization=0.02)
+        assert idle.vt > busy.vt
+
+    def test_optimum_vdd_below_one_volt(
+        self, module_optimizer, module_target
+    ):
+        best = module_optimizer.optimum(module_target, utilization=0.1)
+        assert best.vdd < 1.0
+
+    def test_validation(self, module_optimizer, module_target):
+        with pytest.raises(OptimizationError):
+            module_optimizer.solve_vdd_for_delay(-1.0, 0.2)
+        with pytest.raises(OptimizationError):
+            module_optimizer.locus_point(0.2, module_target, utilization=0.0)
+        with pytest.raises(OptimizationError):
+            module_optimizer.sweep([], module_target)
+        with pytest.raises(OptimizationError, match="unreachable"):
+            module_optimizer.solve_vdd_for_delay(1e-18, 0.4)
+
+
+class TestFixedThroughputSweep:
+    def test_sweep_produces_fig4_curve(self, optimizer, target):
+        points = optimizer.sweep(
+            [0.05 + 0.05 * i for i in range(8)], target
+        )
+        assert len(points) >= 5
+        # Supply rises with V_T along the locus (Fig. 3 embedded).
+        vdds = [p.vdd for p in points]
+        assert vdds == sorted(vdds)
+
+    def test_leakage_fraction_falls_with_vt(self, optimizer, target):
+        points = optimizer.sweep([0.05, 0.15, 0.3], target)
+        fractions = [p.leakage_fraction for p in points]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_optimum_is_interior_or_boundary_minimum(
+        self, optimizer, target
+    ):
+        best = optimizer.optimum(target, vt_bounds=(0.02, 0.5))
+        sampled = optimizer.sweep(
+            [0.02 + 0.02 * i for i in range(24)], target
+        )
+        assert best.energy_per_cycle_j <= 1.02 * min(
+            p.energy_per_cycle_j for p in sampled
+        )
+
+    def test_fig4_optimum_vdd_below_1v(self, optimizer, target):
+        # The paper's headline: the optimum supply is well below 1 V.
+        best = optimizer.optimum(target, vt_bounds=(0.02, 0.5))
+        assert best.vdd < 1.0
+
+    def test_lower_activity_raises_optimal_vt(self, target):
+        # Paper: "a circuit which has very low switching activity will
+        # require a high-threshold voltage".
+        busy = FixedThroughputOptimizer(
+            RingOscillatorModel(soi_low_vt(), stages=101, activity=1.0),
+            cycle_stages=202,
+        ).optimum(target, vt_bounds=(0.02, 0.5))
+        idle = FixedThroughputOptimizer(
+            RingOscillatorModel(soi_low_vt(), stages=101, activity=0.05),
+            cycle_stages=202,
+        ).optimum(target, vt_bounds=(0.02, 0.5))
+        assert idle.vt > busy.vt
+
+    def test_empty_sweep_rejected(self, optimizer, target):
+        with pytest.raises(OptimizationError):
+            optimizer.sweep([], target)
+
+    def test_all_infeasible_sweep_rejected(self, optimizer):
+        with pytest.raises(OptimizationError, match="no feasible"):
+            optimizer.sweep([0.1, 0.2], 1e-18)
+
+    def test_infeasible_optimum_rejected(self, optimizer):
+        with pytest.raises(OptimizationError, match="infeasible"):
+            optimizer.optimum(1e-18)

@@ -1,0 +1,237 @@
+"""Property-based tests for netlist builders and the simulator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.builders import (
+    array_multiplier,
+    barrel_shifter,
+    carry_select_adder,
+    equality_comparator,
+    ripple_carry_adder,
+)
+from repro.circuits.netlist import Netlist
+from repro.device.technology import soi_low_vt
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.tech.cells import standard_cells
+
+_TECH = soi_low_vt()
+_CELLS = standard_cells()
+
+
+def bus(prefix, width, value):
+    return {f"{prefix}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+def read_bus(values, prefix, width):
+    return sum(values[f"{prefix}[{i}]"] << i for i in range(width))
+
+
+class TestArithmeticBuilders:
+    @given(
+        st.integers(2, 12),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ripple_adder_matches_ints(self, width, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        netlist = ripple_carry_adder(width)
+        values = netlist.evaluate({**bus("a", width, a), **bus("b", width, b)})
+        result = read_bus(values, "sum", width) | (values["cout"] << width)
+        assert result == a + b
+
+    @given(st.integers(2, 10), st.integers(1, 5), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_carry_select_matches_ints(self, width, block, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        netlist = carry_select_adder(width, block)
+        values = netlist.evaluate({**bus("a", width, a), **bus("b", width, b)})
+        result = read_bus(values, "sum", width) | (values["cout"] << width)
+        assert result == a + b
+
+    @given(st.sampled_from([2, 4, 8, 16]), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_shifter_matches_ints(self, width, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        shift = data.draw(st.integers(0, width - 1))
+        stages = width.bit_length() - 1
+        netlist = barrel_shifter(width)
+        inputs = {**bus("a", width, a), **bus("s", stages, shift)}
+        assert netlist.evaluate_bus(inputs, "y", width) == (
+            (a << shift) & (2**width - 1)
+        )
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multiplier_matches_ints(self, width, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        netlist = array_multiplier(width)
+        inputs = {**bus("a", width, a), **bus("b", width, b)}
+        assert netlist.evaluate_bus(inputs, "p", 2 * width) == a * b
+
+    @given(st.integers(1, 10), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_comparator_matches_equality(self, width, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        netlist = equality_comparator(width)
+        inputs = {**bus("a", width, a), **bus("b", width, b)}
+        assert netlist.evaluate(inputs)["eq"] == int(a == b)
+
+
+def random_dag_netlist(seed: int, n_inputs: int, n_gates: int) -> Netlist:
+    """A random acyclic netlist over the standard-cell catalog."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"dag{seed}")
+    nets = [netlist.add_input(f"in{i}") for i in range(n_inputs)]
+    catalog = [c for c in _CELLS.values() if c.n_inputs <= len(nets)]
+    for g in range(n_gates):
+        cell = rng.choice(catalog)
+        inputs = [rng.choice(nets) for _ in range(cell.n_inputs)]
+        output = f"n{g}"
+        netlist.add_gate(cell, inputs, output)
+        nets.append(output)
+    netlist.add_output(f"n{n_gates - 1}")
+    return netlist
+
+
+class TestNetlistIoProperties:
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_rnet_round_trip_on_random_netlists(
+        self, seed, n_inputs, n_gates
+    ):
+        from repro.circuits.io import parse_netlist, write_netlist
+
+        original = random_dag_netlist(seed, n_inputs, n_gates)
+        recovered = parse_netlist(write_netlist(original))
+        assert write_netlist(recovered) == write_netlist(original)
+        # Functional equivalence on one arbitrary vector.
+        vector = {f"in{i}": (seed >> i) & 1 for i in range(n_inputs)}
+        assert recovered.evaluate(vector) == original.evaluate(vector)
+
+
+class TestPipelineProperties:
+    @given(
+        st.integers(2, 10),
+        st.integers(1, 4),
+        st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pipelined_adder_matches_ints(self, width, stages, data):
+        from repro.circuits.builders import pipelined_adder
+
+        stages = min(stages, width)
+        netlist = pipelined_adder(width, stages)
+        pairs = [
+            (
+                data.draw(st.integers(0, 2**width - 1), label=f"a{k}"),
+                data.draw(st.integers(0, 2**width - 1), label=f"b{k}"),
+            )
+            for k in range(4)
+        ]
+        vectors = [
+            {**bus("a", width, a), **bus("b", width, b)} for a, b in pairs
+        ]
+        vectors += [vectors[-1]] * (stages - 1)
+        history = netlist.evaluate_sequence(vectors)
+        for k, (a, b) in enumerate(pairs):
+            values = history[k + stages - 1]
+            got = read_bus(values, "sum", width) | (
+                values["cout"] << width
+            )
+            assert got == a + b
+
+    @given(st.integers(4, 10), st.integers(2, 4), st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_clocked_simulation_matches_zero_delay(
+        self, width, stages, data
+    ):
+        from repro.circuits.builders import pipelined_adder
+
+        stages = min(stages, width)
+        netlist = pipelined_adder(width, stages)
+        vectors = [
+            {
+                **bus("a", width, data.draw(st.integers(0, 2**width - 1))),
+                **bus("b", width, data.draw(st.integers(0, 2**width - 1))),
+            }
+            for _ in range(5)
+        ]
+        simulator = SwitchLevelSimulator(netlist, _TECH, 1.0)
+        simulator.run_clocked(vectors)
+        reference = netlist.evaluate_sequence(vectors)[-1]
+        for net, value in reference.items():
+            assert simulator.state[net] == value, net
+
+
+class TestRandomNetlists:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 6),
+        st.integers(1, 25),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_levelization_respects_dependencies(
+        self, seed, n_inputs, n_gates, data
+    ):
+        netlist = random_dag_netlist(seed, n_inputs, n_gates)
+        order = {
+            instance.name: position
+            for position, instance in enumerate(netlist.levelize())
+        }
+        for instance in netlist.instances.values():
+            for net in instance.inputs:
+                driver = netlist.driver(net)
+                if driver is not None:
+                    assert order[driver.name] < order[instance.name]
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 5),
+        st.integers(1, 20),
+        st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_simulator_settles_to_functional_values(
+        self, seed, n_inputs, n_gates, data
+    ):
+        netlist = random_dag_netlist(seed, n_inputs, n_gates)
+        first = {
+            f"in{i}": data.draw(st.integers(0, 1), label=f"v0[{i}]")
+            for i in range(n_inputs)
+        }
+        second = {
+            f"in{i}": data.draw(st.integers(0, 1), label=f"v1[{i}]")
+            for i in range(n_inputs)
+        }
+        simulator = SwitchLevelSimulator(netlist, _TECH, vdd=1.0)
+        simulator.initialize(first)
+        simulator.apply(second)
+        reference = netlist.evaluate(second)
+        for net, value in reference.items():
+            assert simulator.state[net] == value, net
+
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.integers(1, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_is_deterministic(self, seed, n_inputs, n_gates):
+        netlist = random_dag_netlist(seed, n_inputs, n_gates)
+        rng = random.Random(seed + 1)
+        vectors = [
+            {f"in{i}": rng.randint(0, 1) for i in range(n_inputs)}
+            for _ in range(6)
+        ]
+        first = SwitchLevelSimulator(netlist, _TECH, 1.0).run_vectors(
+            vectors
+        )
+        second = SwitchLevelSimulator(netlist, _TECH, 1.0).run_vectors(
+            vectors
+        )
+        assert first.rising == second.rising
+        assert first.falling == second.falling

@@ -1,0 +1,192 @@
+"""Property-based tests for the device models (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.capacitance import (
+    GateCapacitanceModel,
+    JunctionCapacitanceModel,
+)
+from repro.device.leakage import stack_leakage_current
+from repro.device.mosfet import Mosfet, MosfetParameters
+from repro.device.threshold import BodyBiasModel, SoiasBackGateModel
+
+# Strategy for physically valid MOSFET parameters.
+mosfet_parameters = st.builds(
+    MosfetParameters,
+    vt0=st.floats(0.1, 0.8),
+    subthreshold_swing=st.floats(0.060, 0.095),
+    i_spec=st.floats(1e-9, 1e-5),
+    k_drive=st.floats(1e-5, 1e-3),
+    alpha=st.floats(1.0, 2.0),
+    dibl=st.floats(0.0, 0.1),
+    vdsat_coeff=st.floats(0.3, 1.5),
+    channel_length_modulation=st.floats(0.0, 0.1),
+)
+
+voltages = st.floats(0.0, 3.0)
+supplies = st.floats(0.2, 3.0)
+
+
+class TestMosfetInvariants:
+    @given(mosfet_parameters, supplies)
+    def test_current_monotone_in_vgs(self, params, vds):
+        device = Mosfet(params)
+        previous = -1.0
+        for step in range(13):
+            vgs = step * 0.25
+            current = device.drain_current(vgs, vds)
+            assert current >= previous - 1e-30
+            previous = current
+
+    @given(mosfet_parameters, st.floats(0.0, 2.0))
+    def test_current_monotone_in_vds(self, params, vgs):
+        device = Mosfet(params)
+        previous = -1.0
+        for step in range(13):
+            vds = step * 0.25
+            current = device.drain_current(vgs, vds)
+            assert current >= previous - 1e-30
+            previous = current
+
+    @given(mosfet_parameters, supplies)
+    def test_current_nonnegative_and_finite(self, params, vdd):
+        device = Mosfet(params)
+        for vgs in (0.0, params.vt0, vdd):
+            current = device.drain_current(vgs, vdd)
+            assert current >= 0.0
+            assert math.isfinite(current)
+
+    @given(mosfet_parameters, supplies)
+    def test_on_current_at_least_off_current(self, params, vdd):
+        device = Mosfet(params)
+        assert device.on_current(vdd) >= device.off_current(vdd)
+
+    @given(mosfet_parameters, supplies, st.floats(0.01, 0.3))
+    def test_raising_vt_never_raises_current(self, params, vdd, shift):
+        device = Mosfet(params)
+        for vgs in (0.0, 0.5 * vdd, vdd):
+            assert device.drain_current(
+                vgs, vdd, vt_shift=shift
+            ) <= device.drain_current(vgs, vdd) + 1e-30
+
+    @given(mosfet_parameters, st.floats(1.0, 8.0), supplies)
+    def test_width_scaling_is_linear(self, params, width, vdd):
+        narrow = Mosfet(params, width_um=1.0)
+        wide = Mosfet(params, width_um=width)
+        expected = width * narrow.on_current(vdd)
+        assert math.isclose(wide.on_current(vdd), expected, rel_tol=1e-9)
+
+    @given(mosfet_parameters)
+    def test_extracted_swing_matches_parameter(self, params):
+        from hypothesis import assume
+
+        # The numeric extraction probes +/-10 mV around a point, so it
+        # is only meaningful while that window stays in the
+        # subthreshold region (effective V_T comfortably above it).
+        effective_vt = params.vt0 - params.dibl * 1.0
+        assume(effective_vt > 0.15)
+        device = Mosfet(params)
+        extracted = device.subthreshold_slope_mv_per_decade(
+            vds=1.0, probe_vgs=effective_vt / 2.0
+        )
+        assert math.isclose(
+            extracted, params.subthreshold_swing * 1e3, rel_tol=0.02
+        )
+
+
+class TestStackInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mosfet_parameters,
+        st.lists(st.floats(0.5, 8.0), min_size=1, max_size=4),
+        supplies,
+    )
+    def test_stack_leaks_no_more_than_weakest_device(
+        self, params, widths, vdd
+    ):
+        stack = stack_leakage_current(params, widths, vdd)
+        weakest = min(
+            Mosfet(params, width_um=w).off_current(vdd) for w in widths
+        )
+        assert stack <= weakest * (1.0 + 1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(mosfet_parameters, st.floats(0.5, 8.0), supplies)
+    def test_deeper_stack_leaks_less(self, params, width, vdd):
+        shallow = stack_leakage_current(params, [width] * 2, vdd)
+        deep = stack_leakage_current(params, [width] * 3, vdd)
+        assert deep <= shallow * (1.0 + 1e-6)
+
+
+class TestCapacitanceInvariants:
+    gate_models = st.builds(
+        GateCapacitanceModel,
+        c_ox_f_per_um2=st.floats(1e-15, 1e-14),
+        depletion_floor=st.floats(0.1, 0.9),
+        v_mid=st.floats(0.2, 1.5),
+        v_width=st.floats(0.1, 1.0),
+    )
+
+    @given(gate_models, st.floats(0.1, 5.0))
+    def test_switched_capacitance_bounded(self, model, vdd):
+        c_sw = model.switched_capacitance(vdd)
+        assert model.depletion_floor * model.c_ox_f_per_um2 <= c_sw
+        assert c_sw <= model.c_ox_f_per_um2 * (1.0 + 1e-9)
+
+    @given(gate_models)
+    def test_switched_capacitance_monotone_in_vdd(self, model):
+        values = [
+            model.switched_capacitance(0.2 + 0.3 * i) for i in range(10)
+        ]
+        assert all(b >= a - 1e-30 for a, b in zip(values, values[1:]))
+
+    junction_models = st.builds(
+        JunctionCapacitanceModel,
+        c_j0_f_per_um2=st.floats(1e-16, 1e-14),
+        built_in=st.floats(0.5, 1.2),
+        grading=st.floats(0.2, 0.8),
+    )
+
+    @given(junction_models)
+    def test_junction_switched_capacitance_monotone_down(self, model):
+        values = [
+            model.switched_capacitance(0.2 + 0.3 * i) for i in range(10)
+        ]
+        assert all(b <= a + 1e-30 for a, b in zip(values, values[1:]))
+
+
+class TestThresholdInvariants:
+    @given(
+        st.floats(0.2, 0.8),
+        st.floats(0.1, 0.8),
+        st.floats(0.2, 0.5),
+        st.floats(0.0, 3.0),
+    )
+    def test_body_bias_round_trip(self, vt0, gamma, phi_f, vsb):
+        model = BodyBiasModel(
+            vt0=vt0, gamma=gamma, phi_f=phi_f, max_reverse_bias=5.0
+        )
+        vt = model.vt_at(vsb)
+        assert math.isclose(model.vt_at(model.vsb_for_vt(vt)), vt,
+                            rel_tol=1e-9)
+
+    @given(
+        st.floats(0.3, 0.6),
+        st.floats(0.02, 0.2),
+        st.floats(0.0, 3.0),
+    )
+    def test_soias_linearity(self, vt_standby, coupling, vgb):
+        model = SoiasBackGateModel(
+            vt_standby=vt_standby,
+            coupling=coupling,
+            max_back_gate_bias=4.0,
+        )
+        assert math.isclose(
+            model.vt_standby - model.vt_at(vgb),
+            coupling * vgb,
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )

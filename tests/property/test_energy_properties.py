@@ -1,0 +1,190 @@
+"""Property-based tests for the energy-model algebra (Eqs. 3-4)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.contour import breakeven_bga
+from repro.power.components import PowerBreakdown
+from repro.power.energy import (
+    ModuleEnergyParameters,
+    e_mtcmos,
+    e_soi,
+    e_soias,
+    e_soias_gated,
+    energy_ratio_soias_vs_soi,
+)
+
+modules = st.builds(
+    lambda c, low, ratio, cbg, vbg: ModuleEnergyParameters(
+        name="m",
+        switched_capacitance_f=c,
+        leakage_low_vt_a=low,
+        leakage_high_vt_a=low * ratio,
+        back_gate_capacitance_f=cbg,
+        back_gate_swing_v=vbg,
+    ),
+    c=st.floats(1e-15, 1e-11),
+    low=st.floats(1e-10, 1e-5),
+    ratio=st.floats(1e-6, 1.0),
+    cbg=st.floats(1e-16, 1e-11),
+    vbg=st.floats(0.5, 5.0),
+)
+
+fga_bga = st.tuples(
+    st.floats(0.001, 1.0), st.floats(0.0, 1.0)
+).map(lambda t: (t[0], min(t[1], t[0])))
+
+supplies = st.floats(0.3, 2.0)
+cycles = st.floats(1e-9, 1e-5)
+
+
+class TestEnergyAlgebra:
+    @given(modules, fga_bga, supplies, cycles)
+    def test_energies_positive(self, module, activities, vdd, t_cycle):
+        fga, bga = activities
+        assert e_soi(module, fga, vdd, t_cycle) > 0.0
+        assert e_soias(module, fga, bga, vdd, t_cycle) > 0.0
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_soias_monotone_in_bga(self, module, activities, vdd, t_cycle):
+        fga, bga = activities
+        lower = e_soias(module, fga, bga * 0.5, vdd, t_cycle)
+        higher = e_soias(module, fga, bga, vdd, t_cycle)
+        assert higher >= lower - 1e-30
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_soias_at_zero_bga_beats_or_ties_soi(
+        self, module, activities, vdd, t_cycle
+    ):
+        # With free control, rescuing leakage can only help.
+        fga, _ = activities
+        soi = e_soi(module, fga, vdd, t_cycle)
+        assert e_soias(module, fga, 0.0, vdd, t_cycle) <= soi * (
+            1.0 + 1e-12
+        )
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_switching_term_is_a_lower_bound(
+        self, module, activities, vdd, t_cycle
+    ):
+        fga, bga = activities
+        switching = fga * module.switched_capacitance_f * vdd * vdd
+        assert e_soias(module, fga, bga, vdd, t_cycle) >= switching
+
+    @given(modules, fga_bga, supplies, cycles, st.floats(1.5, 10.0))
+    def test_leakage_terms_linear_in_cycle_time(
+        self, module, activities, vdd, t_cycle, scale
+    ):
+        fga, _ = activities
+        short = e_soi(module, fga, vdd, t_cycle)
+        long = e_soi(module, fga, vdd, t_cycle * scale)
+        switching = fga * module.switched_capacitance_f * vdd * vdd
+        # Subtracting the switching term cancels catastrophically when
+        # leakage is tiny relative to it, so allow an absolute slack of
+        # a few ulps of the total energy.
+        assert math.isclose(
+            long - switching,
+            scale * (short - switching),
+            rel_tol=1e-6,
+            abs_tol=1e-9 * long,
+        )
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_mtcmos_matches_soias_at_equal_control_cost(
+        self, module, activities, vdd, t_cycle
+    ):
+        fga, bga = activities
+        # Force the SOIAS control to charge to V_DD: identical algebra.
+        equal = module.with_back_gate_swing(vdd)
+        assert math.isclose(
+            e_soias(equal, fga, bga, vdd, t_cycle),
+            e_mtcmos(module, fga, bga, vdd, t_cycle),
+            rel_tol=1e-9,
+        )
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_gated_reduces_to_plain(self, module, activities, vdd, t_cycle):
+        fga, bga = activities
+        assert math.isclose(
+            e_soias_gated(module, fga, fga, bga, vdd, t_cycle),
+            e_soias(module, fga, bga, vdd, t_cycle),
+            rel_tol=1e-12,
+        )
+
+    @given(modules, fga_bga, supplies, cycles)
+    def test_gated_monotone_in_powered_fraction(
+        self, module, activities, vdd, t_cycle
+    ):
+        fga, bga = activities
+        eager = e_soias_gated(module, fga, fga, bga, vdd, t_cycle)
+        lazy = e_soias_gated(
+            module, fga, min(1.0, fga + 0.3), bga, vdd, t_cycle
+        )
+        # Keeping the block powered longer can only add (low - high)
+        # leakage, which is non-negative by construction (up to float
+        # rounding when the two leakage corners coincide).
+        assert lazy >= eager * (1.0 - 1e-12)
+
+
+class TestBreakevenProperties:
+    @given(modules, st.floats(0.001, 0.999), supplies, cycles)
+    @settings(max_examples=60)
+    def test_breakeven_separates_the_plane(
+        self, module, fga, vdd, t_cycle
+    ):
+        bga_star = breakeven_bga(module, fga, vdd, t_cycle)
+        assume(bga_star is not None and 1e-9 < bga_star < fga)
+        below = energy_ratio_soias_vs_soi(
+            module, fga, bga_star * 0.5, vdd, t_cycle
+        )
+        above = energy_ratio_soias_vs_soi(
+            module, fga, min(bga_star * 1.5, fga), vdd, t_cycle
+        )
+        assert below <= 1.0 + 1e-9
+        assert above >= 1.0 - 1e-9
+
+    @given(modules, st.floats(0.001, 0.999), supplies, cycles)
+    @settings(max_examples=60)
+    def test_ratio_equals_one_at_breakeven(
+        self, module, fga, vdd, t_cycle
+    ):
+        bga_star = breakeven_bga(module, fga, vdd, t_cycle)
+        assume(bga_star is not None and 1e-9 < bga_star <= fga)
+        ratio = energy_ratio_soias_vs_soi(
+            module, fga, bga_star, vdd, t_cycle
+        )
+        assert math.isclose(ratio, 1.0, rel_tol=1e-6)
+
+
+class TestPowerBreakdownAlgebra:
+    breakdowns = st.builds(
+        PowerBreakdown,
+        switching_w=st.floats(0.0, 1.0),
+        short_circuit_w=st.floats(0.0, 1.0),
+        leakage_w=st.floats(0.0, 1.0),
+    )
+
+    @given(breakdowns, breakdowns)
+    def test_addition_commutes(self, a, b):
+        left = a + b
+        right = b + a
+        assert math.isclose(left.total_w, right.total_w, rel_tol=1e-12)
+
+    @given(breakdowns, st.floats(0.0, 10.0))
+    def test_scaling_is_linear(self, breakdown, factor):
+        scaled = breakdown.scaled(factor)
+        assert math.isclose(
+            scaled.total_w, factor * breakdown.total_w,
+            rel_tol=1e-12, abs_tol=1e-30,
+        )
+
+    @given(breakdowns)
+    def test_fractions_sum_to_one(self, breakdown):
+        assume(breakdown.total_w > 1e-12)
+        total = sum(
+            breakdown.fraction(c)
+            for c in ("switching", "short_circuit", "leakage")
+        )
+        assert math.isclose(total, 1.0, rel_tol=1e-9)

@@ -1,0 +1,180 @@
+"""Property-based tests for the ISA substrate and workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.workloads import crc, espresso_like, fir, idea, sort
+
+WORD = 0xFFFFFFFF
+
+words = st.integers(0, WORD)
+halfwords = st.integers(0, 0xFFFF)
+key_words = st.tuples(*([halfwords] * 8))
+blocks = st.tuples(*([halfwords] * 4))
+
+
+def run_binary_op(mnemonic: str, a: int, b: int) -> int:
+    """Execute one register-register op on the machine."""
+    source = f"""
+    LUI r1, {(a >> 16) & 0xFFFF}
+    ORI r1, r1, {a & 0xFFFF}
+    LUI r2, {(b >> 16) & 0xFFFF}
+    ORI r2, r2, {b & 0xFFFF}
+    {mnemonic} r4, r1, r2
+    HALT
+    """
+    machine = Machine(assemble(source))
+    machine.run()
+    return machine.read_register(4)
+
+
+class TestMachineSemantics:
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_python(self, a, b):
+        assert run_binary_op("ADD", a, b) == (a + b) & WORD
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_sub_matches_python(self, a, b):
+        assert run_binary_op("SUB", a, b) == (a - b) & WORD
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_python(self, a, b):
+        assert run_binary_op("MUL", a, b) == (a * b) & WORD
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_mulhu_matches_python(self, a, b):
+        assert run_binary_op("MULHU", a, b) == ((a * b) >> 32) & WORD
+
+    @given(words, st.integers(0, 63))
+    @settings(max_examples=40, deadline=None)
+    def test_srl_matches_python(self, a, shift):
+        assert run_binary_op("SRL", a, shift) == (a >> (shift & 31)) & WORD
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_matches_python(self, a, b):
+        assert run_binary_op("XOR", a, b) == a ^ b
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_sltu_matches_python(self, a, b):
+        assert run_binary_op("SLTU", a, b) == int(a < b)
+
+
+class TestIdeaProperties:
+    @given(blocks, key_words)
+    @settings(max_examples=25, deadline=None)
+    def test_encrypt_decrypt_round_trip(self, block, key):
+        assert idea.decrypt_block(idea.encrypt_block(block, key), key) == block
+
+    @given(blocks, blocks, key_words)
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_blocks_encrypt_distinctly(self, x, y, key):
+        if x != y:
+            assert idea.encrypt_block(x, key) != idea.encrypt_block(y, key)
+
+    @given(halfwords, halfwords)
+    def test_mul_mod_commutes(self, a, b):
+        assert idea.mul_mod(a, b) == idea.mul_mod(b, a)
+
+    @given(halfwords, halfwords, halfwords)
+    def test_mul_mod_associates(self, a, b, c):
+        left = idea.mul_mod(idea.mul_mod(a, b), c)
+        right = idea.mul_mod(a, idea.mul_mod(b, c))
+        assert left == right
+
+    @given(halfwords)
+    def test_mul_mod_identity(self, a):
+        assert idea.mul_mod(a, 1) == a
+
+    @given(halfwords, halfwords)
+    def test_add_mod_matches_python(self, a, b):
+        assert idea.add_mod(a, b) == (a + b) % 65536
+
+
+def _minterms(cube: int, n_vars: int):
+    """Enumerate the minterms a positional cube covers."""
+    result = []
+    for assignment in range(2**n_vars):
+        covered = True
+        for var in range(n_vars):
+            bit = (assignment >> var) & 1
+            literal = (cube >> (2 * var)) & 0b11
+            needed = 0b10 if bit else 0b01
+            if not literal & needed:
+                covered = False
+                break
+        if covered:
+            result.append(assignment)
+    return result
+
+
+class TestEspressoKernelProperties:
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.integers(2, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_preserves_coverage(self, seed, n_vars, n_cubes):
+        # Containment removal and distance-1 merging must cover exactly
+        # the same minterm set — the fundamental two-level invariant.
+        cover = espresso_like.random_cover(n_cubes, n_vars, seed)
+        result, _ = espresso_like.reference_kernel(cover, n_vars)
+        before = set()
+        for cube in cover:
+            before.update(_minterms(cube, n_vars))
+        after = set()
+        for cube in result:
+            if cube:
+                after.update(_minterms(cube, n_vars))
+        assert after == before
+
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_never_grows_the_cover(self, seed, n_vars, n_cubes):
+        cover = espresso_like.random_cover(n_cubes, n_vars, seed)
+        result, _ = espresso_like.reference_kernel(cover, n_vars)
+        assert sum(1 for c in result if c) <= len(cover)
+
+
+class TestSortProperties:
+    @given(
+        st.lists(st.integers(0, 2**20), min_size=1, max_size=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_quicksort_matches_sorted(self, values):
+        from repro.isa.assembler import assemble
+        from repro.isa.machine import Machine
+
+        program = assemble(sort.source(values), name="sort")
+        machine = Machine(program)
+        machine.run()
+        assert sort.read_sorted(machine, program, len(values)) == sorted(
+            values
+        )
+
+
+class TestOtherWorkloadProperties:
+    @given(st.lists(words, min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_crc_reference_is_deterministic_and_sensitive(self, message):
+        value = crc.reference_crc(message)
+        assert value == crc.reference_crc(message)
+        flipped = list(message)
+        flipped[0] ^= 1
+        assert crc.reference_crc(flipped) != value
+
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=12),
+        st.lists(st.integers(0, 15), min_size=1, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fir_reference_linearity(self, samples, taps):
+        # Scaling the input scales the output (mod 2^32 arithmetic is
+        # exact here because values stay small).
+        base = fir.reference_filter(samples, taps)
+        doubled = fir.reference_filter([2 * s for s in samples], taps)
+        assert doubled == [(2 * y) & 0xFFFFFFFF for y in base]

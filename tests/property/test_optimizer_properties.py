@@ -1,0 +1,61 @@
+"""Property-based tests for the recovery optimizers on random netlists."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.technology import soi_low_vt
+from repro.power.dualvt import DualVtOptimizer
+from repro.power.sizing import GateSizingOptimizer
+from tests.property.test_circuit_properties import random_dag_netlist
+
+_TECH = soi_low_vt()
+
+
+class TestDualVtProperties:
+    @given(
+        st.integers(0, 5000),
+        st.integers(2, 5),
+        st.integers(3, 18),
+        st.sampled_from([1.0, 1.1]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_timing_and_leakage_invariants(
+        self, seed, n_inputs, n_gates, budget
+    ):
+        netlist = random_dag_netlist(seed, n_inputs, n_gates)
+        optimizer = DualVtOptimizer(netlist, _TECH, vdd=1.0)
+        result = optimizer.optimize(delay_budget=budget)
+        # Timing honoured.
+        assert result.delay_s <= result.baseline_delay_s * budget * 1.001
+        # Leakage never worsens.
+        assert result.leakage_a <= result.baseline_leakage_a * (1 + 1e-9)
+        # Assignment names are real gates.
+        assert result.high_vt_gates <= set(netlist.instances)
+        # Reported numbers are reproducible.
+        assert abs(
+            optimizer.delay(result.high_vt_gates) - result.delay_s
+        ) <= 1e-18 + 1e-9 * result.delay_s
+
+
+class TestSizingProperties:
+    @given(
+        st.integers(0, 5000),
+        st.integers(2, 5),
+        st.integers(3, 15),
+        st.sampled_from([1.0, 1.15]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_timing_and_cost_invariants(
+        self, seed, n_inputs, n_gates, budget
+    ):
+        netlist = random_dag_netlist(seed + 17, n_inputs, n_gates)
+        optimizer = GateSizingOptimizer(netlist, _TECH, vdd=1.0)
+        result = optimizer.optimize(delay_budget=budget)
+        assert result.delay_s <= result.baseline_delay_s * budget * 1.001
+        assert result.input_capacitance_f <= (
+            result.baseline_input_capacitance_f * (1 + 1e-9)
+        )
+        assert result.leakage_a <= result.baseline_leakage_a * (1 + 1e-9)
+        assert set(result.size_factors) <= set(netlist.instances)
+        for factor in result.size_factors.values():
+            assert factor in optimizer.allowed_factors

@@ -1,0 +1,202 @@
+"""Unit tests for activity reports and the Fig. 8-9 observables."""
+
+import pytest
+
+from repro.circuits.builders import ripple_carry_adder
+from repro.device.technology import soi_low_vt
+from repro.errors import ProfileError
+from repro.switchsim.activity import ActivityReport
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.stimulus import counting_bus_vectors, random_bus_vectors
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return soi_low_vt()
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return ripple_carry_adder(8)
+
+
+@pytest.fixture(scope="module")
+def random_report(tech, adder):
+    vectors = random_bus_vectors({"a": 8, "b": 8}, 200, seed=11)
+    return SwitchLevelSimulator(adder, tech, 1.0).run_vectors(vectors)
+
+
+@pytest.fixture(scope="module")
+def correlated_report(tech, adder):
+    vectors = counting_bus_vectors(
+        "b", 8, 200, fixed_buses={"a": 85}, fixed_widths={"a": 8}
+    )
+    return SwitchLevelSimulator(adder, tech, 1.0).run_vectors(vectors)
+
+
+class TestPerNetStatistics:
+    def test_alpha_counts_rising_only(self, random_report):
+        net = random_report.internal_nets()[0]
+        assert random_report.alpha(net) == (
+            random_report.rising[net] / random_report.cycles
+        )
+
+    def test_transition_probability_counts_both_edges(self, random_report):
+        net = random_report.internal_nets()[0]
+        expected = (
+            random_report.rising[net] + random_report.falling[net]
+        ) / random_report.cycles
+        assert random_report.transition_probability(net) == expected
+
+    def test_unknown_net_rejected(self, random_report):
+        with pytest.raises(ProfileError, match="ghost"):
+            random_report.alpha("ghost")
+
+    def test_internal_nets_exclude_inputs(self, random_report, adder):
+        internal = random_report.internal_nets()
+        assert not set(internal) & set(adder.primary_inputs)
+
+    def test_primary_inputs_near_half_activity(self, random_report):
+        # Uniform random bits flip ~half the time.
+        probabilities = [
+            random_report.transition_probability(net)
+            for net in random_report.primary_inputs
+        ]
+        mean = sum(probabilities) / len(probabilities)
+        assert mean == pytest.approx(0.5, abs=0.1)
+
+
+class TestFig8Fig9Shape:
+    def test_correlated_activity_much_lower(
+        self, random_report, correlated_report
+    ):
+        # Paper Fig. 9 vs Fig. 8: correlated inputs cut activity hard.
+        assert (
+            correlated_report.mean_activity()
+            < 0.5 * random_report.mean_activity()
+        )
+
+    def test_glitching_pushes_some_nodes_above_one(self, random_report):
+        # Static CMOS ripple adders show transition probability > 1 on
+        # high-order sum nodes (the glitch tail of Fig. 8).
+        tail = [
+            net
+            for net in random_report.internal_nets()
+            if random_report.transition_probability(net) > 1.0
+        ]
+        assert tail
+
+    def test_histogram_mass_shifts_left_when_correlated(
+        self, random_report, correlated_report
+    ):
+        edges, random_counts = random_report.histogram(bins=10)
+        _, correlated_counts = correlated_report.histogram(
+            bins=10, max_probability=edges[-1]
+        )
+        low_random = sum(random_counts[:3]) / sum(random_counts)
+        low_correlated = sum(correlated_counts[:3]) / sum(correlated_counts)
+        assert low_correlated > low_random
+
+    def test_histogram_bins_cover_all_nets(self, random_report):
+        _, counts = random_report.histogram(bins=15)
+        assert sum(counts) == len(random_report.internal_nets())
+
+    def test_histogram_validation(self, random_report):
+        with pytest.raises(ProfileError):
+            random_report.histogram(bins=0)
+
+
+class TestEnergyCoupling:
+    def test_switched_capacitance_positive(self, random_report, adder, tech):
+        assert random_report.switched_capacitance(adder, tech, 1.0) > 0.0
+
+    def test_energy_scales_as_v_squared_plus_nonlinearity(
+        self, random_report, adder, tech
+    ):
+        low = random_report.switching_energy_per_cycle(adder, tech, 1.0)
+        high = random_report.switching_energy_per_cycle(adder, tech, 2.0)
+        # At least quadratic; the Fig. 1 capacitance growth adds more.
+        assert high > 4.0 * low
+
+    def test_correlated_inputs_use_less_energy(
+        self, random_report, correlated_report, adder, tech
+    ):
+        random_energy = random_report.switching_energy_per_cycle(
+            adder, tech, 1.0
+        )
+        correlated_energy = correlated_report.switching_energy_per_cycle(
+            adder, tech, 1.0
+        )
+        assert correlated_energy < random_energy
+
+    def test_wrong_netlist_rejected(self, random_report, tech):
+        other = ripple_carry_adder(4)
+        with pytest.raises(ProfileError, match="report is for"):
+            random_report.switched_capacitance(other, tech, 1.0)
+
+
+class TestSerialization:
+    def test_json_round_trip(self, random_report):
+        recovered = ActivityReport.from_json(random_report.to_json())
+        assert recovered.netlist_name == random_report.netlist_name
+        assert recovered.cycles == random_report.cycles
+        assert recovered.rising == random_report.rising
+        assert recovered.falling == random_report.falling
+        assert recovered.primary_inputs == random_report.primary_inputs
+
+    def test_round_trip_preserves_statistics(self, random_report, adder, tech):
+        recovered = ActivityReport.from_json(random_report.to_json())
+        assert recovered.mean_activity() == pytest.approx(
+            random_report.mean_activity()
+        )
+        assert recovered.switched_capacitance(
+            adder, tech, 1.0
+        ) == pytest.approx(
+            random_report.switched_capacitance(adder, tech, 1.0)
+        )
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProfileError, match="malformed"):
+            ActivityReport.from_json("{broken")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ProfileError, match="format"):
+            ActivityReport.from_json('{"format": "nope"}')
+
+
+class TestMerge:
+    def test_merge_adds_counts_and_cycles(self, tech, adder):
+        vectors_a = random_bus_vectors({"a": 8, "b": 8}, 20, seed=0)
+        vectors_b = random_bus_vectors({"a": 8, "b": 8}, 30, seed=1)
+        report_a = SwitchLevelSimulator(adder, tech, 1.0).run_vectors(
+            vectors_a
+        )
+        report_b = SwitchLevelSimulator(adder, tech, 1.0).run_vectors(
+            vectors_b
+        )
+        merged = report_a.merged_with(report_b)
+        assert merged.cycles == report_a.cycles + report_b.cycles
+        net = merged.internal_nets()[0]
+        assert merged.rising[net] == (
+            report_a.rising[net] + report_b.rising[net]
+        )
+
+    def test_merge_different_netlists_rejected(self, random_report, tech):
+        other_netlist = ripple_carry_adder(4)
+        vectors = random_bus_vectors({"a": 4, "b": 4}, 10, seed=0)
+        other = SwitchLevelSimulator(other_netlist, tech, 1.0).run_vectors(
+            vectors
+        )
+        with pytest.raises(ProfileError, match="different"):
+            random_report.merged_with(other)
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ProfileError):
+            ActivityReport(
+                netlist_name="x",
+                cycles=0,
+                rising={},
+                falling={},
+                primary_inputs=(),
+                constants=(),
+            )

@@ -1,0 +1,155 @@
+"""Tests for the probabilistic activity estimator, incl. vs simulation."""
+
+import pytest
+
+from repro.circuits.builders import (
+    equality_comparator,
+    ripple_carry_adder,
+    ring_oscillator,
+)
+from repro.circuits.netlist import Netlist
+from repro.device.technology import soi_low_vt
+from repro.errors import NetlistError, ProfileError
+from repro.switchsim.probabilistic import ProbabilisticActivityEstimator
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.stimulus import random_bus_vectors
+from repro.tech.cells import standard_cells
+
+
+@pytest.fixture
+def cells():
+    return standard_cells()
+
+
+class TestGatePropagation:
+    def test_inverter_complements(self, cells):
+        netlist = Netlist("inv")
+        netlist.add_input("a")
+        netlist.add_gate(cells["INV"], ["a"], "y")
+        activity = ProbabilisticActivityEstimator(netlist).estimate(0.3)
+        assert activity.signal_probability("y") == pytest.approx(0.7)
+
+    def test_and_multiplies(self, cells):
+        netlist = Netlist("and")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(cells["AND2"], ["a", "b"], "y")
+        activity = ProbabilisticActivityEstimator(netlist).estimate(
+            {"a": 0.5, "b": 0.25}
+        )
+        assert activity.signal_probability("y") == pytest.approx(0.125)
+
+    def test_xor_formula(self, cells):
+        netlist = Netlist("xor")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate(cells["XOR2"], ["a", "b"], "y")
+        activity = ProbabilisticActivityEstimator(netlist).estimate(
+            {"a": 0.3, "b": 0.6}
+        )
+        expected = 0.3 * 0.4 + 0.7 * 0.6
+        assert activity.signal_probability("y") == pytest.approx(expected)
+
+    def test_constants_propagate(self, cells):
+        netlist = Netlist("const")
+        netlist.add_input("a")
+        netlist.add_constant("one", 1)
+        netlist.add_gate(cells["AND2"], ["a", "one"], "y")
+        activity = ProbabilisticActivityEstimator(netlist).estimate(0.4)
+        assert activity.signal_probability("y") == pytest.approx(0.4)
+        assert activity.alpha("one") == 0.0
+
+    def test_alpha_peaks_at_half(self, cells):
+        netlist = Netlist("inv")
+        netlist.add_input("a")
+        netlist.add_gate(cells["INV"], ["a"], "y")
+        estimator = ProbabilisticActivityEstimator(netlist)
+        mid = estimator.estimate(0.5).alpha("y")
+        skew = estimator.estimate(0.9).alpha("y")
+        assert mid == pytest.approx(0.25)
+        assert skew < mid
+
+
+class TestValidation:
+    def test_cyclic_netlist_rejected(self):
+        with pytest.raises(NetlistError, match="cycle"):
+            ProbabilisticActivityEstimator(ring_oscillator(3))
+
+    def test_bad_probability_rejected(self, cells):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_gate(cells["INV"], ["a"], "y")
+        estimator = ProbabilisticActivityEstimator(netlist)
+        with pytest.raises(ProfileError, match="\\[0, 1\\]"):
+            estimator.estimate({"a": 1.5})
+
+    def test_non_input_probability_rejected(self, cells):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_gate(cells["INV"], ["a"], "y")
+        with pytest.raises(ProfileError, match="non-input"):
+            ProbabilisticActivityEstimator(netlist).estimate({"y": 0.5})
+
+    def test_unknown_net_query_rejected(self, cells):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_gate(cells["INV"], ["a"], "y")
+        activity = ProbabilisticActivityEstimator(netlist).estimate()
+        with pytest.raises(ProfileError):
+            activity.alpha("ghost")
+
+
+class TestAgainstSimulation:
+    """The estimator's documented accuracy envelope."""
+
+    def test_tree_circuit_matches_simulation_closely(self):
+        # The comparator's XNOR/AND tree has no reconvergent fanout
+        # from the inputs, so independence holds and the only gap is
+        # glitching (small here).
+        comparator = equality_comparator(6)
+        estimate = ProbabilisticActivityEstimator(comparator).estimate(0.5)
+        vectors = random_bus_vectors({"a": 6, "b": 6}, 2500, seed=5)
+        simulated = SwitchLevelSimulator(
+            comparator, soi_low_vt(), 1.0
+        ).run_vectors(vectors)
+        for net in ("x[0]", "x[3]"):
+            assert estimate.transition_probability(net) == pytest.approx(
+                simulated.transition_probability(net), rel=0.12
+            )
+
+    def test_adder_estimate_is_a_zero_delay_lower_bound(self):
+        # The ripple adder glitches, so simulation exceeds the
+        # zero-delay estimate on average.
+        adder = ripple_carry_adder(8)
+        estimate = ProbabilisticActivityEstimator(adder).estimate(0.5)
+        vectors = random_bus_vectors({"a": 8, "b": 8}, 400, seed=6)
+        simulated = SwitchLevelSimulator(
+            adder, soi_low_vt(), 1.0
+        ).run_vectors(vectors)
+        assert simulated.mean_activity() > 0.8 * estimate.mean_activity()
+
+    def test_estimated_switched_capacitance_same_scale_as_simulated(self):
+        adder = ripple_carry_adder(8)
+        technology = soi_low_vt()
+        estimate = ProbabilisticActivityEstimator(adder).estimate(0.5)
+        vectors = random_bus_vectors({"a": 8, "b": 8}, 400, seed=7)
+        simulated = SwitchLevelSimulator(
+            adder, technology, 1.0
+        ).run_vectors(vectors)
+        c_est = estimate.switched_capacitance(adder, technology, 1.0)
+        c_sim = simulated.switched_capacitance(adder, technology, 1.0)
+        assert 0.4 < c_est / c_sim < 1.6
+
+    def test_biased_inputs_reduce_activity_in_both(self):
+        adder = ripple_carry_adder(6)
+        estimator = ProbabilisticActivityEstimator(adder)
+        uniform = estimator.estimate(0.5).mean_activity()
+        sparse = estimator.estimate(0.1).mean_activity()
+        assert sparse < uniform
+
+    def test_wrong_netlist_rejected(self):
+        adder = ripple_carry_adder(4)
+        other = ripple_carry_adder(6)
+        activity = ProbabilisticActivityEstimator(adder).estimate()
+        with pytest.raises(ProfileError, match="activity is for"):
+            activity.switched_capacitance(other, soi_low_vt(), 1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for stimulus generators."""
+
+import pytest
+
+from repro.errors import StimulusError
+from repro.switchsim.stimulus import (
+    counting_bus_vectors,
+    gray_code_bus_vectors,
+    random_bus_vectors,
+    vectors_from_values,
+)
+
+
+def pack(vector, prefix, width):
+    return sum(vector[f"{prefix}[{i}]"] << i for i in range(width))
+
+
+class TestVectorsFromValues:
+    def test_expands_buses(self):
+        vectors = vectors_from_values(
+            {"a": 4, "b": 4}, [{"a": 5, "b": 10}, {"a": 15, "b": 0}]
+        )
+        assert pack(vectors[0], "a", 4) == 5
+        assert pack(vectors[0], "b", 4) == 10
+        assert pack(vectors[1], "a", 4) == 15
+
+    def test_scalars_included(self):
+        vectors = vectors_from_values(
+            {"a": 2}, [{"a": 1}], scalars={"cin": 1}
+        )
+        assert vectors[0]["cin"] == 1
+
+    def test_missing_bus_rejected(self):
+        with pytest.raises(StimulusError, match="missing"):
+            vectors_from_values({"a": 4, "b": 4}, [{"a": 1}])
+
+    def test_overflow_rejected(self):
+        with pytest.raises(StimulusError, match="fit"):
+            vectors_from_values({"a": 2}, [{"a": 4}])
+
+
+class TestRandomVectors:
+    def test_reproducible_by_seed(self):
+        one = random_bus_vectors({"a": 8}, 20, seed=42)
+        two = random_bus_vectors({"a": 8}, 20, seed=42)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        assert random_bus_vectors({"a": 8}, 20, seed=1) != random_bus_vectors(
+            {"a": 8}, 20, seed=2
+        )
+
+    def test_bias_respected(self):
+        ones = random_bus_vectors({"a": 8}, 200, seed=0, one_probability=0.9)
+        density = sum(
+            pack(v, "a", 8).bit_count() for v in ones
+        ) / (200 * 8)
+        assert density > 0.8
+
+    def test_all_zero_bias(self):
+        vectors = random_bus_vectors(
+            {"a": 8}, 10, seed=0, one_probability=0.0
+        )
+        assert all(pack(v, "a", 8) == 0 for v in vectors)
+
+    def test_count_validated(self):
+        with pytest.raises(StimulusError):
+            random_bus_vectors({"a": 8}, 0)
+
+    def test_probability_validated(self):
+        with pytest.raises(StimulusError):
+            random_bus_vectors({"a": 8}, 5, one_probability=1.5)
+
+
+class TestCountingVectors:
+    def test_counts_from_start(self):
+        vectors = counting_bus_vectors("b", 8, 5, start=250)
+        values = [pack(v, "b", 8) for v in vectors]
+        assert values == [250, 251, 252, 253, 254]
+
+    def test_wraps_modulo_width(self):
+        vectors = counting_bus_vectors("b", 4, 4, start=14)
+        values = [pack(v, "b", 4) for v in vectors]
+        assert values == [14, 15, 0, 1]
+
+    def test_fixed_bus_held(self):
+        vectors = counting_bus_vectors(
+            "b", 8, 10, fixed_buses={"a": 85}, fixed_widths={"a": 8}
+        )
+        assert all(pack(v, "a", 8) == 85 for v in vectors)
+
+    def test_fixed_maps_must_match(self):
+        with pytest.raises(StimulusError, match="same buses"):
+            counting_bus_vectors(
+                "b", 8, 5, fixed_buses={"a": 1}, fixed_widths={}
+            )
+
+
+class TestGrayCodeVectors:
+    def test_single_bit_flips(self):
+        vectors = gray_code_bus_vectors("a", 8, 100)
+        for previous, current in zip(vectors, vectors[1:]):
+            flips = sum(
+                previous[net] != current[net] for net in previous
+            )
+            assert flips == 1
+
+    def test_covers_all_codes(self):
+        vectors = gray_code_bus_vectors("a", 4, 16)
+        codes = {pack(v, "a", 4) for v in vectors}
+        assert codes == set(range(16))
+
+    def test_fixed_buses_supported(self):
+        vectors = gray_code_bus_vectors(
+            "a", 4, 8, fixed_buses={"b": 3}, fixed_widths={"b": 4}
+        )
+        assert all(pack(v, "b", 4) == 3 for v in vectors)

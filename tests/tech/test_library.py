@@ -1,0 +1,122 @@
+"""Unit tests for the characterized cell library and its JSON format."""
+
+import pytest
+
+from repro.device.technology import soi_low_vt
+from repro.errors import LibraryError
+from repro.tech.library import CellLibrary
+
+
+@pytest.fixture(scope="module")
+def library():
+    return CellLibrary.characterized(
+        soi_low_vt(),
+        vdd_grid=[0.6, 1.0, 1.5, 2.0],
+        vt_shift_grid=[-0.1, 0.0, 0.2],
+        load_f=10e-15,
+    )
+
+
+class TestConstruction:
+    def test_catalog_defaults_to_standard_cells(self):
+        lib = CellLibrary(soi_low_vt())
+        assert "NAND2" in lib.cells
+
+    def test_cell_lookup_by_name(self, library):
+        assert library.cell("XOR2").name == "XOR2"
+
+    def test_unknown_cell_reports_catalog(self, library):
+        with pytest.raises(LibraryError, match="INV"):
+            library.cell("FLUXCAP")
+
+    def test_lookup_without_table_fails(self):
+        lib = CellLibrary(soi_low_vt())
+        with pytest.raises(LibraryError, match="corner table"):
+            lib.lookup("INV", 1.0)
+
+    def test_empty_grid_rejected(self):
+        lib = CellLibrary(soi_low_vt())
+        with pytest.raises(LibraryError):
+            lib.build_corner_table([], [0.0])
+
+
+class TestInterpolation:
+    def test_grid_points_are_exact(self, library):
+        direct = library.characterizer.characterize(
+            library.cell("INV"), 1.0, load_f=10e-15, vt_shift=0.0
+        )
+        looked_up = library.lookup("INV", 1.0, 0.0)
+        assert looked_up.delay_s == pytest.approx(direct.delay_s, rel=1e-9)
+        assert looked_up.leakage_current_a == pytest.approx(
+            direct.leakage_current_a, rel=1e-9
+        )
+
+    def test_interpolated_point_close_to_direct(self, library):
+        direct = library.characterizer.characterize(
+            library.cell("NAND2"), 1.2, load_f=10e-15, vt_shift=0.05
+        )
+        looked_up = library.lookup("NAND2", 1.2, 0.05)
+        assert looked_up.delay_s == pytest.approx(direct.delay_s, rel=0.15)
+        # Leakage interpolates in log space, so even the exponential
+        # axis stays within a factor ~1.5.
+        ratio = looked_up.leakage_current_a / direct.leakage_current_a
+        assert 0.5 < ratio < 2.0
+
+    def test_extrapolation_refused(self, library):
+        with pytest.raises(LibraryError, match="extrapolation"):
+            library.lookup("INV", 3.0)
+        with pytest.raises(LibraryError, match="extrapolation"):
+            library.lookup("INV", 1.0, vt_shift=0.5)
+
+    def test_single_point_axis(self):
+        lib = CellLibrary.characterized(
+            soi_low_vt(), vdd_grid=[1.0], vt_shift_grid=[0.0]
+        )
+        assert lib.lookup("INV", 1.0, 0.0).delay_s > 0.0
+        with pytest.raises(LibraryError):
+            lib.lookup("INV", 1.1, 0.0)
+
+    def test_interpolation_monotone_between_corners(self, library):
+        d1 = library.lookup("INV", 0.8).delay_s
+        d2 = library.lookup("INV", 0.9).delay_s
+        d3 = library.lookup("INV", 1.0).delay_s
+        assert d1 > d2 > d3
+
+
+class TestSerialization:
+    def test_round_trip_preserves_lookup(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        library.save(str(path))
+        loaded = CellLibrary.load(str(path))
+        original = library.lookup("XOR2", 1.25, 0.1)
+        recovered = loaded.lookup("XOR2", 1.25, 0.1)
+        assert recovered.delay_s == pytest.approx(original.delay_s)
+        assert recovered.energy_per_transition_j == pytest.approx(
+            original.energy_per_transition_j
+        )
+        assert recovered.leakage_current_a == pytest.approx(
+            original.leakage_current_a
+        )
+
+    def test_round_trip_preserves_cells(self, library):
+        loaded = CellLibrary.from_json(library.to_json())
+        for name, cell in library.cells.items():
+            assert loaded.cells[name].truth_table == cell.truth_table
+
+    def test_loaded_library_has_no_characterizer(self, library):
+        loaded = CellLibrary.from_json(library.to_json())
+        with pytest.raises(LibraryError, match="lookup"):
+            _ = loaded.characterizer
+
+    def test_serializing_untabled_library_fails(self):
+        lib = CellLibrary(soi_low_vt())
+        with pytest.raises(LibraryError, match="corner table"):
+            lib.to_json()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LibraryError, match="malformed"):
+            CellLibrary.from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(LibraryError, match="format"):
+            CellLibrary.from_json('{"format": "something-else"}')

@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.workload == ["idea"]
+        assert args.duty == 1.0
+
+    def test_compare_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "doom"])
+
+
+class TestProfileCommand:
+    def test_prints_unit_rows(self, capsys):
+        assert main(["profile", "--workload", "li", "--scale", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "adder" in output
+        assert "fga" in output
+
+    def test_merges_multiple_workloads(self, capsys):
+        assert (
+            main(
+                ["profile", "--workload", "li", "espresso",
+                 "--scale", "12"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "li+espresso" in output
+
+    def test_duty_scaling_applied(self, capsys):
+        main(["profile", "--workload", "li", "--scale", "16",
+              "--duty", "0.5"])
+        output = capsys.readouterr().out
+        assert "duty 0.5" in output
+
+
+class TestActivityCommand:
+    @pytest.mark.parametrize("stimulus", ["random", "counting"])
+    def test_histogram_printed(self, capsys, stimulus):
+        code = main(
+            [
+                "activity", "--circuit", "adder", "--width", "4",
+                "--vectors", "40", "--stimulus", stimulus,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean activity" in output
+        assert "nodes" in output
+
+    def test_shifter_circuit(self, capsys):
+        assert (
+            main(
+                ["activity", "--circuit", "shifter", "--width", "4",
+                 "--vectors", "30"]
+            )
+            == 0
+        )
+        assert "shifter" in capsys.readouterr().out
+
+
+class TestOptimizeCommand:
+    def test_reports_optimum(self, capsys):
+        code = main(
+            ["optimize", "--delay-factor", "4", "--stages", "11"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Optimum" in output
+        assert "V_T" in output
+
+
+class TestCompareCommand:
+    def test_reports_all_technologies(self, capsys):
+        code = main(
+            [
+                "compare", "--workload", "li", "--scale", "12",
+                "--width", "4", "--vectors", "20", "--duty", "0.2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for column in ("SOIAS", "MTCMOS", "VTCMOS"):
+            assert column in output
+
+
+class TestMarginsCommand:
+    def test_reports_margins_and_floor(self, capsys):
+        code = main(["margins", "--vdd", "1.0", "0.3", "--floor", "0.3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "NM_L" in output
+        assert "Minimum supply" in output
+
+    def test_floor_zero_skips_search(self, capsys):
+        assert main(["margins", "--vdd", "1.0", "--floor", "0"]) == 0
+        assert "Minimum supply" not in capsys.readouterr().out
+
+
+class TestShutdownCommand:
+    def test_reports_all_policies(self, capsys):
+        code = main(["shutdown", "--periods", "60"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for policy in ("always-on", "predictive", "oracle"):
+            assert policy in output
+
+
+class TestRecoverCommand:
+    def test_reports_both_passes(self, capsys):
+        code = main(["recover", "--circuit", "adder", "--width", "6"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "downsizing" in output
+        assert "dual-V_T" in output
+
+
+class TestCharacterizeCommand:
+    def test_prints_cells(self, capsys):
+        assert main(["characterize", "--vdd", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "NAND2" in output
+
+    def test_writes_library(self, tmp_path, capsys):
+        path = tmp_path / "lib.json"
+        code = main(
+            ["characterize", "--vdd", "0.8", "1.2", "--output", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-liberty-lite-v1"

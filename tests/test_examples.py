@@ -1,0 +1,54 @@
+"""Static checks on the example scripts (full runs are manual/slow)."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleScripts:
+    def test_parses(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_module_docstring_with_run_line(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} missing docstring"
+        assert f"python examples/{path.name}" in docstring
+
+    def test_defines_main_and_guard(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        functions = {
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, path.name
+        assert '__name__ == "__main__"' in source, path.name
+
+    def test_imports_resolve(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    module = __import__(
+                        node.module, fromlist=[a.name for a in node.names]
+                    )
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name}"
+                        )
+
+
+def test_every_example_is_listed_in_the_readme():
+    readme = (
+        pathlib.Path(__file__).parent.parent / "README.md"
+    ).read_text()
+    for path in EXAMPLES:
+        assert f"examples/{path.name}" in readme, path.name

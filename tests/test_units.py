@@ -1,0 +1,88 @@
+"""Tests for physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_thermal_voltage_at_room_temperature(self):
+        assert units.thermal_voltage() == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0)
+        )
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+
+    def test_subthreshold_floor_is_59_5mv(self):
+        # kT/q * ln10 at 300 K: the physical swing limit.
+        floor = units.thermal_voltage() * units.LN10
+        assert floor == pytest.approx(0.0595, rel=1e-2)
+
+    def test_permittivities(self):
+        assert units.EPSILON_SI / units.EPSILON_0 == pytest.approx(11.7)
+        assert units.EPSILON_OX / units.EPSILON_0 == pytest.approx(3.9)
+
+
+class TestConversions:
+    @pytest.mark.parametrize(
+        "fn,value,expected",
+        [
+            (units.nm, 9.0, 9e-9),
+            (units.um, 2.0, 2e-6),
+            (units.mm, 1.5, 1.5e-3),
+            (units.ff, 50.0, 50e-15),
+            (units.pf, 1.0, 1e-12),
+            (units.ns, 3.0, 3e-9),
+            (units.ps, 42.0, 42e-12),
+            (units.mhz, 1.0, 1e6),
+            (units.khz, 32.0, 32e3),
+            (units.ghz, 2.0, 2e9),
+            (units.mw, 5.0, 5e-3),
+            (units.uw, 7.0, 7e-6),
+            (units.nw, 9.0, 9e-9),
+            (units.ua, 3.0, 3e-6),
+            (units.na, 4.0, 4e-9),
+            (units.pa, 6.0, 6e-12),
+            (units.mv, 250.0, 0.25),
+        ],
+    )
+    def test_into_si(self, fn, value, expected):
+        assert fn(value) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "fn,value,expected",
+        [
+            (units.to_ff, 1e-15, 1.0),
+            (units.to_ps, 1e-12, 1.0),
+            (units.to_uw, 1e-6, 1.0),
+        ],
+    )
+    def test_out_of_si(self, fn, value, expected):
+        assert fn(value) == pytest.approx(expected)
+
+    def test_round_trips(self):
+        assert units.to_ff(units.ff(123.0)) == pytest.approx(123.0)
+        assert units.to_ps(units.ps(7.5)) == pytest.approx(7.5)
+
+
+class TestDecades:
+    def test_log10_semantics(self):
+        assert units.decades(1000.0) == pytest.approx(3.0)
+        assert units.decades(1.0) == 0.0
+        assert units.decades(0.01) == pytest.approx(-2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.decades(0.0)
+        with pytest.raises(ValueError):
+            units.decades(-1.0)
+
+    def test_consistent_with_math(self):
+        assert units.decades(7.3e4) == pytest.approx(math.log10(7.3e4))
