@@ -1,0 +1,307 @@
+"""Hot-path performance benchmark for the repro toolkit.
+
+Times the three paths the performance layer optimizes and writes the
+measurements to ``BENCH_hotpaths.json`` at the repo root:
+
+1. **Switch-level simulation** — the reference event loop
+   (``run_vectors``) vs the table-driven fast path
+   (``run_vectors_fast``) on a ripple-carry adder under identical
+   random stimulus.  The fast path must produce a bit-identical
+   :class:`ActivityReport`.
+2. **Fixed-throughput optimizer V_T sweep** (Figs. 3-4) — the seed's
+   behavior (a fresh, uncached :class:`CellCharacterizer` per corner
+   query) vs the corner-cached ring model, measured both cold (first
+   sweep, memo empty) and steady-state (repeated sweeps on one model,
+   the production-service workload).  Operating points must match
+   exactly.
+3. **Grid fan-out** — the Fig. 10 energy-ratio surface and a
+   Monte-Carlo leakage distribution, serial vs ``workers=2``.  The
+   parallel results must equal the serial results cell for cell; the
+   measured ratio is recorded honestly together with ``os.cpu_count()``
+   (on a single-CPU host process fan-out *loses* to serial — the
+   point of the record is scaling on real multi-core machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_hotpaths.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.analysis.contour import energy_ratio_surface
+from repro.analysis.variation import MonteCarloAnalyzer
+from repro.circuits.builders import ripple_carry_adder
+from repro.device.technology import soi_low_vt
+from repro.power.energy import ModuleEnergyParameters
+from repro.power.optimizer import (
+    FixedThroughputOptimizer,
+    RingOscillatorModel,
+)
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.stimulus import random_bus_vectors
+from repro.tech.cells import standard_cells
+from repro.tech.characterize import CellCharacterizer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+VT_SWEEP = [0.04 + 0.02 * i for i in range(20)]  # 0.04 .. 0.42 V
+
+
+def _timed(fn):
+    """(result, elapsed_seconds) of one call."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# 1. Simulator: reference event loop vs fast path
+# ----------------------------------------------------------------------
+def bench_simulator(quick: bool) -> dict:
+    width = 8
+    count = 60 if quick else 400
+    netlist = ripple_carry_adder(width)
+    vectors = random_bus_vectors(
+        {"a": width, "b": width}, count=count, seed=42
+    )
+    technology = soi_low_vt()
+
+    reference = SwitchLevelSimulator(netlist, technology, vdd=1.0)
+    fast = SwitchLevelSimulator(netlist, technology, vdd=1.0)
+
+    ref_report, ref_seconds = _timed(lambda: reference.run_vectors(vectors))
+    fast_report, fast_seconds = _timed(
+        lambda: fast.run_vectors_fast(vectors)
+    )
+    identical = ref_report == fast_report
+    return {
+        "circuit": netlist.name,
+        "vectors": count,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "reference_vectors_per_s": count / ref_seconds,
+        "fast_vectors_per_s": count / fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "reports_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Optimizer sweep: uncached-per-corner (seed) vs corner-cached
+# ----------------------------------------------------------------------
+def _seed_behavior(ring: RingOscillatorModel) -> RingOscillatorModel:
+    """Make ``ring`` characterize like the seed: a fresh uncached
+    characterizer for every corner query, no sharing across the sweep."""
+    ring._corner = lambda vt: CellCharacterizer(  # type: ignore[method-assign]
+        ring.technology.with_vt(vt), cache=False
+    )
+    return ring
+
+
+def bench_optimizer(quick: bool) -> dict:
+    repetitions = 2 if quick else 5
+    vts = VT_SWEEP[::4] if quick else VT_SWEEP
+    technology = soi_low_vt()
+
+    def sweep_with(ring: RingOscillatorModel):
+        optimizer = FixedThroughputOptimizer(ring, cycle_stages=202)
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        return optimizer.sweep(vts, target)
+
+    # Before: the seed's behavior, re-timed for every repetition (it
+    # has no state to reuse, so each repetition costs the same).
+    uncached_rep_seconds = []
+    uncached_points = None
+    for _ in range(repetitions):
+        ring = _seed_behavior(RingOscillatorModel(technology, stages=101))
+        uncached_points, elapsed = _timed(lambda: sweep_with(ring))
+        uncached_rep_seconds.append(elapsed)
+
+    # After: one corner-cached model serving every repetition — the
+    # first sweep pays to fill the memo, the rest hit it.
+    cached_ring = RingOscillatorModel(technology, stages=101)
+    cached_rep_seconds = []
+    cached_points = None
+    for _ in range(repetitions):
+        cached_points, elapsed = _timed(lambda: sweep_with(cached_ring))
+        cached_rep_seconds.append(elapsed)
+
+    identical = [
+        (p.vt, p.vdd, p.energy_per_cycle_j) for p in uncached_points
+    ] == [(p.vt, p.vdd, p.energy_per_cycle_j) for p in cached_points]
+
+    uncached_total = sum(uncached_rep_seconds)
+    cached_total = sum(cached_rep_seconds)
+    return {
+        "vt_points": len(vts),
+        "repetitions": repetitions,
+        "uncached_seconds_per_sweep": uncached_rep_seconds,
+        "cached_seconds_per_sweep": cached_rep_seconds,
+        "uncached_seconds_total": uncached_total,
+        "cached_seconds_total": cached_total,
+        "cold_speedup": uncached_rep_seconds[0] / cached_rep_seconds[0],
+        "warm_speedup": min(uncached_rep_seconds) / min(cached_rep_seconds),
+        "speedup": uncached_total / cached_total,
+        "points_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Grid fan-out: contour surface and Monte-Carlo, serial vs workers
+# ----------------------------------------------------------------------
+def _bench_grid_module() -> ModuleEnergyParameters:
+    """A representative datapath module (Fig. 10 operating regime)."""
+    return ModuleEnergyParameters(
+        name="bench-adder",
+        switched_capacitance_f=45e-12,
+        leakage_low_vt_a=2.0e-6,
+        leakage_high_vt_a=4.0e-9,
+        back_gate_capacitance_f=18e-12,
+        back_gate_swing_v=2.0,
+    )
+
+
+def bench_contour(quick: bool, workers: int) -> dict:
+    n = 24 if quick else 64
+    grid = [i / n for i in range(1, n + 1)]
+    module = _bench_grid_module()
+
+    serial, serial_seconds = _timed(
+        lambda: energy_ratio_surface(module, 1.0, 1e-6, grid, grid)
+    )
+    parallel, parallel_seconds = _timed(
+        lambda: energy_ratio_surface(
+            module, 1.0, 1e-6, grid, grid, workers=workers
+        )
+    )
+    return {
+        "grid": [n, n],
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+        "grids_identical": serial.grid.zs == parallel.grid.zs,
+    }
+
+
+def bench_monte_carlo(quick: bool, workers: int) -> dict:
+    n_samples = 40 if quick else 240
+    technology = soi_low_vt()
+    inverter = standard_cells()["INV"]
+
+    serial_mc = MonteCarloAnalyzer(
+        technology, n_samples=n_samples, workers=0
+    )
+    parallel_mc = MonteCarloAnalyzer(
+        technology, n_samples=n_samples, workers=workers
+    )
+    serial, serial_seconds = _timed(
+        lambda: serial_mc.leakage_distribution(inverter, 1.0)
+    )
+    parallel, parallel_seconds = _timed(
+        lambda: parallel_mc.leakage_distribution(inverter, 1.0)
+    )
+    return {
+        "samples": n_samples,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+        "distributions_identical": serial.samples == parallel.samples,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(quick: bool, workers: int) -> dict:
+    results = {
+        "meta": {
+            "generated_unix": time.time(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "quick": quick,
+        },
+        "simulator": bench_simulator(quick),
+        "optimizer_sweep": bench_optimizer(quick),
+        "contour_grid": bench_contour(quick, workers),
+        "monte_carlo": bench_monte_carlo(quick, workers),
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads for CI smoke runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the grid fan-out benches",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_hotpaths.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.quick, args.workers)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    sim = results["simulator"]
+    opt = results["optimizer_sweep"]
+    grid = results["contour_grid"]
+    mc = results["monte_carlo"]
+    print(f"wrote {args.out}")
+    print(
+        f"simulator       {sim['speedup']:6.2f}x  "
+        f"({sim['reference_vectors_per_s']:.0f} -> "
+        f"{sim['fast_vectors_per_s']:.0f} vectors/s, "
+        f"identical={sim['reports_identical']})"
+    )
+    print(
+        f"optimizer sweep {opt['speedup']:6.2f}x amortized over "
+        f"{opt['repetitions']} sweeps "
+        f"(cold {opt['cold_speedup']:.2f}x, warm {opt['warm_speedup']:.2f}x, "
+        f"identical={opt['points_identical']})"
+    )
+    print(
+        f"contour grid    {grid['parallel_speedup']:6.2f}x with "
+        f"workers={grid['workers']} on {results['meta']['cpu_count']} CPU(s) "
+        f"(identical={grid['grids_identical']})"
+    )
+    print(
+        f"monte carlo     {mc['parallel_speedup']:6.2f}x with "
+        f"workers={mc['workers']} "
+        f"(identical={mc['distributions_identical']})"
+    )
+
+    ok = (
+        sim["reports_identical"]
+        and opt["points_identical"]
+        and grid["grids_identical"]
+        and mc["distributions_identical"]
+    )
+    if not ok:
+        print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

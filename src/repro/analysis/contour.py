@@ -13,6 +13,7 @@ toggle.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -129,30 +130,47 @@ def breakeven_bga(
     return rescued / overhead
 
 
+def _ratio_cell(
+    module: ModuleEnergyParameters,
+    vdd: float,
+    t_cycle_s: float,
+    fga: float,
+    bga: float,
+) -> Optional[float]:
+    """One surface cell; module-level so the grid fan-out can pickle it."""
+    if bga > fga:
+        return None
+    soi = e_soi(module, fga, vdd, t_cycle_s)
+    soias = e_soias(module, fga, bga, vdd, t_cycle_s)
+    if soi <= 0.0 or soias <= 0.0:
+        return None
+    return math.log10(soias / soi)
+
+
 def energy_ratio_surface(
     module: ModuleEnergyParameters,
     vdd: float,
     t_cycle_s: float,
     fga_values: Sequence[float],
     bga_values: Sequence[float],
+    workers: int = 0,
 ) -> RatioSurface:
     """Sample the Fig. 10 surface over a grid.
 
     Cells with ``bga > fga`` are physically impossible (a block cannot
     power up more often than it is used) and come back as None.
+    ``workers`` parallelizes the grid across processes (0 = serial);
+    the sampled surface is identical for any worker count.
     """
-
-    def cell(fga: float, bga: float) -> Optional[float]:
-        if bga > fga:
-            return None
-        soi = e_soi(module, fga, vdd, t_cycle_s)
-        soias = e_soias(module, fga, bga, vdd, t_cycle_s)
-        if soi <= 0.0 or soias <= 0.0:
-            return None
-        return math.log10(soias / soi)
-
+    cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
     grid = sweep_2d(
-        "fga", "bga", "log10(E_SOIAS/E_SOI)", fga_values, bga_values, cell
+        "fga",
+        "bga",
+        "log10(E_SOIAS/E_SOI)",
+        fga_values,
+        bga_values,
+        cell,
+        workers=workers,
     )
     return RatioSurface(
         module=module, vdd=vdd, t_cycle_s=t_cycle_s, grid=grid

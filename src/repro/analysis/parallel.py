@@ -1,0 +1,116 @@
+"""Process-parallel evaluation of sweep grids and sample batches.
+
+The figure pipelines spend their time in embarrassingly parallel loops:
+every cell of a contour grid and every Monte-Carlo sample is an
+independent pure-function evaluation.  This module provides the one
+primitive they share — map a picklable function over a work list with
+:class:`concurrent.futures.ProcessPoolExecutor`, chunked to amortize
+IPC, with **deterministic result ordering** (results always come back
+in input order, regardless of which worker finished first).
+
+Fallback policy: the serial path is always available and always
+correct.  ``workers=0`` forces it explicitly; an unpicklable function
+(e.g. a closure), a single-item work list, or a pool that cannot be
+spawned all degrade to serial evaluation transparently.  Because every
+evaluation is a pure function of its arguments, parallel and serial
+results are bit-identical — asserted by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import AnalysisError
+
+__all__ = ["resolve_workers", "map_items", "map_grid"]
+
+_X = TypeVar("_X")
+_Y = TypeVar("_Y")
+_R = TypeVar("_R")
+
+#: Chunks handed to each worker per ``executor.map`` call; >1 keeps the
+#: pool busy when per-item cost is uneven, while still amortizing IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Worker count to use: ``None`` = one per CPU, ``0``/``1`` = serial."""
+    if workers is None:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise AnalysisError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _picklable(fn: Callable) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
+
+
+def _chunksize(n_items: int, n_workers: int) -> int:
+    return max(1, -(-n_items // (n_workers * _CHUNKS_PER_WORKER)))
+
+
+def map_items(
+    fn: Callable[[_X], _R],
+    items: Sequence[_X],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[_R]:
+    """``[fn(item) for item in items]``, possibly across processes.
+
+    Results are returned in input order.  Exceptions raised by ``fn``
+    propagate to the caller on both paths; only pool-infrastructure
+    failures (a worker that cannot spawn or dies) trigger the serial
+    fallback.
+    """
+    work = list(items)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(work) <= 1 or not _picklable(fn):
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = _chunksize(len(work), n_workers)
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            return list(executor.map(fn, work, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, pickle.PicklingError):
+        return [fn(item) for item in work]
+
+
+def map_grid(
+    fn: Callable[[_X, _Y], _R],
+    xs: Sequence[_X],
+    ys: Sequence[_Y],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[List[_R]]:
+    """Evaluate ``fn`` over the cartesian grid, row-major.
+
+    Returns ``rows[i][j] == fn(xs[i], ys[j])`` — the same layout as
+    :class:`repro.analysis.sweep.Sweep2D`.  The grid is flattened into
+    one chunked work list so uneven rows cannot starve workers.
+    """
+    x_list = list(xs)
+    y_list = list(ys)
+    n_workers = resolve_workers(workers)
+    total = len(x_list) * len(y_list)
+    if n_workers <= 1 or total <= 1 or not _picklable(fn):
+        return [[fn(x, y) for y in y_list] for x in x_list]
+    flat_x = [x for x in x_list for _ in y_list]
+    flat_y = [y for _ in x_list for y in y_list]
+    if chunksize is None:
+        chunksize = _chunksize(total, n_workers)
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            flat = list(executor.map(fn, flat_x, flat_y, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, pickle.PicklingError):
+        return [[fn(x, y) for y in y_list] for x in x_list]
+    n_y = len(y_list)
+    return [flat[i * n_y : (i + 1) * n_y] for i in range(len(x_list))]

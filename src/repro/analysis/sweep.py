@@ -106,17 +106,35 @@ def sweep_2d(
     xs: Sequence[float],
     ys: Sequence[float],
     fn: Callable[[float, float], Optional[float]],
+    workers: int = 0,
 ) -> Sweep2D:
-    """Sample ``fn`` over the cartesian grid; fn may return None."""
+    """Sample ``fn`` over the cartesian grid; fn may return None.
+
+    ``workers`` fans the grid out over processes via
+    :func:`repro.analysis.parallel.map_grid` (0 = serial, None = one
+    per CPU).  ``fn`` must be picklable for actual parallelism — a
+    closure silently falls back to the serial path; results are
+    identical either way.
+    """
     if not xs or not ys:
         raise AnalysisError("empty sweep grid")
-    grid = tuple(
-        tuple(
-            None if (value := fn(x, y)) is None else float(value)
-            for y in ys
+    if workers == 0:
+        grid = tuple(
+            tuple(
+                None if (value := fn(x, y)) is None else float(value)
+                for y in ys
+            )
+            for x in xs
         )
-        for x in xs
-    )
+    else:
+        from repro.analysis.parallel import map_grid
+
+        grid = tuple(
+            tuple(
+                None if value is None else float(value) for value in row
+            )
+            for row in map_grid(fn, xs, ys, workers=workers)
+        )
     return Sweep2D(
         x_name=x_name,
         y_name=y_name,

@@ -32,6 +32,33 @@ __all__ = [
     "lognormal_leakage_amplification",
 ]
 
+#: Per-process characterizer cache for the parallel Monte-Carlo path —
+#: each worker builds the corner once and reuses its memo across the
+#: samples in its chunk.  Keyed by the (hashable) Technology value.
+_WORKER_CHARACTERIZERS: dict = {}
+
+
+def _characterizer_for(technology: Technology) -> CellCharacterizer:
+    characterizer = _WORKER_CHARACTERIZERS.get(technology)
+    if characterizer is None:
+        characterizer = CellCharacterizer(technology)
+        _WORKER_CHARACTERIZERS[technology] = characterizer
+    return characterizer
+
+
+def _delay_sample(task) -> float:
+    technology, cell, vdd, load_f, shift = task
+    return _characterizer_for(technology).propagation_delay(
+        cell, vdd, load_f, vt_shift=shift
+    )
+
+
+def _leakage_sample(task) -> float:
+    technology, cell, vdd, shift = task
+    return _characterizer_for(technology).leakage_current(
+        cell, vdd, vt_shift=shift
+    )
+
 
 @dataclass(frozen=True)
 class Distribution:
@@ -102,6 +129,7 @@ class MonteCarloAnalyzer:
         vt_sigma: float = 0.03,
         n_samples: int = 300,
         seed: int = 0,
+        workers: int = 0,
     ):
         if vt_sigma < 0.0:
             raise AnalysisError("vt_sigma must be >= 0")
@@ -111,6 +139,7 @@ class MonteCarloAnalyzer:
         self.vt_sigma = vt_sigma
         self.n_samples = n_samples
         self.seed = seed
+        self.workers = workers
         self._characterizer = CellCharacterizer(technology)
 
     def sample_vt_shifts(self) -> List[float]:
@@ -123,25 +152,61 @@ class MonteCarloAnalyzer:
     def delay_distribution(
         self, cell: Cell, vdd: float, load_f: float = 10e-15
     ) -> Distribution:
-        """Cell delay across the V_T samples at one supply."""
-        samples = tuple(
-            self._characterizer.propagation_delay(
-                cell, vdd, load_f, vt_shift=shift
+        """Cell delay across the V_T samples at one supply.
+
+        With ``workers`` set on the analyzer the samples fan out over
+        processes; the sampled values (and their order) are identical
+        to the serial path because each sample is a pure function of
+        its deterministic V_T shift.
+        """
+        shifts = self.sample_vt_shifts()
+        if self.workers == 0:
+            samples = tuple(
+                self._characterizer.propagation_delay(
+                    cell, vdd, load_f, vt_shift=shift
+                )
+                for shift in shifts
             )
-            for shift in self.sample_vt_shifts()
-        )
+        else:
+            from repro.analysis.parallel import map_items
+
+            samples = tuple(
+                map_items(
+                    _delay_sample,
+                    [
+                        (self.technology, cell, vdd, load_f, shift)
+                        for shift in shifts
+                    ],
+                    workers=self.workers,
+                )
+            )
         return Distribution(samples=samples)
 
     def leakage_distribution(
         self, cell: Cell, vdd: float
     ) -> Distribution:
         """Cell leakage across the V_T samples at one supply."""
-        samples = tuple(
-            self._characterizer.leakage_current(
-                cell, vdd, vt_shift=shift
+        shifts = self.sample_vt_shifts()
+        if self.workers == 0:
+            samples = tuple(
+                self._characterizer.leakage_current(
+                    cell, vdd, vt_shift=shift
+                )
+                for shift in shifts
             )
-            for shift in self.sample_vt_shifts()
-        )
+        else:
+            from repro.analysis.parallel import map_items
+
+            samples = tuple(
+                map_items(
+                    _leakage_sample,
+                    [
+                        (self.technology, cell, vdd, shift)
+                        for shift in shifts
+                    ],
+                    workers=self.workers,
+                )
+            )
         return Distribution(samples=samples)
 
     def leakage_amplification(self, cell: Cell, vdd: float) -> float:

@@ -1,0 +1,186 @@
+"""Adder builders: ripple-carry and carry-select.
+
+These are the two adder architectures the paper's activity and
+voltage-scaling studies compare: the ripple-carry adder is minimal in
+area (and hence switched capacitance per operation) but slow, while the
+carry-select adder buys a shorter critical path with duplicated logic —
+exactly the area/speed trade that architecture-driven voltage scaling
+exploits (run the faster architecture at a lower V_DD for the same
+throughput).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+from repro.tech.cells import standard_cells
+
+__all__ = ["ripple_carry_adder", "carry_select_adder"]
+
+CELLS = standard_cells()
+
+
+def _half_adder(
+    netlist: Netlist,
+    a: str,
+    b: str,
+    sum_net: str,
+    carry_net: str,
+) -> None:
+    """sum = a ^ b, carry = a & b."""
+    netlist.add_gate(CELLS["XOR2"], [a, b], sum_net)
+    netlist.add_gate(CELLS["AND2"], [a, b], carry_net)
+
+
+def _full_adder(
+    netlist: Netlist,
+    a: str,
+    b: str,
+    cin: str,
+    sum_net: str,
+    carry_net: str,
+    prefix: str,
+) -> None:
+    """sum = a ^ b ^ cin, carry = (a & b) | ((a ^ b) & cin)."""
+    p = f"{prefix}.p"
+    g = f"{prefix}.g"
+    t = f"{prefix}.t"
+    netlist.add_gate(CELLS["XOR2"], [a, b], p)
+    netlist.add_gate(CELLS["XOR2"], [p, cin], sum_net)
+    netlist.add_gate(CELLS["AND2"], [a, b], g)
+    netlist.add_gate(CELLS["AND2"], [p, cin], t)
+    netlist.add_gate(CELLS["OR2"], [g, t], carry_net)
+
+
+def ripple_chain(
+    netlist: Netlist,
+    a_nets: Sequence[str],
+    b_nets: Sequence[str],
+    carry_in: Optional[str],
+    sum_nets: Sequence[str],
+    carry_out: str,
+    prefix: str,
+) -> None:
+    """Append a ripple-carry chain over existing nets.
+
+    ``carry_in`` may be ``None`` (bit 0 becomes a half adder).  The sum
+    and carry-out net names are chosen by the caller so builders can
+    route results straight into primary-output or register-input nets.
+    Shared by every adder-flavoured builder in this package.
+    """
+    width = len(a_nets)
+    carry: Optional[str] = carry_in
+    for i in range(width):
+        s_net = sum_nets[i]
+        c_net = carry_out if i == width - 1 else f"{prefix}.c{i}"
+        if carry is None:
+            _half_adder(netlist, a_nets[i], b_nets[i], s_net, c_net)
+        else:
+            _full_adder(
+                netlist,
+                a_nets[i],
+                b_nets[i],
+                carry,
+                s_net,
+                c_net,
+                f"{prefix}.fa{i}",
+            )
+        carry = c_net
+
+
+def ripple_carry_adder(width: int, with_carry_in: bool = False) -> Netlist:
+    """Width-bit ripple-carry adder over buses ``a`` and ``b``.
+
+    Outputs are ``sum[0] .. sum[width-1]`` and ``cout``.  With
+    ``with_carry_in`` a primary input ``cin`` feeds bit 0 (making it a
+    full adder instead of a half adder).
+    """
+    if width < 1:
+        raise NetlistError(f"adder width must be >= 1, got {width}")
+    netlist = Netlist(f"rca{width}")
+    a_nets = netlist.add_inputs("a", width)
+    b_nets = netlist.add_inputs("b", width)
+    carry_in = netlist.add_input("cin") if with_carry_in else None
+    sum_nets = [f"sum[{i}]" for i in range(width)]
+    ripple_chain(netlist, a_nets, b_nets, carry_in, sum_nets, "cout", "r")
+    for net in sum_nets:
+        netlist.add_output(net)
+    netlist.add_output("cout")
+    return netlist
+
+
+def carry_select_adder(width: int, block_width: int = 4) -> Netlist:
+    """Carry-select adder: per-block dual ripple chains plus selection.
+
+    Block 0 is a plain ripple block.  Every later block computes its
+    sums and carry-out twice — once assuming carry-in 0, once assuming
+    carry-in 1 — in parallel with the earlier blocks, then MUX2 cells
+    select the right copy when the real carry arrives.  The carry then
+    crosses each block in a single mux delay, shortening the critical
+    path at roughly twice the logic (the Fig. 10 speed-for-area trade).
+    """
+    if width < 1:
+        raise NetlistError(f"adder width must be >= 1, got {width}")
+    if block_width < 1:
+        raise NetlistError(
+            f"block width must be >= 1, got {block_width}"
+        )
+    netlist = Netlist(f"csa{width}b{block_width}")
+    a_nets = netlist.add_inputs("a", width)
+    b_nets = netlist.add_inputs("b", width)
+    sum_nets = [f"sum[{i}]" for i in range(width)]
+
+    blocks: List[range] = [
+        range(lo, min(lo + block_width, width))
+        for lo in range(0, width, block_width)
+    ]
+    carry: Optional[str] = None
+    for k, bits in enumerate(blocks):
+        last = k == len(blocks) - 1
+        a_blk = [a_nets[i] for i in bits]
+        b_blk = [b_nets[i] for i in bits]
+        if k == 0:
+            # First block: carry-in is known (absent), plain ripple.
+            ripple_chain(
+                netlist,
+                a_blk,
+                b_blk,
+                None,
+                [sum_nets[i] for i in bits],
+                "cout" if last else "blk0.c",
+                "blk0",
+            )
+            carry = "cout" if last else "blk0.c"
+            continue
+        # Speculative copies for carry-in = 0 and carry-in = 1.
+        copies = {}
+        for variant in (0, 1):
+            prefix = f"blk{k}v{variant}"
+            cin_net = None
+            if variant == 1:
+                cin_net = netlist.add_constant(f"{prefix}.one", 1)
+            v_sums = [f"{prefix}.s{i}" for i in range(len(a_blk))]
+            v_cout = f"{prefix}.c"
+            ripple_chain(
+                netlist, a_blk, b_blk, cin_net, v_sums, v_cout, prefix
+            )
+            copies[variant] = (v_sums, v_cout)
+        # Select with the true carry: out = copy1 if carry else copy0.
+        for j, i in enumerate(bits):
+            netlist.add_gate(
+                CELLS["MUX2"],
+                [copies[0][0][j], copies[1][0][j], carry],
+                sum_nets[i],
+            )
+        next_carry = "cout" if last else f"blk{k}.c"
+        netlist.add_gate(
+            CELLS["MUX2"], [copies[0][1], copies[1][1], carry], next_carry
+        )
+        carry = next_carry
+
+    for net in sum_nets:
+        netlist.add_output(net)
+    netlist.add_output("cout")
+    return netlist

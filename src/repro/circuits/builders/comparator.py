@@ -1,0 +1,41 @@
+"""Equality comparator builder.
+
+A wide-AND reduction of per-bit XNORs — representative of the
+control/datapath comparison logic whose activity the paper's power
+profiler weighs against the arithmetic units.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+from repro.tech.cells import standard_cells
+
+__all__ = ["equality_comparator"]
+
+CELLS = standard_cells()
+
+
+def equality_comparator(width: int) -> Netlist:
+    """Width-bit equality comparator: ``eq = all(a[i] == b[i])``.
+
+    Per-bit XNOR2 cells feed a linear AND2 reduction whose final net is
+    the primary output ``eq``.
+    """
+    if width < 1:
+        raise NetlistError(f"comparator width must be >= 1, got {width}")
+    netlist = Netlist(f"eq{width}")
+    a_nets = netlist.add_inputs("a", width)
+    b_nets = netlist.add_inputs("b", width)
+    bit_eqs = []
+    for i in range(width):
+        net = "eq" if width == 1 else f"x[{i}]"
+        netlist.add_gate(CELLS["XNOR2"], [a_nets[i], b_nets[i]], net)
+        bit_eqs.append(net)
+    acc = bit_eqs[0]
+    for i in range(1, width):
+        out = "eq" if i == width - 1 else f"and{i}"
+        netlist.add_gate(CELLS["AND2"], [acc, bit_eqs[i]], out)
+        acc = out
+    netlist.add_output("eq")
+    return netlist

@@ -1,0 +1,110 @@
+"""Array multiplier builder.
+
+The multiplier is the paper's poster child for high switched
+capacitance: an AND array of partial products reduced by ripple rows.
+Gate count grows quadratically with width, which is what puts it at the
+power-hungry end of the Fig. 10 module comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+from repro.tech.cells import standard_cells
+
+__all__ = ["array_multiplier"]
+
+CELLS = standard_cells()
+
+
+def array_multiplier(width: int) -> Netlist:
+    """Width x width unsigned array multiplier; product bus ``p`` is 2*width.
+
+    Row ``j`` of the AND array (``a[i] & b[j]``, significance ``i + j``)
+    is accumulated into the running sum with a ripple chain, so the
+    structure is ``width - 1`` ripple-adder rows on top of ``width**2``
+    AND2 partial products.
+    """
+    if width < 2:
+        raise NetlistError(
+            f"array multiplier width must be >= 2, got {width}"
+        )
+    netlist = Netlist(f"mul{width}")
+    a_nets = netlist.add_inputs("a", width)
+    b_nets = netlist.add_inputs("b", width)
+    out_width = 2 * width
+    p_nets = [f"p[{i}]" for i in range(out_width)]
+
+    def partial(i: int, j: int, out: str) -> str:
+        netlist.add_gate(CELLS["AND2"], [a_nets[i], b_nets[j]], out)
+        return out
+
+    # Row 0 needs no addition: p[0] is the first partial product and the
+    # remaining bits seed the running sum ("rest", significance j+1..).
+    rest: List[str] = []
+    for i in range(width):
+        out = p_nets[0] if i == 0 else f"pp0_{i}"
+        rest.append(partial(i, 0, out))
+    rest = rest[1:]
+
+    for j in range(1, width):
+        last_row = j == width - 1
+        row = [partial(i, j, f"pp{j}_{i}") for i in range(width)]
+        sums: List[str] = []
+        carry: Optional[str] = None
+        for i in range(width):
+            # Product bit of significance j + i.
+            if last_row:
+                s_net = p_nets[j + i]
+            elif i == 0:
+                s_net = p_nets[j]
+            else:
+                s_net = f"s{j}_{i}"
+            c_net = f"c{j}_{i}"
+            operands = [row[i]]
+            if i < len(rest):
+                operands.append(rest[i])
+            if carry is not None:
+                operands.append(carry)
+            if len(operands) == 1:
+                # Nothing to add at this significance yet.
+                sums.append(operands[0])
+                if s_net != operands[0]:
+                    netlist.add_gate(CELLS["BUF"], [operands[0]], s_net)
+                    sums[-1] = s_net
+                carry = None
+            elif len(operands) == 2:
+                netlist.add_gate(CELLS["XOR2"], operands, s_net)
+                netlist.add_gate(CELLS["AND2"], operands, c_net)
+                sums.append(s_net)
+                carry = c_net
+            else:
+                p = f"hp{j}_{i}"
+                g = f"hg{j}_{i}"
+                t = f"ht{j}_{i}"
+                netlist.add_gate(CELLS["XOR2"], [operands[0], operands[1]], p)
+                netlist.add_gate(CELLS["XOR2"], [p, operands[2]], s_net)
+                netlist.add_gate(CELLS["AND2"], [operands[0], operands[1]], g)
+                netlist.add_gate(CELLS["AND2"], [p, operands[2]], t)
+                netlist.add_gate(CELLS["OR2"], [g, t], c_net)
+                sums.append(s_net)
+                carry = c_net
+        if carry is None:
+            carry_net = None
+        else:
+            carry_net = carry
+        if last_row:
+            # Top carry is the most significant product bit.
+            if carry_net is None:
+                zero = netlist.add_constant("msb_zero", 0)
+                netlist.add_gate(CELLS["BUF"], [zero], p_nets[out_width - 1])
+            else:
+                netlist.add_gate(CELLS["BUF"], [carry_net], p_nets[out_width - 1])
+        else:
+            rest = sums[1:] + ([carry_net] if carry_net is not None else [])
+
+    for net in p_nets:
+        netlist.add_output(net)
+    return netlist

@@ -1,0 +1,99 @@
+"""Pipelined ripple-carry adder builder.
+
+Pipelining is the paper's architecture-driven voltage-scaling lever
+(Section 3): cutting the critical path into ``stages`` register-bounded
+chunks lets the same throughput be met at a lower V_DD, trading latency
+and register energy for quadratic supply savings.
+
+Stage ``k`` ripples a contiguous chunk of the bit positions; pipeline
+registers carry the inter-chunk carry, the not-yet-consumed high input
+bits, and the already-computed low sum bits across each boundary.  The
+sum for input pair ``k`` therefore lands ``stages - 1`` cycles later in
+:meth:`Netlist.evaluate_sequence` history.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.builders.adder import ripple_chain
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+__all__ = ["pipelined_adder"]
+
+
+def pipelined_adder(width: int, stages: int) -> Netlist:
+    """Width-bit adder rippled across ``stages`` pipeline stages.
+
+    ``stages`` must satisfy ``1 <= stages <= width`` (each stage needs
+    at least one bit of work); ``stages == 1`` degenerates to a purely
+    combinational ripple-carry adder.  Outputs are ``sum[i]`` and
+    ``cout``; vector ``k``'s result appears at history index
+    ``k + stages - 1``.
+    """
+    if width < 1:
+        raise NetlistError(f"adder width must be >= 1, got {width}")
+    if not 1 <= stages <= width:
+        raise NetlistError(
+            f"stage count must be in [1, {width}] for a {width}-bit "
+            f"adder, got {stages}"
+        )
+    netlist = Netlist(f"pra{width}x{stages}")
+    a_nets: List[str] = netlist.add_inputs("a", width)
+    b_nets: List[str] = netlist.add_inputs("b", width)
+    cur_a = list(a_nets)
+    cur_b = list(b_nets)
+
+    base, extra = divmod(width, stages)
+    chunks: List[range] = []
+    start = 0
+    for k in range(stages):
+        size = base + (1 if k < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+
+    carry: Optional[str] = None
+    # Sum nets already produced by earlier stages, keyed by bit index.
+    live_sums: dict = {}
+    for k, bits in enumerate(chunks):
+        last_stage = k == stages - 1
+        sum_nets = [
+            f"sum[{i}]" if last_stage else f"s{k}[{i}]" for i in bits
+        ]
+        ripple_chain(
+            netlist,
+            [cur_a[i] for i in bits],
+            [cur_b[i] for i in bits],
+            carry,
+            sum_nets,
+            "cout" if last_stage else f"c{k}",
+            f"stg{k}",
+        )
+        for net, i in zip(sum_nets, bits):
+            live_sums[i] = net
+        carry = "cout" if last_stage else f"c{k}"
+        if last_stage:
+            break
+        # Pipeline boundary after stage k: register the carry, every
+        # sum bit computed so far, and the untouched high input bits.
+        final_boundary = k == stages - 2
+        carry_q = f"c{k}q"
+        netlist.add_register(carry, carry_q, name=f"regc{k}")
+        carry = carry_q
+        for i in sorted(live_sums):
+            q = f"sum[{i}]" if final_boundary else f"sb{k}[{i}]"
+            netlist.add_register(live_sums[i], q, name=f"regs{k}_{i}")
+            live_sums[i] = q
+        for i in range(chunks[k + 1].start, width):
+            qa = f"ab{k}[{i}]"
+            qb = f"bb{k}[{i}]"
+            netlist.add_register(cur_a[i], qa, name=f"rega{k}_{i}")
+            netlist.add_register(cur_b[i], qb, name=f"regb{k}_{i}")
+            cur_a[i] = qa
+            cur_b[i] = qb
+
+    for i in range(width):
+        netlist.add_output(f"sum[{i}]")
+    netlist.add_output("cout")
+    return netlist

@@ -1,0 +1,52 @@
+"""Logarithmic barrel shifter builder.
+
+A MUX2-based log shifter: stage ``k`` conditionally shifts left by
+``2**k`` under control bit ``s[k]``.  Shifters sit at the low-energy end
+of the paper's module comparison — all steering, no arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+from repro.tech.cells import standard_cells
+
+__all__ = ["barrel_shifter"]
+
+CELLS = standard_cells()
+
+
+def barrel_shifter(width: int) -> Netlist:
+    """Width-bit left barrel shifter: ``y = (a << s) mod 2**width``.
+
+    ``width`` must be a power of two (>= 2) so the ``log2(width)``
+    control bits ``s[k]`` cover every shift amount exactly.  Vacated
+    low-order positions fill with a constant zero.
+    """
+    if width < 2 or width & (width - 1) != 0:
+        raise NetlistError(
+            f"barrel shifter width must be a power of two >= 2, got {width}"
+        )
+    stages = width.bit_length() - 1
+    netlist = Netlist(f"bsh{width}")
+    a_nets = netlist.add_inputs("a", width)
+    s_nets = netlist.add_inputs("s", stages)
+    zero = netlist.add_constant("zero", 0)
+
+    current = list(a_nets)
+    for k in range(stages):
+        shift = 1 << k
+        last = k == stages - 1
+        stage_out = []
+        for i in range(width):
+            out = f"y[{i}]" if last else f"st{k}[{i}]"
+            shifted = current[i - shift] if i >= shift else zero
+            netlist.add_gate(
+                CELLS["MUX2"], [current[i], shifted, s_nets[k]], out
+            )
+            stage_out.append(out)
+        current = stage_out
+
+    for net in current:
+        netlist.add_output(net)
+    return netlist

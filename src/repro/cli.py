@@ -7,6 +7,7 @@ extensions::
     python -m repro activity --circuit adder --width 8 # Figs. 8-9
     python -m repro optimize --delay-factor 4          # Figs. 3-4
     python -m repro compare --duty 0.2                 # Fig. 10
+    python -m repro contour --grid 24 --workers 4      # Fig. 10 surface
     python -m repro characterize --vdd 0.8 1.0 1.2     # liberty-lite
     python -m repro margins --floor 0.3                # V_DD floor
     python -m repro shutdown                           # policies
@@ -140,7 +141,7 @@ def _cmd_activity(args: argparse.Namespace) -> int:
             fixed_widths={n: buses[n] for n in fixed},
         )
     simulator = SwitchLevelSimulator(netlist, technology, args.vdd)
-    report = simulator.run_vectors(vectors)
+    report = simulator.run_vectors_fast(vectors)
     edges, counts = report.histogram(bins=args.bins)
     rows = [
         [f"{edges[i]:.3f}-{edges[i + 1]:.3f}", counts[i]]
@@ -232,6 +233,46 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=(
                 f"Burst-mode savings vs fixed-low-V_T SOI "
                 f"(duty {args.duty:g}, {args.clock:g} Hz, {args.vdd} V)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_contour(args: argparse.Namespace) -> int:
+    flow = LowVoltageDesignFlow(vdd=args.vdd, clock_hz=args.clock)
+    datapath = standard_datapath(
+        width=args.width, stimulus_vectors=args.vectors
+    )
+    unit = datapath[args.unit]
+    report = flow.unit_activity(unit.netlist, unit.vectors)
+    module = flow.module_parameters(unit.netlist, report)
+    grid = [i / args.grid for i in range(1, args.grid + 1)]
+    surface = flow.ratio_surface(module, grid, grid, workers=args.workers)
+    defined = [
+        (fga, bga, value)
+        for i, fga in enumerate(surface.grid.xs)
+        for j, bga in enumerate(surface.grid.ys)
+        if (value := surface.grid.at(i, j)) is not None
+    ]
+    if not defined:
+        raise ReproError("contour grid has no defined cells")
+    best = min(defined, key=lambda cell: cell[2])
+    worst = max(defined, key=lambda cell: cell[2])
+    rows = [
+        ["grid", f"{args.grid} x {args.grid}", "", ""],
+        ["defined cells", surface.grid.defined_cells(), "", ""],
+        ["best log10 ratio", f"{best[2]:+.3f}", best[0], best[1]],
+        ["worst log10 ratio", f"{worst[2]:+.3f}", worst[0], worst[1]],
+    ]
+    print(
+        format_table(
+            ["quantity", "value", "fga", "bga"],
+            rows,
+            title=(
+                f"{args.unit} x{args.width} SOIAS/SOI surface at "
+                f"{args.vdd} V, {args.clock:g} Hz "
+                f"(workers {args.workers})"
             ),
         )
     )
@@ -473,6 +514,24 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--vdd", type=float, default=1.0)
     compare.add_argument("--clock", type=float, default=1e6)
     compare.set_defaults(handler=_cmd_compare)
+
+    contour = sub.add_parser(
+        "contour", help="Fig. 10 energy-ratio surface over a (fga, bga) grid"
+    )
+    contour.add_argument(
+        "--unit", choices=["adder", "shifter", "multiplier"],
+        default="adder",
+    )
+    contour.add_argument("--width", type=int, default=8)
+    contour.add_argument("--vectors", type=int, default=80)
+    contour.add_argument("--vdd", type=float, default=1.0)
+    contour.add_argument("--clock", type=float, default=1e6)
+    contour.add_argument("--grid", type=int, default=24)
+    contour.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the grid (0 = serial)",
+    )
+    contour.set_defaults(handler=_cmd_contour)
 
     characterize = sub.add_parser(
         "characterize", help="cell-library characterization"

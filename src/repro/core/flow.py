@@ -170,10 +170,16 @@ class LowVoltageDesignFlow:
         module: ModuleEnergyParameters,
         fga_values: Sequence[float],
         bga_values: Sequence[float],
+        workers: int = 0,
     ) -> RatioSurface:
-        """Fig. 10 surface for one module."""
+        """Fig. 10 surface for one module (``workers`` fans out the grid)."""
         return energy_ratio_surface(
-            module, self.vdd, self.t_cycle_s, fga_values, bga_values
+            module,
+            self.vdd,
+            self.t_cycle_s,
+            fga_values,
+            bga_values,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------

@@ -16,7 +16,7 @@ knobs are the supply and the threshold:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.device.technology import Technology
 from repro.errors import OptimizationError
@@ -80,9 +80,21 @@ class RingOscillatorModel:
         self.stages = stages
         self.activity = activity
         self._inverter = standard_cells()["INV"]
+        self._corners: Dict[float, CellCharacterizer] = {}
 
     def _corner(self, vt: float) -> CellCharacterizer:
-        return CellCharacterizer(self.technology.with_vt(vt))
+        """Memoized characterizer for the V_T corner.
+
+        Bisection revisits the same V_T dozens of times per
+        ``solve_vdd_for_delay`` call; sharing one characterizer per
+        corner lets its internal (cell, vdd, load) memo accumulate
+        across the whole sweep instead of being rebuilt per query.
+        """
+        corner = self._corners.get(vt)
+        if corner is None:
+            corner = CellCharacterizer(self.technology.with_vt(vt))
+            self._corners[vt] = corner
+        return corner
 
     def stage_delay(self, vdd: float, vt: float) -> float:
         """Fanout-1 inverter delay at a corner [s]."""
@@ -148,9 +160,7 @@ class RingOscillatorModel:
         if cycle_time_s <= 0.0:
             raise OptimizationError("cycle time must be positive")
         corner = self._corner(vt)
-        load = self._inverter.input_capacitance(
-            self.technology.with_vt(vt), vdd
-        )
+        load = self._inverter.input_capacitance(corner.technology, vdd)
         switching_per_stage = corner.energy_per_transition(
             self._inverter, vdd, load
         )

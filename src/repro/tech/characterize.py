@@ -34,6 +34,9 @@ __all__ = ["CellTimings", "CellCharacterizer"]
 #: the usual 50 %-swing convention.
 _DELAY_CONSTANT = 0.7
 
+#: Cache-miss sentinel (``None``/0.0 are legal cached values).
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class CellTimings:
@@ -61,14 +64,49 @@ class CellTimings:
 class CellCharacterizer:
     """Characterizes cells of one technology.
 
-    The stack-leakage bisection is memoized per polarity, so sweeping a
-    corner grid stays fast.
+    All corner queries (drive currents, delay, switching and
+    short-circuit energy, leakage) are memoized on the exact argument
+    tuple ``(cell, vdd, vt_shift, load, ...)``: the model functions are
+    pure, so a cache hit returns the very same float the first call
+    computed — results are bit-identical with caching on or off.  The
+    stack-leakage bisection is additionally memoized per polarity inside
+    :class:`~repro.device.leakage.StackLeakageModel`.  Pass
+    ``cache=False`` to benchmark the uncached evaluation cost.
+
+    ``Cell`` is a frozen dataclass, so cells key the cache by *value*:
+    equal cells from different ``standard_cells()`` catalogs share
+    entries.
     """
 
-    def __init__(self, technology: Technology):
+    def __init__(self, technology: Technology, cache: bool = True):
         self.technology = technology
+        self.cache_enabled = bool(cache)
+        self._memo: dict = {}
+        # Frozen-dataclass hashing re-walks every Cell field on each
+        # lookup; interning cells to small ints keeps keys cheap while
+        # preserving value semantics (equal cells share a token).
+        self._cell_tokens: dict = {}
         self._nmos_stacks = StackLeakageModel(technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(technology.transistors.pmos)
+
+    def _token(self, cell: Cell) -> int:
+        token = self._cell_tokens.get(cell)
+        if token is None:
+            token = len(self._cell_tokens)
+            self._cell_tokens[cell] = token
+        return token
+
+    def clear_cache(self) -> None:
+        """Drop every memoized corner result (stack memo included)."""
+        self._memo.clear()
+        self._cell_tokens.clear()
+        self._nmos_stacks = StackLeakageModel(self.technology.transistors.nmos)
+        self._pmos_stacks = StackLeakageModel(self.technology.transistors.pmos)
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized corner results."""
+        return len(self._memo)
 
     # ------------------------------------------------------------------
     # Drive
@@ -77,17 +115,58 @@ class CellCharacterizer:
         self, cell: Cell, vdd: float, vt_shift: float = 0.0
     ) -> float:
         """Worst-case pull-down drive current [A]."""
-        width = cell.series_equivalent_width(cell.nmos_path_widths_um)
-        device = Mosfet(self.technology.transistors.nmos, width_um=width)
-        return device.on_current(vdd, vt_shift)
+        if not self.cache_enabled:
+            width = cell.series_equivalent_width(cell.nmos_path_widths_um)
+            device = Mosfet(self.technology.transistors.nmos, width_um=width)
+            return device.on_current(vdd, vt_shift)
+        key = ("pd", self._token(cell), vdd, vt_shift)
+        result = self._memo.get(key, _MISS)
+        if result is _MISS:
+            width = cell.series_equivalent_width(cell.nmos_path_widths_um)
+            device = Mosfet(self.technology.transistors.nmos, width_um=width)
+            result = device.on_current(vdd, vt_shift)
+            self._memo[key] = result
+        return result
 
     def pull_up_current(
         self, cell: Cell, vdd: float, vt_shift: float = 0.0
     ) -> float:
         """Worst-case pull-up drive current [A]."""
-        width = cell.series_equivalent_width(cell.pmos_path_widths_um)
-        device = Mosfet(self.technology.transistors.pmos, width_um=width)
-        return device.on_current(vdd, vt_shift)
+        if not self.cache_enabled:
+            width = cell.series_equivalent_width(cell.pmos_path_widths_um)
+            device = Mosfet(self.technology.transistors.pmos, width_um=width)
+            return device.on_current(vdd, vt_shift)
+        key = ("pu", self._token(cell), vdd, vt_shift)
+        result = self._memo.get(key, _MISS)
+        if result is _MISS:
+            width = cell.series_equivalent_width(cell.pmos_path_widths_um)
+            device = Mosfet(self.technology.transistors.pmos, width_um=width)
+            result = device.on_current(vdd, vt_shift)
+            self._memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Cached C(V) views
+    # ------------------------------------------------------------------
+    def _input_capacitance(self, cell: Cell, vdd: float) -> float:
+        if not self.cache_enabled:
+            return cell.input_capacitance(self.technology, vdd)
+        key = ("cin", self._token(cell), vdd)
+        result = self._memo.get(key, _MISS)
+        if result is _MISS:
+            result = cell.input_capacitance(self.technology, vdd)
+            self._memo[key] = result
+        return result
+
+    def _output_capacitance(self, cell: Cell, vdd: float) -> float:
+        if not self.cache_enabled:
+            return cell.output_capacitance(self.technology, vdd)
+        key = ("cout", self._token(cell), vdd)
+        result = self._memo.get(key, _MISS)
+        if result is _MISS:
+            result = cell.output_capacitance(self.technology, vdd)
+            self._memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Timing / energy / leakage
@@ -103,7 +182,12 @@ class CellCharacterizer:
         self._check_vdd(vdd)
         if load_f < 0.0:
             raise CharacterizationError("load must be >= 0")
-        total_load = load_f + cell.output_capacitance(self.technology, vdd)
+        if self.cache_enabled:
+            key = ("delay", self._token(cell), vdd, load_f, vt_shift)
+            result = self._memo.get(key, _MISS)
+            if result is not _MISS:
+                return result
+        total_load = load_f + self._output_capacitance(cell, vdd)
         weakest = min(
             self.pull_down_current(cell, vdd, vt_shift),
             self.pull_up_current(cell, vdd, vt_shift),
@@ -112,7 +196,10 @@ class CellCharacterizer:
             raise CharacterizationError(
                 f"cell {cell.name} has no drive at V_DD = {vdd} V"
             )
-        return _DELAY_CONSTANT * total_load * vdd / weakest
+        result = _DELAY_CONSTANT * total_load * vdd / weakest
+        if self.cache_enabled:
+            self._memo[key] = result
+        return result
 
     def energy_per_transition(
         self, cell: Cell, vdd: float, load_f: float
@@ -127,8 +214,16 @@ class CellCharacterizer:
         self._check_vdd(vdd)
         if load_f < 0.0:
             raise CharacterizationError("load must be >= 0")
-        total = load_f + cell.output_capacitance(self.technology, vdd)
-        return total * vdd * vdd
+        if self.cache_enabled:
+            key = ("energy", self._token(cell), vdd, load_f)
+            result = self._memo.get(key, _MISS)
+            if result is not _MISS:
+                return result
+        total = load_f + self._output_capacitance(cell, vdd)
+        result = total * vdd * vdd
+        if self.cache_enabled:
+            self._memo[key] = result
+        return result
 
     def short_circuit_energy(
         self,
@@ -144,24 +239,35 @@ class CellCharacterizer:
         remove short-circuit power entirely.
         """
         self._check_vdd(vdd)
+        if self.cache_enabled:
+            key = ("sc", self._token(cell), vdd, load_f, input_transition_time_s)
+            cached = self._memo.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
         nmos = self.technology.transistors.nmos
         pmos = self.technology.transistors.pmos
         overlap = vdd - nmos.vt0 - pmos.vt0
         if overlap <= 0.0:
-            return 0.0
-        # Veendrick: E_sc ~ (k/12) * (V_DD - V_Tn - V_Tp)^3 * tau / V_DD
-        # with k the drive factor of the weaker device.
-        k_eff = min(
-            nmos.k_drive * cell.series_equivalent_width(cell.nmos_path_widths_um),
-            pmos.k_drive * cell.series_equivalent_width(cell.pmos_path_widths_um),
-        )
-        return (
-            k_eff
-            / 12.0
-            * overlap**3
-            * input_transition_time_s
-            / vdd
-        )
+            result = 0.0
+        else:
+            # Veendrick: E_sc ~ (k/12) * (V_DD - V_Tn - V_Tp)^3 * tau / V_DD
+            # with k the drive factor of the weaker device.
+            k_eff = min(
+                nmos.k_drive
+                * cell.series_equivalent_width(cell.nmos_path_widths_um),
+                pmos.k_drive
+                * cell.series_equivalent_width(cell.pmos_path_widths_um),
+            )
+            result = (
+                k_eff
+                / 12.0
+                * overlap**3
+                * input_transition_time_s
+                / vdd
+            )
+        if self.cache_enabled:
+            self._memo[key] = result
+        return result
 
     def leakage_current(
         self,
@@ -176,6 +282,11 @@ class CellCharacterizer:
             raise CharacterizationError(
                 "output_high_probability must be in [0, 1]"
             )
+        if self.cache_enabled:
+            key = ("leak", self._token(cell), vdd, vt_shift, output_high_probability)
+            cached = self._memo.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
         nmos_leak = self._nmos_stacks.current(
             cell.nmos_path_widths_um, vdd, vt_shift
         )
@@ -183,7 +294,10 @@ class CellCharacterizer:
             cell.pmos_path_widths_um, vdd, vt_shift
         )
         p_high = output_high_probability
-        return p_high * nmos_leak + (1.0 - p_high) * pmos_leak
+        result = p_high * nmos_leak + (1.0 - p_high) * pmos_leak
+        if self.cache_enabled:
+            self._memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # One-call corner characterization
@@ -206,10 +320,8 @@ class CellCharacterizer:
                 cell, vdd, load_f
             ),
             leakage_current_a=self.leakage_current(cell, vdd, vt_shift),
-            input_capacitance_f=cell.input_capacitance(self.technology, vdd),
-            output_capacitance_f=cell.output_capacitance(
-                self.technology, vdd
-            ),
+            input_capacitance_f=self._input_capacitance(cell, vdd),
+            output_capacitance_f=self._output_capacitance(cell, vdd),
         )
 
     def fanout_delay(
@@ -226,8 +338,16 @@ class CellCharacterizer:
         """
         if fanout < 1:
             raise CharacterizationError("fanout must be >= 1")
-        load = fanout * cell.input_capacitance(self.technology, vdd)
-        return self.propagation_delay(cell, vdd, load, vt_shift)
+        if self.cache_enabled:
+            key = ("fanout", self._token(cell), vdd, fanout, vt_shift)
+            result = self._memo.get(key, _MISS)
+            if result is not _MISS:
+                return result
+        load = fanout * self._input_capacitance(cell, vdd)
+        result = self.propagation_delay(cell, vdd, load, vt_shift)
+        if self.cache_enabled:
+            self._memo[key] = result
+        return result
 
     def _check_vdd(self, vdd: float) -> None:
         if vdd <= 0.0:

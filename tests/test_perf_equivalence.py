@@ -1,0 +1,266 @@
+"""Equivalence tests for the hot-path performance layer.
+
+Every fast path in the performance layer — the characterizer memo, the
+table-driven simulator loop, the process-pool grid fan-out, and the
+corner-cached optimizer — must be *bit-identical* to the reference
+path it accelerates.  These tests pin that contract.
+"""
+
+import pytest
+
+from repro.analysis.contour import energy_ratio_surface
+from repro.analysis.parallel import map_grid, map_items, resolve_workers
+from repro.analysis.sweep import sweep_2d
+from repro.analysis.variation import MonteCarloAnalyzer
+from repro.circuits.builders import pipelined_adder, ripple_carry_adder
+from repro.device.technology import soi_low_vt, soias_technology
+from repro.errors import AnalysisError, CharacterizationError, SimulationError
+from repro.power.energy import ModuleEnergyParameters
+from repro.power.optimizer import (
+    FixedThroughputOptimizer,
+    RingOscillatorModel,
+)
+from repro.switchsim.simulator import SwitchLevelSimulator
+from repro.switchsim.stimulus import random_bus_vectors
+from repro.tech.cells import standard_cells
+from repro.tech.characterize import CellCharacterizer
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return soi_low_vt()
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return standard_cells()
+
+
+# ----------------------------------------------------------------------
+# Characterizer memo vs uncached reference
+# ----------------------------------------------------------------------
+class TestCharacterizerCacheEquivalence:
+    VDDS = (0.4, 0.7, 1.0)
+    LOADS = (5e-15, 20e-15)
+    SHIFTS = (-0.05, 0.0, 0.1)
+
+    def test_all_memoized_methods_bit_identical(self, tech, cells):
+        cached = CellCharacterizer(tech)
+        uncached = CellCharacterizer(tech, cache=False)
+        for name in ("INV", "NAND2", "NOR3", "XOR2", "MUX2", "OAI21"):
+            cell = cells[name]
+            for vdd in self.VDDS:
+                for shift in self.SHIFTS:
+                    assert cached.pull_down_current(
+                        cell, vdd, shift
+                    ) == uncached.pull_down_current(cell, vdd, shift)
+                    assert cached.pull_up_current(
+                        cell, vdd, shift
+                    ) == uncached.pull_up_current(cell, vdd, shift)
+                    assert cached.leakage_current(
+                        cell, vdd, vt_shift=shift
+                    ) == uncached.leakage_current(cell, vdd, vt_shift=shift)
+                    assert cached.fanout_delay(
+                        cell, vdd, fanout=3, vt_shift=shift
+                    ) == uncached.fanout_delay(
+                        cell, vdd, fanout=3, vt_shift=shift
+                    )
+                    for load in self.LOADS:
+                        assert cached.propagation_delay(
+                            cell, vdd, load, vt_shift=shift
+                        ) == uncached.propagation_delay(
+                            cell, vdd, load, vt_shift=shift
+                        )
+                for load in self.LOADS:
+                    assert cached.energy_per_transition(
+                        cell, vdd, load
+                    ) == uncached.energy_per_transition(cell, vdd, load)
+                    assert cached.short_circuit_energy(
+                        cell, vdd, load, 50e-12
+                    ) == uncached.short_circuit_energy(
+                        cell, vdd, load, 50e-12
+                    )
+        assert cached.cache_size > 0
+        assert uncached.cache_size == 0
+
+    def test_characterize_summary_identical(self, tech, cells):
+        cached = CellCharacterizer(tech)
+        uncached = CellCharacterizer(tech, cache=False)
+        for name in ("INV", "AOI21", "BUF"):
+            assert cached.characterize(
+                cells[name], 0.9
+            ) == uncached.characterize(cells[name], 0.9)
+
+    def test_repeat_queries_hit_the_memo(self, tech, cells):
+        characterizer = CellCharacterizer(tech)
+        first = characterizer.propagation_delay(cells["INV"], 1.0, 10e-15)
+        size = characterizer.cache_size
+        second = characterizer.propagation_delay(cells["INV"], 1.0, 10e-15)
+        assert first == second
+        assert characterizer.cache_size == size
+
+    def test_clear_cache_empties_and_preserves_values(self, tech, cells):
+        characterizer = CellCharacterizer(tech)
+        before = characterizer.leakage_current(cells["NAND2"], 1.0)
+        characterizer.clear_cache()
+        assert characterizer.cache_size == 0
+        assert characterizer.leakage_current(cells["NAND2"], 1.0) == before
+
+    def test_validation_still_raises_with_cache_on(self, tech, cells):
+        characterizer = CellCharacterizer(tech)
+        with pytest.raises(CharacterizationError):
+            characterizer.propagation_delay(cells["INV"], -1.0, 10e-15)
+        with pytest.raises(CharacterizationError):
+            characterizer.propagation_delay(cells["INV"], 1.0, -5e-15)
+
+    def test_distinct_technologies_do_not_share_entries(self, cells):
+        a = CellCharacterizer(soi_low_vt())
+        b = CellCharacterizer(soias_technology())
+        assert a.propagation_delay(
+            cells["INV"], 1.0, 10e-15
+        ) != b.propagation_delay(cells["INV"], 1.0, 10e-15)
+
+
+# ----------------------------------------------------------------------
+# Simulator fast path vs reference event loop
+# ----------------------------------------------------------------------
+class TestSimulatorFastPathEquivalence:
+    def test_ripple_carry_adder_reports_identical(self, tech):
+        netlist = ripple_carry_adder(8)
+        vectors = random_bus_vectors({"a": 8, "b": 8}, count=80, seed=7)
+        reference = SwitchLevelSimulator(netlist, tech, 1.0)
+        fast = SwitchLevelSimulator(netlist, tech, 1.0)
+        assert reference.run_vectors(vectors) == fast.run_vectors_fast(
+            vectors
+        )
+
+    def test_registered_circuit_reports_identical(self, tech):
+        netlist = pipelined_adder(8, stages=2)
+        vectors = random_bus_vectors({"a": 8, "b": 8}, count=40, seed=3)
+        reference = SwitchLevelSimulator(netlist, tech, 1.0)
+        fast = SwitchLevelSimulator(netlist, tech, 1.0)
+        assert reference.run_vectors(vectors) == fast.run_vectors_fast(
+            vectors
+        )
+
+    def test_final_state_matches_reference(self, tech):
+        netlist = ripple_carry_adder(4)
+        vectors = random_bus_vectors({"a": 4, "b": 4}, count=25, seed=11)
+        reference = SwitchLevelSimulator(netlist, tech, 1.0)
+        fast = SwitchLevelSimulator(netlist, tech, 1.0)
+        reference.run_vectors(vectors)
+        fast.run_vectors_fast(vectors)
+        assert fast.state == reference.state
+        assert fast.now_fs == reference.now_fs
+
+    def test_fast_path_validates_inputs_like_reference(self, tech):
+        netlist = ripple_carry_adder(4)
+        simulator = SwitchLevelSimulator(netlist, tech, 1.0)
+        good = random_bus_vectors({"a": 4, "b": 4}, count=1, seed=0)[0]
+        with pytest.raises(SimulationError):
+            simulator.run_vectors_fast([dict(good, nosuch=1)])
+        with pytest.raises(SimulationError):
+            simulator.run_vectors_fast([dict(good, **{"a[0]": 2})])
+
+
+# ----------------------------------------------------------------------
+# Parallel grid fan-out vs serial
+# ----------------------------------------------------------------------
+def _grid_fn(x, y):
+    return None if y > x else x * 10.0 + y
+
+
+def _item_fn(x):
+    return x * x + 1.0
+
+
+MODULE = ModuleEnergyParameters(
+    name="eqtest",
+    switched_capacitance_f=45e-12,
+    leakage_low_vt_a=2.0e-6,
+    leakage_high_vt_a=4.0e-9,
+    back_gate_capacitance_f=18e-12,
+    back_gate_swing_v=2.0,
+)
+
+
+class TestParallelEquivalence:
+    XS = [0.1 * i for i in range(1, 9)]
+    YS = [0.05 * i for i in range(1, 7)]
+
+    def test_map_grid_matches_serial_sweep(self):
+        serial = sweep_2d("x", "y", "z", self.XS, self.YS, _grid_fn)
+        rows = map_grid(_grid_fn, self.XS, self.YS, workers=2)
+        assert tuple(tuple(row) for row in rows) == serial.zs
+
+    def test_sweep_2d_workers_matches_serial(self):
+        serial = sweep_2d("x", "y", "z", self.XS, self.YS, _grid_fn)
+        parallel = sweep_2d(
+            "x", "y", "z", self.XS, self.YS, _grid_fn, workers=2
+        )
+        assert parallel == serial
+
+    def test_map_items_matches_serial(self):
+        items = [0.25 * i for i in range(17)]
+        assert map_items(_item_fn, items, workers=2) == [
+            _item_fn(x) for x in items
+        ]
+
+    def test_closure_falls_back_to_serial(self):
+        offset = 2.0
+        rows = map_grid(
+            lambda x, y: x + y + offset, [1.0, 2.0], [3.0], workers=2
+        )
+        assert rows == [[6.0], [7.0]]
+
+    def test_energy_ratio_surface_workers_parity(self):
+        grid = [i / 12 for i in range(1, 13)]
+        serial = energy_ratio_surface(MODULE, 1.0, 1e-6, grid, grid)
+        parallel = energy_ratio_surface(
+            MODULE, 1.0, 1e-6, grid, grid, workers=2
+        )
+        assert parallel.grid == serial.grid
+
+    def test_monte_carlo_workers_parity(self, tech, cells):
+        serial = MonteCarloAnalyzer(tech, n_samples=24, workers=0)
+        parallel = MonteCarloAnalyzer(tech, n_samples=24, workers=2)
+        inv = cells["INV"]
+        assert (
+            parallel.delay_distribution(inv, 0.8).samples
+            == serial.delay_distribution(inv, 0.8).samples
+        )
+        assert (
+            parallel.leakage_distribution(inv, 0.8).samples
+            == serial.leakage_distribution(inv, 0.8).samples
+        )
+
+    def test_resolve_workers_validates(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        with pytest.raises(AnalysisError):
+            resolve_workers(-1)
+
+
+# ----------------------------------------------------------------------
+# Corner-cached optimizer vs seed-style uncached corners
+# ----------------------------------------------------------------------
+class TestOptimizerCornerCacheEquivalence:
+    def test_sweep_identical_to_uncached_corners(self, tech):
+        vts = [0.06 + 0.06 * i for i in range(5)]
+
+        def run(ring):
+            optimizer = FixedThroughputOptimizer(ring, cycle_stages=202)
+            target = 4.0 * ring.stage_delay(1.0, 0.2)
+            return [
+                (p.vt, p.vdd, p.energy_per_cycle_j, p.leakage_energy_j)
+                for p in optimizer.sweep(vts, target)
+            ]
+
+        cached_ring = RingOscillatorModel(tech, stages=101)
+        uncached_ring = RingOscillatorModel(tech, stages=101)
+        uncached_ring._corner = lambda vt: CellCharacterizer(
+            tech.with_vt(vt), cache=False
+        )
+        assert run(cached_ring) == run(uncached_ring)
+        assert len(cached_ring._corners) > 0
