@@ -36,6 +36,7 @@ import platform
 import sys
 import time
 
+from repro import obs
 from repro.analysis.contour import energy_ratio_surface
 from repro.analysis.variation import MonteCarloAnalyzer
 from repro.circuits.builders import ripple_carry_adder
@@ -220,6 +221,41 @@ def bench_monte_carlo(quick: bool, workers: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# 4. Observability snapshot (instrumented rerun of small workloads)
+# ----------------------------------------------------------------------
+def bench_observability(workers: int) -> dict:
+    """A small instrumented pass recording the hot-path counters.
+
+    Runs *after* the timed benches (which execute with instrumentation
+    disabled, the production configuration) so the snapshot documents
+    what the counters look like without perturbing the measurements.
+    """
+    technology = soi_low_vt()
+    with obs.enabled_scope():
+        ring = RingOscillatorModel(technology, stages=11)
+        optimizer = FixedThroughputOptimizer(ring, cycle_stages=22)
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        optimizer.sweep(VT_SWEEP[::4], target)
+        optimizer.optimum(target, vt_bounds=(0.05, 0.45))
+
+        netlist = ripple_carry_adder(4)
+        vectors = random_bus_vectors({"a": 4, "b": 4}, count=20, seed=1)
+        SwitchLevelSimulator(netlist, technology, vdd=1.0).run_vectors_fast(
+            vectors
+        )
+
+        module = _bench_grid_module()
+        grid = [i / 8 for i in range(1, 9)]
+        energy_ratio_surface(
+            module, 1.0, 1e-6, grid, grid, workers=workers
+        )
+
+        obs.gauge("ring.corners", ring.cache_info().currsize)
+        obs.gauge("ring.corner_hit_rate", ring.cache_info().hit_rate)
+        return obs.snapshot()
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def run(quick: bool, workers: int) -> dict:
@@ -235,6 +271,7 @@ def run(quick: bool, workers: int) -> dict:
         "optimizer_sweep": bench_optimizer(quick),
         "contour_grid": bench_contour(quick, workers),
         "monte_carlo": bench_monte_carlo(quick, workers),
+        "observability": bench_observability(workers),
     }
     return results
 
@@ -289,6 +326,12 @@ def main(argv=None) -> int:
         f"monte carlo     {mc['parallel_speedup']:6.2f}x with "
         f"workers={mc['workers']} "
         f"(identical={mc['distributions_identical']})"
+    )
+    n_counters = len(results["observability"]["counters"])
+    n_timers = len(results["observability"]["timers"])
+    print(
+        f"observability   {n_counters} counters, {n_timers} timers "
+        "recorded from the instrumented pass"
     )
 
     ok = (

@@ -16,8 +16,9 @@ from __future__ import annotations
 import functools
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.analysis.sweep import Sweep2D, sweep_2d
 from repro.errors import AnalysisError
 from repro.power.energy import (
@@ -154,6 +155,7 @@ def energy_ratio_surface(
     fga_values: Sequence[float],
     bga_values: Sequence[float],
     workers: int = 0,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> RatioSurface:
     """Sample the Fig. 10 surface over a grid.
 
@@ -161,17 +163,21 @@ def energy_ratio_surface(
     power up more often than it is used) and come back as None.
     ``workers`` parallelizes the grid across processes (0 = serial);
     the sampled surface is identical for any worker count.
+    ``progress(done_cells, total_cells)`` reports completion for long
+    grids.
     """
     cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
-    grid = sweep_2d(
-        "fga",
-        "bga",
-        "log10(E_SOIAS/E_SOI)",
-        fga_values,
-        bga_values,
-        cell,
-        workers=workers,
-    )
+    with obs.span("analysis.ratio_surface"):
+        grid = sweep_2d(
+            "fga",
+            "bga",
+            "log10(E_SOIAS/E_SOI)",
+            fga_values,
+            bga_values,
+            cell,
+            workers=workers,
+            progress=progress,
+        )
     return RatioSurface(
         module=module, vdd=vdd, t_cycle_s=t_cycle_s, grid=grid
     )

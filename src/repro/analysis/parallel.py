@@ -8,22 +8,52 @@ primitive they share — map a picklable function over a work list with
 IPC, with **deterministic result ordering** (results always come back
 in input order, regardless of which worker finished first).
 
-Fallback policy: the serial path is always available and always
-correct.  ``workers=0`` forces it explicitly; an unpicklable function
-(e.g. a closure), a single-item work list, or a pool that cannot be
-spawned all degrade to serial evaluation transparently.  Because every
-evaluation is a pure function of its arguments, parallel and serial
-results are bit-identical — asserted by the equivalence tests.
+Fault-tolerance policy
+----------------------
+Work is dispatched as explicit chunks (one future per chunk), so the
+engine always knows exactly which chunks have completed.  When the pool
+breaks mid-run (a worker killed by the OOM killer, a segfaulting
+extension, ``BrokenProcessPool``), only the chunks still outstanding
+are retried on a fresh pool — completed results are never discarded
+and never recomputed.  After ``max_retries`` pool rebuilds the
+remaining chunks degrade to the in-process serial path, which is
+always available and always correct.
+
+Exceptions raised by the user function itself — including ``OSError``
+and ``pickle.PicklingError`` — are *not* infrastructure failures: they
+propagate to the caller identically on the serial and parallel paths.
+Only pool-level failures (a pool that cannot spawn, a worker that
+dies) trigger retry/fallback.
+
+``workers=0`` forces the serial path explicitly; an unpicklable
+function (e.g. a closure) or a single-item work list degrade to serial
+evaluation transparently.  Because every evaluation is a pure function
+of its arguments, parallel and serial results are bit-identical —
+asserted by the equivalence and fault-injection tests.
+
+Observability (:mod:`repro.obs`, when enabled):
+
+* ``parallel.chunks`` — chunks dispatched to the pool (including
+  retries),
+* ``parallel.chunk_retries`` — chunks re-dispatched after a pool
+  failure,
+* ``parallel.worker_failures`` — pool-breakage events observed,
+* ``parallel.timeouts`` — chunks abandoned for exceeding ``timeout_s``,
+* ``parallel.fallbacks`` — times the engine degraded to the serial
+  path (for any reason),
+* ``parallel.items`` — work items completed (either path).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.errors import AnalysisError
 
 __all__ = ["resolve_workers", "map_items", "map_grid"]
@@ -32,9 +62,13 @@ _X = TypeVar("_X")
 _Y = TypeVar("_Y")
 _R = TypeVar("_R")
 
-#: Chunks handed to each worker per ``executor.map`` call; >1 keeps the
-#: pool busy when per-item cost is uneven, while still amortizing IPC.
+#: Chunks handed to each worker per dispatch; >1 keeps the pool busy
+#: when per-item cost is uneven, while still amortizing IPC.
 _CHUNKS_PER_WORKER = 4
+
+#: Pool rebuilds attempted after ``BrokenProcessPool`` before the
+#: remaining chunks degrade to the serial path.
+_DEFAULT_MAX_RETRIES = 2
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -58,30 +92,213 @@ def _chunksize(n_items: int, n_workers: int) -> int:
     return max(1, -(-n_items // (n_workers * _CHUNKS_PER_WORKER)))
 
 
+def _run_chunk(fn: Callable[[_X], _R], chunk: Sequence[_X]) -> List[_R]:
+    """Worker-side chunk body (module-level so it pickles)."""
+    return [fn(item) for item in chunk]
+
+
+def _serial_tail(
+    fn: Callable[[_X], _R],
+    chunks: List[List[_X]],
+    results: List[Optional[List[_R]]],
+    pending: List[int],
+    progress: Optional[Callable[[int, int], None]],
+    done_items: int,
+    total_items: int,
+) -> None:
+    """Evaluate the outstanding chunks in-process (the fallback path)."""
+    if obs.ENABLED:
+        obs.incr("parallel.fallbacks")
+    for index in pending:
+        results[index] = [fn(item) for item in chunks[index]]
+        done_items += len(chunks[index])
+        if obs.ENABLED:
+            obs.incr("parallel.items", len(chunks[index]))
+        if progress is not None:
+            progress(done_items, total_items)
+
+
+def _map_chunked(
+    fn: Callable[[_X], _R],
+    work: List[_X],
+    n_workers: int,
+    chunksize: int,
+    timeout_s: Optional[float],
+    progress: Optional[Callable[[int, int], None]],
+    max_retries: int,
+) -> List[_R]:
+    """The fault-tolerant chunk engine behind :func:`map_items`."""
+    chunks: List[List[_X]] = [
+        work[i : i + chunksize] for i in range(0, len(work), chunksize)
+    ]
+    results: List[Optional[List[_R]]] = [None] * len(chunks)
+    pending: List[int] = list(range(len(chunks)))
+    total_items = len(work)
+    done_items = 0
+    rebuilds = 0
+
+    while pending:
+        try:
+            executor = ProcessPoolExecutor(max_workers=n_workers)
+        except OSError:
+            _serial_tail(
+                fn, chunks, results, pending, progress, done_items,
+                total_items,
+            )
+            pending = []
+            break
+        broke = False
+        try:
+            try:
+                futures = {
+                    executor.submit(_run_chunk, fn, chunks[index]): index
+                    for index in pending
+                }
+            except (OSError, BrokenProcessPool):
+                _serial_tail(
+                    fn, chunks, results, pending, progress, done_items,
+                    total_items,
+                )
+                pending = []
+                break
+            if obs.ENABLED:
+                obs.incr("parallel.chunks", len(futures))
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding,
+                    timeout=timeout_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not finished:
+                    # Nothing completed within the per-chunk budget:
+                    # every outstanding chunk has been running at least
+                    # ``timeout_s``.  The stuck workers cannot be
+                    # reclaimed portably, so abandon the run.
+                    if obs.ENABLED:
+                        obs.incr("parallel.timeouts", len(outstanding))
+                    # Private, but the only portable way to reclaim a
+                    # worker stuck inside user code.
+                    for process in (
+                        getattr(executor, "_processes", None) or {}
+                    ).values():
+                        process.terminate()
+                    raise FuturesTimeoutError(
+                        f"{len(outstanding)} chunk(s) exceeded the "
+                        f"{timeout_s} s chunk timeout"
+                    )
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        chunk_result = future.result()
+                    except BrokenProcessPool:
+                        # Keep draining: chunks that completed before
+                        # the pool broke still hold good results.
+                        broke = True
+                        continue
+                    # Any other exception came from ``fn`` inside the
+                    # worker and propagates to the caller unchanged.
+                    results[index] = chunk_result
+                    pending.remove(index)
+                    done_items += len(chunks[index])
+                    if obs.ENABLED:
+                        obs.incr("parallel.items", len(chunks[index]))
+                    if progress is not None:
+                        progress(done_items, total_items)
+                if broke:
+                    break
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if not broke:
+            break
+        # Pool infrastructure failure: retry only the lost chunks.
+        if obs.ENABLED:
+            obs.incr("parallel.worker_failures")
+        rebuilds += 1
+        if rebuilds > max_retries:
+            _serial_tail(
+                fn, chunks, results, pending, progress, done_items,
+                total_items,
+            )
+            pending = []
+        elif obs.ENABLED:
+            obs.incr("parallel.chunk_retries", len(pending))
+
+    flat: List[_R] = []
+    for chunk_result in results:
+        assert chunk_result is not None
+        flat.extend(chunk_result)
+    return flat
+
+
 def map_items(
     fn: Callable[[_X], _R],
     items: Sequence[_X],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    max_retries: int = _DEFAULT_MAX_RETRIES,
 ) -> List[_R]:
     """``[fn(item) for item in items]``, possibly across processes.
 
     Results are returned in input order.  Exceptions raised by ``fn``
-    propagate to the caller on both paths; only pool-infrastructure
-    failures (a worker that cannot spawn or dies) trigger the serial
-    fallback.
+    propagate to the caller on both paths; pool-infrastructure failures
+    (a worker that cannot spawn or dies mid-run) are retried per chunk
+    — only the chunks whose results were lost re-run — and degrade to
+    the serial path after ``max_retries`` pool rebuilds.
+
+    Parameters
+    ----------
+    timeout_s:
+        Optional per-chunk wall-clock budget.  If no outstanding chunk
+        completes within it, the run aborts with
+        :class:`concurrent.futures.TimeoutError` (stuck workers are
+        terminated; there is no silent serial re-run of work that may
+        never terminate).
+    progress:
+        Optional ``progress(done_items, total_items)`` callback,
+        invoked after every completed chunk (serial path: after every
+        item).  Exceptions from the callback propagate.
+    max_retries:
+        Pool rebuilds tolerated before the remaining chunks fall back
+        to serial evaluation.
     """
     work = list(items)
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(work) <= 1 or not _picklable(fn):
-        return [fn(item) for item in work]
+        if obs.ENABLED and work:
+            obs.incr("parallel.items", len(work))
+        results = []
+        for done, item in enumerate(work, start=1):
+            results.append(fn(item))
+            if progress is not None:
+                progress(done, len(work))
+        return results
     if chunksize is None:
         chunksize = _chunksize(len(work), n_workers)
-    try:
-        with ProcessPoolExecutor(max_workers=n_workers) as executor:
-            return list(executor.map(fn, work, chunksize=chunksize))
-    except (BrokenProcessPool, OSError, pickle.PicklingError):
-        return [fn(item) for item in work]
+    if chunksize < 1:
+        raise AnalysisError(f"chunksize must be >= 1, got {chunksize}")
+    if timeout_s is not None and timeout_s <= 0.0:
+        raise AnalysisError(f"timeout_s must be positive, got {timeout_s}")
+    if max_retries < 0:
+        raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
+    with obs.span("parallel.map_items"):
+        return _map_chunked(
+            fn, work, n_workers, chunksize, timeout_s, progress, max_retries
+        )
+
+
+class _PairFn:
+    """Picklable ``pair -> fn(*pair)`` wrapper for :func:`map_grid`."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_X, _Y], _R]):
+        self.fn = fn
+
+    def __call__(self, pair: Tuple[_X, _Y]) -> _R:
+        return self.fn(pair[0], pair[1])
 
 
 def map_grid(
@@ -90,27 +307,29 @@ def map_grid(
     ys: Sequence[_Y],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    max_retries: int = _DEFAULT_MAX_RETRIES,
 ) -> List[List[_R]]:
     """Evaluate ``fn`` over the cartesian grid, row-major.
 
     Returns ``rows[i][j] == fn(xs[i], ys[j])`` — the same layout as
     :class:`repro.analysis.sweep.Sweep2D`.  The grid is flattened into
-    one chunked work list so uneven rows cannot starve workers.
+    one chunked work list so uneven rows cannot starve workers; the
+    fault-tolerance, timeout, and progress semantics are those of
+    :func:`map_items`.
     """
     x_list = list(xs)
     y_list = list(ys)
-    n_workers = resolve_workers(workers)
-    total = len(x_list) * len(y_list)
-    if n_workers <= 1 or total <= 1 or not _picklable(fn):
-        return [[fn(x, y) for y in y_list] for x in x_list]
-    flat_x = [x for x in x_list for _ in y_list]
-    flat_y = [y for _ in x_list for y in y_list]
-    if chunksize is None:
-        chunksize = _chunksize(total, n_workers)
-    try:
-        with ProcessPoolExecutor(max_workers=n_workers) as executor:
-            flat = list(executor.map(fn, flat_x, flat_y, chunksize=chunksize))
-    except (BrokenProcessPool, OSError, pickle.PicklingError):
-        return [[fn(x, y) for y in y_list] for x in x_list]
+    pairs: List[Tuple[_X, _Y]] = [(x, y) for x in x_list for y in y_list]
+    flat = map_items(
+        _PairFn(fn),
+        pairs,
+        workers=workers,
+        chunksize=chunksize,
+        timeout_s=timeout_s,
+        progress=progress,
+        max_retries=max_retries,
+    )
     n_y = len(y_list)
     return [flat[i * n_y : (i + 1) * n_y] for i in range(len(x_list))]

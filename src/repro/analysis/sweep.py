@@ -107,6 +107,7 @@ def sweep_2d(
     ys: Sequence[float],
     fn: Callable[[float, float], Optional[float]],
     workers: int = 0,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Sweep2D:
     """Sample ``fn`` over the cartesian grid; fn may return None.
 
@@ -114,18 +115,26 @@ def sweep_2d(
     :func:`repro.analysis.parallel.map_grid` (0 = serial, None = one
     per CPU).  ``fn`` must be picklable for actual parallelism — a
     closure silently falls back to the serial path; results are
-    identical either way.
+    identical either way.  ``progress(done_cells, total_cells)`` is
+    invoked as cells complete (per chunk on the parallel path, per
+    cell on the serial one).
     """
     if not xs or not ys:
         raise AnalysisError("empty sweep grid")
     if workers == 0:
-        grid = tuple(
-            tuple(
-                None if (value := fn(x, y)) is None else float(value)
-                for y in ys
-            )
-            for x in xs
-        )
+        total = len(xs) * len(ys)
+        done = 0
+        rows = []
+        for x in xs:
+            row = []
+            for y in ys:
+                value = fn(x, y)
+                row.append(None if value is None else float(value))
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+            rows.append(tuple(row))
+        grid = tuple(rows)
     else:
         from repro.analysis.parallel import map_grid
 
@@ -133,7 +142,9 @@ def sweep_2d(
             tuple(
                 None if value is None else float(value) for value in row
             )
-            for row in map_grid(fn, xs, ys, workers=workers)
+            for row in map_grid(
+                fn, xs, ys, workers=workers, progress=progress
+            )
         )
     return Sweep2D(
         x_name=x_name,

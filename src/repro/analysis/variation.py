@@ -37,10 +37,17 @@ __all__ = [
 #: samples in its chunk.  Keyed by the (hashable) Technology value.
 _WORKER_CHARACTERIZERS: dict = {}
 
+#: Eviction bound on the per-process cache: a long-lived worker serving
+#: sweeps over many technologies would otherwise accumulate one
+#: unbounded memo per technology (oldest-first eviction, FIFO).
+_MAX_WORKER_CHARACTERIZERS = 8
+
 
 def _characterizer_for(technology: Technology) -> CellCharacterizer:
     characterizer = _WORKER_CHARACTERIZERS.get(technology)
     if characterizer is None:
+        while len(_WORKER_CHARACTERIZERS) >= _MAX_WORKER_CHARACTERIZERS:
+            _WORKER_CHARACTERIZERS.pop(next(iter(_WORKER_CHARACTERIZERS)))
         characterizer = CellCharacterizer(technology)
         _WORKER_CHARACTERIZERS[technology] = characterizer
     return characterizer
@@ -248,7 +255,9 @@ class MonteCarloAnalyzer:
         """
         if target_delay_s <= 0.0:
             raise AnalysisError("target delay must be positive")
-        low, high = vdd_bounds
+        low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
+        if not 0.0 < low < high:
+            raise AnalysisError(f"bad vdd bounds [{low}, {high}]")
 
         def worst_delay(vdd: float) -> float:
             return self.delay_distribution(cell, vdd, load_f).percentile(

@@ -24,6 +24,7 @@ import functools
 import sys
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.circuits.builders import (
     array_multiplier,
@@ -113,7 +114,11 @@ def _build_circuit(name: str, width: int):
     if name == "multiplier":
         return array_multiplier(width), {"a": width, "b": width}
     if name == "shifter":
-        rounded = 1 << (width - 1).bit_length()
+        if width < 1:
+            raise ReproError(f"circuit width must be >= 1, got {width}")
+        # The barrel shifter needs a power-of-two width of at least 2;
+        # width 1 would round to 1 and be rejected by the builder.
+        rounded = max(2, 1 << (width - 1).bit_length())
         return barrel_shifter(rounded), {
             "a": rounded,
             "s": rounded.bit_length() - 1,
@@ -248,7 +253,20 @@ def _cmd_contour(args: argparse.Namespace) -> int:
     report = flow.unit_activity(unit.netlist, unit.vectors)
     module = flow.module_parameters(unit.netlist, report)
     grid = [i / args.grid for i in range(1, args.grid + 1)]
-    surface = flow.ratio_surface(module, grid, grid, workers=args.workers)
+    progress_cb = None
+    if args.progress:
+
+        def progress_cb(done: int, total: int) -> None:
+            print(
+                f"\r  {done}/{total} cells", end="",
+                file=sys.stderr, flush=True,
+            )
+            if done == total:
+                print(file=sys.stderr)
+
+    surface = flow.ratio_surface(
+        module, grid, grid, workers=args.workers, progress=progress_cb
+    )
     defined = [
         (fga, bga, value)
         for i, fga in enumerate(surface.grid.xs)
@@ -450,6 +468,18 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    """--metrics / --metrics-json for the instrumented subcommands."""
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print instrumentation counters and timers after the run",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the metrics snapshot to PATH (implies --metrics)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -497,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
     )
+    _add_metrics_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     compare = sub.add_parser(
@@ -513,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--vectors", type=int, default=80)
     compare.add_argument("--vdd", type=float, default=1.0)
     compare.add_argument("--clock", type=float, default=1e6)
+    _add_metrics_arguments(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     contour = sub.add_parser(
@@ -531,6 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="worker processes for the grid (0 = serial)",
     )
+    contour.add_argument(
+        "--progress", action="store_true",
+        help="report grid completion on stderr as chunks finish",
+    )
+    _add_metrics_arguments(contour)
     contour.set_defaults(handler=_cmd_contour)
 
     characterize = sub.add_parser(
@@ -598,12 +635,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_metrics(args: argparse.Namespace) -> None:
+    """Print (and optionally persist) the metrics collected for a run."""
+    hits = obs.counter_value("characterizer.hits")
+    misses = obs.counter_value("characterizer.misses")
+    if hits + misses:
+        obs.gauge("characterizer.hit_rate", hits / (hits + misses))
+    print()
+    print(obs.format_summary(title=f"Metrics: {args.command}"))
+    path = getattr(args, "metrics_json", None)
+    if path:
+        obs.dump_json(path, extra={"command": args.command})
+        print(f"Metrics JSON written to {path}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    wants_metrics = bool(
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_json", None)
+    )
+    if wants_metrics:
+        obs.reset()
+        obs.enable()
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        if wants_metrics:
+            _emit_metrics(args)
+        return code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -614,6 +675,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:  # pragma: no cover
             pass
         return 0
+    finally:
+        if wants_metrics:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,8 +16,9 @@ The flow evaluates, for each functional unit of a processor datapath:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.analysis.comparator import TechnologyComparator, TechnologyVerdict
 from repro.analysis.contour import ApplicationPoint, RatioSurface, energy_ratio_surface
 from repro.circuits.netlist import Netlist
@@ -121,7 +122,10 @@ class LowVoltageDesignFlow:
         self, program: Program, max_instructions: int = 50_000_000
     ) -> FunctionalUnitProfile:
         """Run the workload and extract per-unit fga/bga."""
-        return profile_program(program, max_instructions=max_instructions)
+        with obs.span("flow.profile"):
+            return profile_program(
+                program, max_instructions=max_instructions
+            )
 
     # ------------------------------------------------------------------
     # Stage 2: node activity
@@ -143,7 +147,8 @@ class LowVoltageDesignFlow:
         simulator = SwitchLevelSimulator(
             netlist, self.technology, self.vdd, vt_shift=active_shift
         )
-        return simulator.run_vectors(vectors)
+        with obs.span("flow.unit_activity"):
+            return simulator.run_vectors(vectors)
 
     # ------------------------------------------------------------------
     # Stage 3: module electrical parameters
@@ -152,9 +157,10 @@ class LowVoltageDesignFlow:
         self, netlist: Netlist, report: ActivityReport
     ) -> ModuleEnergyParameters:
         """Eq. 3/4 parameters from simulated activity."""
-        return module_parameters_from_activity(
-            netlist, report, self.technology, self.vdd
-        )
+        with obs.span("flow.module_parameters"):
+            return module_parameters_from_activity(
+                netlist, report, self.technology, self.vdd
+            )
 
     # ------------------------------------------------------------------
     # Stage 4: comparison
@@ -171,16 +177,23 @@ class LowVoltageDesignFlow:
         fga_values: Sequence[float],
         bga_values: Sequence[float],
         workers: int = 0,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> RatioSurface:
-        """Fig. 10 surface for one module (``workers`` fans out the grid)."""
-        return energy_ratio_surface(
-            module,
-            self.vdd,
-            self.t_cycle_s,
-            fga_values,
-            bga_values,
-            workers=workers,
-        )
+        """Fig. 10 surface for one module (``workers`` fans out the grid).
+
+        ``progress(done_cells, total_cells)`` is forwarded to the grid
+        sweep so long surfaces can report completion.
+        """
+        with obs.span("flow.ratio_surface"):
+            return energy_ratio_surface(
+                module,
+                self.vdd,
+                self.t_cycle_s,
+                fga_values,
+                bga_values,
+                workers=workers,
+                progress=progress,
+            )
 
     # ------------------------------------------------------------------
     # The one-call experiment

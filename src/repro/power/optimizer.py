@@ -15,9 +15,11 @@ knobs are the supply and the threshold:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.device.technology import Technology
 from repro.errors import OptimizationError
 from repro.tech.cells import standard_cells
@@ -31,6 +33,50 @@ __all__ = [
 ]
 
 _BISECTION_STEPS = 70
+#: Coarse-scan resolution used to bracket the global energy basin
+#: before golden-section refinement.  Clamping at the low V_DD bound
+#: splits the landscape into two regimes — a clamped boundary branch
+#: (energy falling with V_T at fixed minimum supply) and the interior
+#: fixed-delay locus (the Fig. 4 U) — so the energy is not globally
+#: unimodal and an unbracketed golden-section can converge to the
+#: wrong basin.
+_SCAN_POINTS = 25
+_GOLDEN = 0.6180339887498949
+
+
+def _bracketed_golden_minimum(energy, low, high, tolerance):
+    """V_T of the global energy minimum in [low, high].
+
+    Scans ``_SCAN_POINTS`` evenly spaced probes to find the best
+    basin, then golden-section refines inside the bracketing pair of
+    neighbours.  ``energy`` returns +inf for infeasible V_T.
+    """
+    grid = [
+        low + (high - low) * i / (_SCAN_POINTS - 1)
+        for i in range(_SCAN_POINTS)
+    ]
+    coarse = [energy(vt) for vt in grid]
+    if all(value == float("inf") for value in coarse):
+        raise OptimizationError(
+            "delay target infeasible across the whole V_T range"
+        )
+    best = min(range(len(coarse)), key=coarse.__getitem__)
+    a = grid[max(best - 1, 0)]
+    b = grid[min(best + 1, len(grid) - 1)]
+    c = b - _GOLDEN * (b - a)
+    d = a + _GOLDEN * (b - a)
+    fc, fd = energy(c), energy(d)
+    while b - a > tolerance:
+        if fc <= fd:
+            b, d, fd = d, c, fc
+            c = b - _GOLDEN * (b - a)
+            fc = energy(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _GOLDEN * (b - a)
+            fd = energy(d)
+    candidates = [(coarse[best], grid[best]), (fc, c), (fd, d)]
+    return min(candidates)[1]
 
 
 @dataclass(frozen=True)
@@ -64,6 +110,13 @@ class RingOscillatorModel:
     activity:
         Average node transition activity of the *module* the ring
         stands in for (1.0 for the ring itself, lower for logic).
+    max_corners:
+        Bound on the per-corner characterizer LRU.  Golden-section
+        probes visit a fresh V_T per step, and each corner carries its
+        own (cell, vdd, load) memo — without a bound a long-lived
+        model leaks memory across repeated ``optimum`` calls.  The
+        default comfortably covers one sweep plus one golden-section
+        search with no evictions.
     """
 
     def __init__(
@@ -71,30 +124,80 @@ class RingOscillatorModel:
         technology: Technology,
         stages: int = 101,
         activity: float = 1.0,
+        max_corners: int = 64,
     ):
         if stages < 3 or stages % 2 == 0:
             raise OptimizationError("stages must be odd and >= 3")
         if not 0.0 < activity <= 2.0:
             raise OptimizationError("activity must be in (0, 2]")
+        if max_corners < 1:
+            raise OptimizationError("max_corners must be >= 1")
         self.technology = technology
         self.stages = stages
         self.activity = activity
+        self.max_corners = max_corners
         self._inverter = standard_cells()["INV"]
-        self._corners: Dict[float, CellCharacterizer] = {}
+        self._corners: "OrderedDict[float, CellCharacterizer]" = OrderedDict()
+        self._corner_hits = 0
+        self._corner_misses = 0
+        # Most-recent corner, kept out of the OrderedDict lookup:
+        # bisection probes the same V_T dozens of times consecutively,
+        # so the common hit is a float compare, not an LRU reorder.
+        self._last_vt: Optional[float] = None
+        self._last_corner: Optional[CellCharacterizer] = None
 
     def _corner(self, vt: float) -> CellCharacterizer:
-        """Memoized characterizer for the V_T corner.
+        """Memoized characterizer for the V_T corner (bounded LRU).
 
         Bisection revisits the same V_T dozens of times per
         ``solve_vdd_for_delay`` call; sharing one characterizer per
         corner lets its internal (cell, vdd, load) memo accumulate
         across the whole sweep instead of being rebuilt per query.
+        The least-recently-used corner is evicted beyond
+        ``max_corners``, bounding memory on long-lived models.
         """
+        if vt == self._last_vt:
+            self._corner_hits += 1
+            if obs.ENABLED:
+                obs.incr("ring.corner_hits")
+            return self._last_corner
         corner = self._corners.get(vt)
         if corner is None:
+            self._corner_misses += 1
+            if obs.ENABLED:
+                obs.incr("ring.corner_misses")
             corner = CellCharacterizer(self.technology.with_vt(vt))
             self._corners[vt] = corner
+            if len(self._corners) > self.max_corners:
+                evicted_vt, _ = self._corners.popitem(last=False)
+                if evicted_vt == self._last_vt:
+                    self._last_vt = None
+                    self._last_corner = None
+                if obs.ENABLED:
+                    obs.incr("ring.corner_evictions")
+        else:
+            self._corner_hits += 1
+            if obs.ENABLED:
+                obs.incr("ring.corner_hits")
+            self._corners.move_to_end(vt)
+        self._last_vt = vt
+        self._last_corner = corner
         return corner
+
+    def cache_info(self) -> obs.CacheInfo:
+        """``lru_cache``-style statistics for the corner LRU."""
+        return obs.CacheInfo(
+            hits=self._corner_hits,
+            misses=self._corner_misses,
+            currsize=len(self._corners),
+            maxsize=self.max_corners,
+        )
+
+    def clear_corners(self) -> None:
+        """Drop every cached corner and zero the LRU statistics."""
+        self._corners.clear()
+        self._corner_hits = 0
+        self._corner_misses = 0
 
     def stage_delay(self, vdd: float, vt: float) -> float:
         """Fanout-1 inverter delay at a corner [s]."""
@@ -115,12 +218,18 @@ class RingOscillatorModel:
         """Supply voltage giving the target stage delay (Fig. 3).
 
         Delay decreases monotonically with V_DD, so bisection applies.
+        If the ring already meets the target at the *low* V_DD bound,
+        the solve clamps and returns ``low`` — the structure simply
+        runs faster than required at the minimum supply (the same
+        semantics as
+        :meth:`ModuleThroughputOptimizer.solve_vdd_for_delay`; energy
+        accounting still integrates leakage over the target period).
 
         Raises
         ------
         OptimizationError
-            If the target is unreachable inside the bounds (too fast
-            even at max V_DD, or too slow even at min V_DD).
+            If the target is unreachable inside the bounds (too slow
+            even at max V_DD).
         """
         if target_stage_delay_s <= 0.0:
             raise OptimizationError("target delay must be positive")
@@ -129,22 +238,30 @@ class RingOscillatorModel:
         low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
         if not 0.0 < low < high:
             raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if obs.ENABLED:
+            obs.incr("optimizer.vdd_solves")
         if self.stage_delay(high, vt) > target_stage_delay_s:
+            if obs.ENABLED:
+                obs.incr("optimizer.delay_probes")
             raise OptimizationError(
                 f"target {target_stage_delay_s:.3e} s unreachable: still "
                 f"slower at V_DD = {high} V (V_T = {vt} V)"
             )
         if self.stage_delay(low, vt) < target_stage_delay_s:
-            raise OptimizationError(
-                f"target {target_stage_delay_s:.3e} s unreachable: already "
-                f"faster at V_DD = {low} V (V_T = {vt} V)"
-            )
+            if obs.ENABLED:
+                obs.incr("optimizer.delay_probes", 2)
+                obs.incr("optimizer.low_bound_clamps")
+            return low
         for _ in range(_BISECTION_STEPS):
             mid = 0.5 * (low + high)
             if self.stage_delay(mid, vt) > target_stage_delay_s:
                 low = mid
             else:
                 high = mid
+        # Probe counting is batched per solve (2 bracket checks + the
+        # bisection steps) to keep the per-probe hot path check-free.
+        if obs.ENABLED:
+            obs.incr("optimizer.delay_probes", 2 + _BISECTION_STEPS)
         return 0.5 * (low + high)
 
     def energy_per_cycle(
@@ -217,12 +334,15 @@ class FixedThroughputOptimizer:
         if not vts:
             raise OptimizationError("empty V_T sweep")
         points: List[OperatingPoint] = []
-        for vt in vts:
-            try:
-                points.append(self.locus_point(vt, target_stage_delay_s))
-            except OptimizationError:
-                if not skip_infeasible:
-                    raise
+        with obs.span("optimizer.sweep"):
+            for vt in vts:
+                try:
+                    points.append(
+                        self.locus_point(vt, target_stage_delay_s)
+                    )
+                except OptimizationError:
+                    if not skip_infeasible:
+                        raise
         if not points:
             raise OptimizationError(
                 "no feasible V_T in the sweep for this delay target"
@@ -235,37 +355,30 @@ class FixedThroughputOptimizer:
         vt_bounds: Sequence[float] = (0.01, 0.6),
         tolerance: float = 1e-3,
     ) -> OperatingPoint:
-        """Golden-section search for the minimum-energy V_T (Fig. 4)."""
+        """Minimum-energy V_T (Fig. 4): coarse scan + golden section.
+
+        The coarse scan brackets the global basin first because the
+        low-V_DD clamp (see :meth:`RingOscillatorModel.
+        solve_vdd_for_delay`) makes the energy landscape bimodal for
+        targets the ring already meets at the minimum supply.
+        """
         low, high = float(vt_bounds[0]), float(vt_bounds[1])
         if not low < high:
             raise OptimizationError(f"bad vt bounds [{low}, {high}]")
 
         def energy(vt: float) -> float:
+            if obs.ENABLED:
+                obs.incr("optimizer.golden_probes")
             try:
                 return self.locus_point(vt, target_stage_delay_s).energy_per_cycle_j
             except OptimizationError:
                 return float("inf")
 
-        golden = 0.6180339887498949
-        a, b = low, high
-        c = b - golden * (b - a)
-        d = a + golden * (b - a)
-        fc, fd = energy(c), energy(d)
-        if fc == float("inf") and fd == float("inf"):
-            raise OptimizationError(
-                "delay target infeasible across the whole V_T range"
+        with obs.span("optimizer.optimum"):
+            best_vt = _bracketed_golden_minimum(
+                energy, low, high, tolerance
             )
-        while b - a > tolerance:
-            if fc <= fd:
-                b, d, fd = d, c, fc
-                c = b - golden * (b - a)
-                fc = energy(c)
-            else:
-                a, c, fc = c, d, fd
-                d = a + golden * (b - a)
-                fd = energy(d)
-        best_vt = c if fc <= fd else d
-        return self.locus_point(best_vt, target_stage_delay_s)
+            return self.locus_point(best_vt, target_stage_delay_s)
 
 
 class ModuleThroughputOptimizer:
@@ -318,6 +431,8 @@ class ModuleThroughputOptimizer:
 
     def delay(self, vdd: float, vt: float) -> float:
         """Critical-path delay at an absolute-V_T corner [s]."""
+        if obs.ENABLED:
+            obs.incr("optimizer.delay_probes")
         return self._analyzer.analyze(
             self.netlist, vdd, vt_shift=self._shift(vt)
         ).delay_s
@@ -328,7 +443,13 @@ class ModuleThroughputOptimizer:
         vt: float,
         vdd_bounds: Optional[Sequence[float]] = None,
     ) -> float:
-        """Supply meeting the delay target at one V_T (Fig. 3)."""
+        """Supply meeting the delay target at one V_T (Fig. 3).
+
+        Clamps to the low V_DD bound when the module is already faster
+        than the target there (the shared low-bound semantics — see
+        :meth:`RingOscillatorModel.solve_vdd_for_delay`); raises only
+        when the target is unreachable at the *high* bound.
+        """
         if target_delay_s <= 0.0:
             raise OptimizationError("target delay must be positive")
         if vdd_bounds is None:
@@ -336,12 +457,16 @@ class ModuleThroughputOptimizer:
         low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
         if not 0.0 < low < high:
             raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if obs.ENABLED:
+            obs.incr("optimizer.vdd_solves")
         if self.delay(high, vt) > target_delay_s:
             raise OptimizationError(
                 f"target {target_delay_s:.3e} s unreachable at "
                 f"V_DD = {high} V (V_T = {vt} V)"
             )
         if self.delay(low, vt) < target_delay_s:
+            if obs.ENABLED:
+                obs.incr("optimizer.low_bound_clamps")
             return low
         for _ in range(_BISECTION_STEPS):
             mid = 0.5 * (low + high)
@@ -400,13 +525,14 @@ class ModuleThroughputOptimizer:
         if not vts:
             raise OptimizationError("empty V_T sweep")
         points = []
-        for vt in vts:
-            try:
-                points.append(
-                    self.locus_point(vt, target_delay_s, utilization)
-                )
-            except OptimizationError:
-                continue
+        with obs.span("optimizer.module_sweep"):
+            for vt in vts:
+                try:
+                    points.append(
+                        self.locus_point(vt, target_delay_s, utilization)
+                    )
+                except OptimizationError:
+                    continue
         if not points:
             raise OptimizationError(
                 "no feasible V_T in the sweep for this delay target"
@@ -420,12 +546,19 @@ class ModuleThroughputOptimizer:
         utilization: float = 1.0,
         tolerance: float = 2e-3,
     ) -> OperatingPoint:
-        """Golden-section minimum-energy V_T at fixed throughput."""
+        """Minimum-energy V_T at fixed throughput (scan + golden section).
+
+        Uses the same bracketed search as
+        :meth:`FixedThroughputOptimizer.optimum` — the shared low-bound
+        clamp makes the landscape bimodal for relaxed targets here too.
+        """
         low, high = float(vt_bounds[0]), float(vt_bounds[1])
         if not low < high:
             raise OptimizationError(f"bad vt bounds [{low}, {high}]")
 
         def energy(vt: float) -> float:
+            if obs.ENABLED:
+                obs.incr("optimizer.golden_probes")
             try:
                 return self.locus_point(
                     vt, target_delay_s, utilization
@@ -433,23 +566,8 @@ class ModuleThroughputOptimizer:
             except OptimizationError:
                 return float("inf")
 
-        golden = 0.6180339887498949
-        a, b = low, high
-        c = b - golden * (b - a)
-        d = a + golden * (b - a)
-        fc, fd = energy(c), energy(d)
-        if fc == float("inf") and fd == float("inf"):
-            raise OptimizationError(
-                "delay target infeasible across the whole V_T range"
+        with obs.span("optimizer.module_optimum"):
+            best_vt = _bracketed_golden_minimum(
+                energy, low, high, tolerance
             )
-        while b - a > tolerance:
-            if fc <= fd:
-                b, d, fd = d, c, fc
-                c = b - golden * (b - a)
-                fc = energy(c)
-            else:
-                a, c, fc = c, d, fd
-                d = a + golden * (b - a)
-                fd = energy(d)
-        best_vt = c if fc <= fd else d
-        return self.locus_point(best_vt, target_delay_s, utilization)
+            return self.locus_point(best_vt, target_delay_s, utilization)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.circuits.netlist import Netlist
 from repro.device.technology import Technology
 from repro.errors import SimulationError
@@ -191,8 +192,16 @@ class SwitchLevelSimulator:
             raise SimulationError("stimulus must contain at least one vector")
         self.initialize(first)
         self.reset_activity()
-        for vector in iterator:
-            self.apply(vector, max_events=max_events_per_vector)
+        total_events = 0
+        with obs.span("simulator.run_vectors"):
+            for vector in iterator:
+                total_events += self.apply(
+                    vector, max_events=max_events_per_vector
+                )
+        if obs.ENABLED:
+            obs.incr("simulator.runs.reference")
+            obs.incr("simulator.vectors", self._vectors_applied)
+            obs.incr("simulator.events", total_events)
         return self.activity_report()
 
     def run_vectors_fast(
@@ -286,6 +295,9 @@ class SwitchLevelSimulator:
             )
 
         vectors_applied = 0
+        total_events = 0
+        span = obs.span("simulator.run_vectors_fast")
+        span.__enter__()
         try:
             for vector in iterator:
                 for net, value in vector.items():
@@ -303,6 +315,7 @@ class SwitchLevelSimulator:
                     if old == value:
                         continue
                     state[i] = value
+                    total_events += 1
                     if old >= 0:
                         if value == 1:
                             rising[i] += 1
@@ -335,8 +348,10 @@ class SwitchLevelSimulator:
                             falling[i] += 1
                     for k in fanout_ids[i]:
                         evaluate_and_schedule(k)
+                total_events += processed
                 vectors_applied += 1
         finally:
+            span.__exit__(None, None, None)
             # Mirror the batch back into the reference-path state so
             # apply()/activity_report() keep working afterwards.
             for i, name in enumerate(names):
@@ -346,6 +361,10 @@ class SwitchLevelSimulator:
             self.now_fs = now
             self._queue = EventQueue()
             self._vectors_applied = vectors_applied
+        if obs.ENABLED:
+            obs.incr("simulator.runs.fast")
+            obs.incr("simulator.vectors", vectors_applied)
+            obs.incr("simulator.events", total_events)
         return self.activity_report()
 
     def clock_cycle(

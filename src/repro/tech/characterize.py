@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Dict
+
+from repro import obs as _obs
 from repro.device.leakage import StackLeakageModel
 from repro.device.mosfet import Mosfet
 from repro.device.technology import Technology
@@ -84,22 +87,42 @@ class CellCharacterizer:
         self._memo: dict = {}
         # Frozen-dataclass hashing re-walks every Cell field on each
         # lookup; interning cells to small ints keeps keys cheap while
-        # preserving value semantics (equal cells share a token).
+        # preserving value semantics (equal cells share a token).  The
+        # id-keyed front map skips even the one Cell hash per query —
+        # entries hold a strong reference to the cell so ids can never
+        # be recycled.
         self._cell_tokens: dict = {}
+        self._id_tokens: dict = {}
+        self._hits = 0
+        self._misses = 0
         self._nmos_stacks = StackLeakageModel(technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(technology.transistors.pmos)
 
+    def _note(self, family: str, hit: bool) -> None:
+        """Per-family obs counters (called only while obs is enabled)."""
+        kind = "hits" if hit else "misses"
+        _obs.incr(f"characterizer.{kind}")
+        _obs.incr(f"characterizer.{kind}.{family}")
+
     def _token(self, cell: Cell) -> int:
+        entry = self._id_tokens.get(id(cell))
+        if entry is not None:
+            return entry[1]
         token = self._cell_tokens.get(cell)
         if token is None:
             token = len(self._cell_tokens)
             self._cell_tokens[cell] = token
+        self._id_tokens[id(cell)] = (cell, token)
         return token
 
     def clear_cache(self) -> None:
-        """Drop every memoized corner result (stack memo included)."""
+        """Drop every memoized corner result (stack memo included) and
+        zero the hit/miss statistics."""
         self._memo.clear()
         self._cell_tokens.clear()
+        self._id_tokens.clear()
+        self._hits = 0
+        self._misses = 0
         self._nmos_stacks = StackLeakageModel(self.technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(self.technology.transistors.pmos)
 
@@ -107,6 +130,28 @@ class CellCharacterizer:
     def cache_size(self) -> int:
         """Number of memoized corner results."""
         return len(self._memo)
+
+    def cache_info(self) -> "_obs.CacheInfo":
+        """``lru_cache``-style statistics for the corner memo.
+
+        Hits/misses count cached-mode lookups only (``cache=False``
+        instances never consult the memo, so they report zeros); the
+        memo itself is unbounded — ``maxsize`` is ``None``.
+        """
+        return _obs.CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            currsize=len(self._memo),
+            maxsize=None,
+        )
+
+    def family_sizes(self) -> Dict[str, int]:
+        """Memo entries per family (``delay``, ``energy``, ``leak``...)."""
+        sizes: Dict[str, int] = {}
+        for key in self._memo:
+            family = key[0]
+            sizes[family] = sizes.get(family, 0) + 1
+        return sizes
 
     # ------------------------------------------------------------------
     # Drive
@@ -122,10 +167,17 @@ class CellCharacterizer:
         key = ("pd", self._token(cell), vdd, vt_shift)
         result = self._memo.get(key, _MISS)
         if result is _MISS:
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("pd", False)
             width = cell.series_equivalent_width(cell.nmos_path_widths_um)
             device = Mosfet(self.technology.transistors.nmos, width_um=width)
             result = device.on_current(vdd, vt_shift)
             self._memo[key] = result
+        else:
+            self._hits += 1
+            if _obs.ENABLED:
+                self._note("pd", True)
         return result
 
     def pull_up_current(
@@ -139,10 +191,17 @@ class CellCharacterizer:
         key = ("pu", self._token(cell), vdd, vt_shift)
         result = self._memo.get(key, _MISS)
         if result is _MISS:
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("pu", False)
             width = cell.series_equivalent_width(cell.pmos_path_widths_um)
             device = Mosfet(self.technology.transistors.pmos, width_um=width)
             result = device.on_current(vdd, vt_shift)
             self._memo[key] = result
+        else:
+            self._hits += 1
+            if _obs.ENABLED:
+                self._note("pu", True)
         return result
 
     # ------------------------------------------------------------------
@@ -154,8 +213,15 @@ class CellCharacterizer:
         key = ("cin", self._token(cell), vdd)
         result = self._memo.get(key, _MISS)
         if result is _MISS:
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("cin", False)
             result = cell.input_capacitance(self.technology, vdd)
             self._memo[key] = result
+        else:
+            self._hits += 1
+            if _obs.ENABLED:
+                self._note("cin", True)
         return result
 
     def _output_capacitance(self, cell: Cell, vdd: float) -> float:
@@ -164,8 +230,15 @@ class CellCharacterizer:
         key = ("cout", self._token(cell), vdd)
         result = self._memo.get(key, _MISS)
         if result is _MISS:
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("cout", False)
             result = cell.output_capacitance(self.technology, vdd)
             self._memo[key] = result
+        else:
+            self._hits += 1
+            if _obs.ENABLED:
+                self._note("cout", True)
         return result
 
     # ------------------------------------------------------------------
@@ -186,7 +259,13 @@ class CellCharacterizer:
             key = ("delay", self._token(cell), vdd, load_f, vt_shift)
             result = self._memo.get(key, _MISS)
             if result is not _MISS:
+                self._hits += 1
+                if _obs.ENABLED:
+                    self._note("delay", True)
                 return result
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("delay", False)
         total_load = load_f + self._output_capacitance(cell, vdd)
         weakest = min(
             self.pull_down_current(cell, vdd, vt_shift),
@@ -218,7 +297,13 @@ class CellCharacterizer:
             key = ("energy", self._token(cell), vdd, load_f)
             result = self._memo.get(key, _MISS)
             if result is not _MISS:
+                self._hits += 1
+                if _obs.ENABLED:
+                    self._note("energy", True)
                 return result
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("energy", False)
         total = load_f + self._output_capacitance(cell, vdd)
         result = total * vdd * vdd
         if self.cache_enabled:
@@ -243,7 +328,13 @@ class CellCharacterizer:
             key = ("sc", self._token(cell), vdd, load_f, input_transition_time_s)
             cached = self._memo.get(key, _MISS)
             if cached is not _MISS:
+                self._hits += 1
+                if _obs.ENABLED:
+                    self._note("sc", True)
                 return cached
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("sc", False)
         nmos = self.technology.transistors.nmos
         pmos = self.technology.transistors.pmos
         overlap = vdd - nmos.vt0 - pmos.vt0
@@ -286,7 +377,13 @@ class CellCharacterizer:
             key = ("leak", self._token(cell), vdd, vt_shift, output_high_probability)
             cached = self._memo.get(key, _MISS)
             if cached is not _MISS:
+                self._hits += 1
+                if _obs.ENABLED:
+                    self._note("leak", True)
                 return cached
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("leak", False)
         nmos_leak = self._nmos_stacks.current(
             cell.nmos_path_widths_um, vdd, vt_shift
         )
@@ -342,7 +439,13 @@ class CellCharacterizer:
             key = ("fanout", self._token(cell), vdd, fanout, vt_shift)
             result = self._memo.get(key, _MISS)
             if result is not _MISS:
+                self._hits += 1
+                if _obs.ENABLED:
+                    self._note("fanout", True)
                 return result
+            self._misses += 1
+            if _obs.ENABLED:
+                self._note("fanout", False)
         load = fanout * self._input_capacitance(cell, vdd)
         result = self.propagation_delay(cell, vdd, load, vt_shift)
         if self.cache_enabled:

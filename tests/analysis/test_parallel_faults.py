@@ -1,0 +1,274 @@
+"""Fault-injection tests for the parallel sweep engine.
+
+These tests kill real worker processes mid-run (SIGKILL, the same
+signal the OOM killer sends) and assert the retry policy documented in
+:mod:`repro.analysis.parallel`: completed chunks are never recomputed,
+lost chunks are re-dispatched, results stay bit-identical to the
+serial path, and user-function exceptions propagate unchanged.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.parallel import map_grid, map_items
+from repro.errors import AnalysisError
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="fault injection uses POSIX signals"
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _log_and_square(task):
+    """Append the item to a log file, then square it."""
+    value, log_path = task
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    return value * value
+
+
+class _KillWorkerOnce:
+    """SIGKILL the hosting process the first time it sees ``victim``.
+
+    A marker file records that the kill already happened so the
+    retried chunk completes normally.  Module-level class: instances
+    pickle into workers.
+    """
+
+    def __init__(self, marker_path, victim):
+        self.marker_path = marker_path
+        self.victim = victim
+
+    def __call__(self, x):
+        if x == self.victim and not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w", encoding="utf-8") as handle:
+                handle.write("killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return x * x
+
+
+class _KillWorkerNTimes:
+    """SIGKILL on ``victim`` until ``n_kills`` markers exist."""
+
+    def __init__(self, marker_dir, victim, n_kills):
+        self.marker_dir = marker_dir
+        self.victim = victim
+        self.n_kills = n_kills
+
+    def __call__(self, x):
+        if x == self.victim:
+            done = len(os.listdir(self.marker_dir))
+            if done < self.n_kills:
+                path = os.path.join(self.marker_dir, f"kill-{done}")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write("killed\n")
+                os.kill(os.getpid(), signal.SIGKILL)
+        return x * x
+
+
+class _LogThenMaybeKill(_KillWorkerOnce):
+    """Log each execution to a file, killing once on the victim item."""
+
+    def __call__(self, task):
+        value, log_path = task
+        if value == self.victim and not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w", encoding="utf-8") as handle:
+                handle.write("killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{value}\n")
+        return value * value
+
+
+class _KillGridCellOnce:
+    """Two-argument variant of :class:`_KillWorkerOnce` for map_grid."""
+
+    def __init__(self, marker_path, victim):
+        self.marker_path = marker_path
+        self.victim = victim
+
+    def __call__(self, x, y):
+        if (x, y) == self.victim and not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w", encoding="utf-8") as handle:
+                handle.write("killed\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return 10.0 * x + y
+
+
+class _RaiseOn:
+    """Raise ``error`` when the item equals ``victim``."""
+
+    def __init__(self, victim, error):
+        self.victim = victim
+        self.error = error
+
+    def __call__(self, x):
+        if x == self.victim:
+            raise self.error
+        return x * x
+
+
+def _sleep_seconds(x):
+    time.sleep(x)
+    return x
+
+
+class TestWorkerKillRecovery:
+    def test_killed_worker_recovers_bit_identical(self, tmp_path):
+        items = list(range(12))
+        fn = _KillWorkerOnce(str(tmp_path / "killed"), victim=7)
+        with obs.enabled_scope():
+            results = map_items(
+                fn, items, workers=2, chunksize=1, max_retries=2
+            )
+            counters = dict(obs.snapshot()["counters"])
+        assert results == [x * x for x in items]
+        assert counters["parallel.worker_failures"] >= 1
+        assert counters["parallel.chunk_retries"] >= 1
+        # Recovery used the pool, not the serial fallback.
+        assert counters.get("parallel.fallbacks", 0) == 0
+        # Every item's result was recorded exactly once.
+        assert counters["parallel.items"] == len(items)
+
+    def test_only_lost_chunks_rerun(self, tmp_path):
+        log_path = str(tmp_path / "executions.log")
+        marker = str(tmp_path / "killed")
+        items = list(range(16))
+        # Kill late so most chunks have already completed and been
+        # recorded by the time the pool breaks.
+        fn = _LogThenMaybeKill(marker, victim=items[-1])
+        results = map_items(
+            fn,
+            [(value, log_path) for value in items],
+            workers=2,
+            chunksize=1,
+            max_retries=2,
+        )
+        assert results == [x * x for x in items]
+        with open(log_path, encoding="utf-8") as handle:
+            executed = [int(line) for line in handle if line.strip()]
+        # Every item ran at least once; only the chunks in flight when
+        # the worker died may have run twice — a full restart would
+        # re-execute everything.
+        assert sorted(set(executed)) == items
+        assert len(executed) < 2 * len(items) - 2
+
+    def test_retries_exhausted_falls_back_to_serial(self, tmp_path):
+        marker_dir = tmp_path / "kills"
+        marker_dir.mkdir()
+        items = list(range(8))
+        # Dies on every pool attempt (initial + 2 retries); the serial
+        # tail then runs in-process, where the kill budget is spent.
+        fn = _KillWorkerNTimes(str(marker_dir), victim=3, n_kills=3)
+        with obs.enabled_scope():
+            results = map_items(
+                fn, items, workers=2, chunksize=1, max_retries=2
+            )
+            counters = dict(obs.snapshot()["counters"])
+        assert results == [x * x for x in items]
+        assert counters["parallel.worker_failures"] == 3
+        assert counters["parallel.fallbacks"] == 1
+        assert counters["parallel.items"] == len(items)
+
+    def test_map_grid_recovers_from_worker_kill(self, tmp_path):
+        xs = [0.0, 1.0, 2.0]
+        ys = [0.0, 1.0, 2.0, 3.0]
+        fn = _KillGridCellOnce(str(tmp_path / "killed"), victim=(2.0, 3.0))
+        parallel = map_grid(
+            fn, xs, ys, workers=2, chunksize=1, max_retries=2
+        )
+        assert parallel == [[10.0 * x + y for y in ys] for x in xs]
+
+
+class TestUserExceptionsPropagate:
+    @pytest.mark.parametrize(
+        "error",
+        [OSError("fn-level OSError"), ValueError("fn-level ValueError")],
+    )
+    def test_parallel_path_propagates(self, error):
+        fn = _RaiseOn(victim=5, error=error)
+        with obs.enabled_scope():
+            with pytest.raises(type(error), match="fn-level"):
+                map_items(fn, list(range(8)), workers=2, chunksize=1)
+            counters = dict(obs.snapshot()["counters"])
+        # A user-function failure is not an infrastructure failure:
+        # no fallback, no retry.
+        assert counters.get("parallel.fallbacks", 0) == 0
+        assert counters.get("parallel.chunk_retries", 0) == 0
+
+    def test_serial_path_propagates(self):
+        fn = _RaiseOn(victim=5, error=OSError("fn-level OSError"))
+        with pytest.raises(OSError, match="fn-level"):
+            map_items(fn, list(range(8)), workers=0)
+
+
+class TestTimeout:
+    def test_stuck_chunk_raises_timeout(self):
+        from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+        with obs.enabled_scope():
+            with pytest.raises(FuturesTimeoutError, match="chunk timeout"):
+                map_items(
+                    _sleep_seconds,
+                    [30.0, 30.0],
+                    workers=2,
+                    chunksize=1,
+                    timeout_s=0.5,
+                )
+            counters = dict(obs.snapshot()["counters"])
+        assert counters["parallel.timeouts"] >= 1
+
+    def test_timeout_validation(self):
+        with pytest.raises(AnalysisError, match="timeout_s"):
+            map_items(_square, [1, 2, 3], workers=2, timeout_s=0.0)
+
+    def test_max_retries_validation(self):
+        with pytest.raises(AnalysisError, match="max_retries"):
+            map_items(_square, [1, 2, 3], workers=2, max_retries=-1)
+
+
+class TestProgress:
+    def test_progress_reaches_total_on_parallel_path(self):
+        calls = []
+        results = map_items(
+            _square,
+            list(range(10)),
+            workers=2,
+            chunksize=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert results == [x * x for x in range(10)]
+        assert calls[-1] == (10, 10)
+        assert [done for done, _ in calls] == sorted(
+            done for done, _ in calls
+        )
+
+    def test_progress_on_serial_path(self):
+        calls = []
+        map_items(
+            _square,
+            [1, 2, 3],
+            workers=0,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_survives_worker_kill(self, tmp_path):
+        calls = []
+        fn = _KillWorkerOnce(str(tmp_path / "killed"), victim=4)
+        map_items(
+            fn,
+            list(range(8)),
+            workers=2,
+            chunksize=1,
+            max_retries=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1] == (8, 8)

@@ -138,3 +138,10 @@ class TestTimingYield:
             MonteCarloAnalyzer(soi_low_vt(), vt_sigma=-1.0)
         with pytest.raises(AnalysisError):
             MonteCarloAnalyzer(soi_low_vt(), n_samples=1)
+
+    @pytest.mark.parametrize(
+        "bounds", [(0.0, 1.0), (-0.1, 1.0), (1.0, 1.0), (2.0, 0.1)]
+    )
+    def test_bad_vdd_bounds_rejected(self, analyzer, inverter, bounds):
+        with pytest.raises(AnalysisError, match="bounds"):
+            analyzer.timing_yield_vdd(inverter, 1e-9, vdd_bounds=bounds)

@@ -68,9 +68,13 @@ class TestVddSolve:
         with pytest.raises(OptimizationError, match="unreachable"):
             ring.solve_vdd_for_delay(1e-15, vt=0.4)
 
-    def test_unreachable_slow_target(self, ring):
-        with pytest.raises(OptimizationError, match="unreachable"):
-            ring.solve_vdd_for_delay(1.0, vt=0.05)
+    def test_slow_target_clamps_to_low_bound(self, ring):
+        # A target the ring already meets at the minimum supply clamps
+        # to the low bound (the shared semantics with
+        # ModuleThroughputOptimizer) instead of raising.
+        vdd = ring.solve_vdd_for_delay(1.0, vt=0.05)
+        assert vdd == pytest.approx(ring.technology.min_vdd)
+        assert ring.stage_delay(vdd, 0.05) < 1.0
 
     def test_bad_bounds_rejected(self, ring, target):
         with pytest.raises(OptimizationError, match="bounds"):

@@ -75,6 +75,28 @@ class TestActivityCommand:
         )
         assert "shifter" in capsys.readouterr().out
 
+    def test_shifter_width_one_rounds_up(self, capsys):
+        # Width 1 used to round to an invalid 1-bit barrel shifter;
+        # it now rounds up to the smallest legal width (2).
+        assert (
+            main(
+                ["activity", "--circuit", "shifter", "--width", "1",
+                 "--vectors", "20"]
+            )
+            == 0
+        )
+        assert "mean activity" in capsys.readouterr().out
+
+    def test_nonpositive_width_rejected(self, capsys):
+        assert (
+            main(
+                ["activity", "--circuit", "shifter", "--width", "0",
+                 "--vectors", "20"]
+            )
+            == 1
+        )
+        assert "width" in capsys.readouterr().err
+
 
 class TestOptimizeCommand:
     def test_reports_optimum(self, capsys):

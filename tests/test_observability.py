@@ -1,0 +1,271 @@
+"""Tests for the repro.obs instrumentation subsystem and its wiring."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.device.technology import soi_low_vt
+from repro.errors import OptimizationError
+from repro.power.optimizer import FixedThroughputOptimizer, RingOscillatorModel
+from repro.tech.cells import standard_cells
+from repro.tech.characterize import CellCharacterizer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+class TestObsCore:
+    def test_disabled_by_default_and_noop(self):
+        assert not obs.is_enabled()
+        obs.incr("x")
+        obs.gauge("g", 1.0)
+        obs.observe_seconds("t", 0.5)
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["timers"] == {}
+
+    def test_enable_records_and_disable_stops(self):
+        obs.enable()
+        obs.incr("x")
+        obs.incr("x", 4)
+        obs.gauge("g", 2.5)
+        obs.observe_seconds("t", 0.25)
+        obs.observe_seconds("t", 0.75)
+        obs.disable()
+        obs.incr("x")  # ignored
+        assert obs.counter_value("x") == 5
+        snap = obs.snapshot()
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["timers"]["t"]["count"] == 2
+        assert snap["timers"]["t"]["total_s"] == pytest.approx(1.0)
+
+    def test_span_times_block_when_enabled(self):
+        obs.enable()
+        with obs.span("work"):
+            pass
+        count, total = obs.timer_value("work")
+        assert count == 1
+        assert total >= 0.0
+
+    def test_span_is_shared_noop_when_disabled(self):
+        assert obs.span("a") is obs.span("b")
+        with obs.span("a"):
+            pass
+        assert obs.timer_value("a") == (0, 0.0)
+
+    def test_enabled_scope_restores_and_isolates(self):
+        obs.enable()
+        obs.incr("outer")
+        with obs.enabled_scope(fresh=True):
+            assert obs.counter_value("outer") == 0
+            obs.incr("inner")
+        assert obs.is_enabled()  # previous state restored
+        obs.disable()
+        with obs.enabled_scope():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        obs.incr("x")
+        obs.gauge("g", 1.0)
+        obs.observe_seconds("t", 1.0)
+        obs.reset()
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["timers"] == {}
+
+    def test_format_summary(self):
+        assert "no metrics" in obs.format_summary()
+        obs.enable()
+        obs.incr("hits", 3)
+        obs.gauge("rate", 0.5)
+        text = obs.format_summary(title="T")
+        assert "T" in text
+        assert "hits" in text
+        assert "rate" in text
+
+    def test_dump_json(self, tmp_path):
+        obs.enable()
+        obs.incr("x", 2)
+        path = tmp_path / "metrics.json"
+        obs.dump_json(str(path), extra={"command": "test"})
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["x"] == 2
+        assert payload["command"] == "test"
+
+    def test_cache_info_hit_rate(self):
+        info = obs.CacheInfo(hits=3, misses=1, currsize=4)
+        assert info.hit_rate == pytest.approx(0.75)
+        assert obs.CacheInfo(0, 0, 0).hit_rate == 0.0
+
+
+class TestCharacterizerCacheInfo:
+    def test_hits_and_misses_counted(self):
+        characterizer = CellCharacterizer(soi_low_vt())
+        inverter = standard_cells()["INV"]
+        assert characterizer.cache_info().hits == 0
+        first = characterizer.propagation_delay(inverter, 1.0, 10e-15)
+        after_miss = characterizer.cache_info()
+        assert after_miss.misses > 0
+        assert after_miss.currsize > 0
+        second = characterizer.propagation_delay(inverter, 1.0, 10e-15)
+        assert second == first
+        assert characterizer.cache_info().hits > after_miss.hits
+
+    def test_family_sizes_tracks_memo_families(self):
+        characterizer = CellCharacterizer(soi_low_vt())
+        inverter = standard_cells()["INV"]
+        characterizer.propagation_delay(inverter, 1.0, 10e-15)
+        characterizer.leakage_current(inverter, 1.0)
+        families = characterizer.family_sizes()
+        assert families.get("delay", 0) >= 1
+        assert families.get("leak", 0) >= 1
+        assert sum(families.values()) == characterizer.cache_info().currsize
+
+    def test_clear_cache_zeroes_statistics(self):
+        characterizer = CellCharacterizer(soi_low_vt())
+        inverter = standard_cells()["INV"]
+        characterizer.propagation_delay(inverter, 1.0, 10e-15)
+        characterizer.clear_cache()
+        info = characterizer.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_per_family_obs_counters(self):
+        with obs.enabled_scope():
+            characterizer = CellCharacterizer(soi_low_vt())
+            inverter = standard_cells()["INV"]
+            characterizer.propagation_delay(inverter, 1.0, 10e-15)
+            characterizer.propagation_delay(inverter, 1.0, 10e-15)
+            counters = obs.snapshot()["counters"]
+        assert counters["characterizer.misses.delay"] >= 1
+        assert counters["characterizer.hits.delay"] >= 1
+
+
+class TestRingCornerCacheBound:
+    def test_corner_lru_respects_bound(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11, max_corners=4)
+        for i in range(10):
+            ring.stage_delay(1.0, 0.05 + 0.02 * i)
+        info = ring.cache_info()
+        assert info.currsize <= 4
+        assert info.maxsize == 4
+        assert info.misses == 10
+
+    def test_eviction_is_least_recently_used(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11, max_corners=2)
+        ring.stage_delay(1.0, 0.1)  # miss: {0.1}
+        ring.stage_delay(1.0, 0.2)  # miss: {0.1, 0.2}
+        ring.stage_delay(1.0, 0.1)  # hit, 0.1 becomes most recent
+        ring.stage_delay(1.0, 0.3)  # miss, evicts 0.2
+        assert 0.1 in ring._corners
+        assert 0.3 in ring._corners
+        assert 0.2 not in ring._corners
+
+    def test_bounded_cache_is_bit_identical_to_fresh_model(self):
+        # Cache-bound regression: evictions must never change results.
+        bounded = RingOscillatorModel(soi_low_vt(), stages=11, max_corners=2)
+        fresh = RingOscillatorModel(soi_low_vt(), stages=11)
+        vts = [0.05, 0.15, 0.25, 0.05, 0.15, 0.25]
+        bounded_delays = [bounded.stage_delay(0.8, vt) for vt in vts]
+        fresh_delays = [fresh.stage_delay(0.8, vt) for vt in vts]
+        assert bounded_delays == fresh_delays
+        assert bounded.cache_info().currsize <= 2
+
+    def test_clear_corners(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        ring.stage_delay(1.0, 0.2)
+        ring.clear_corners()
+        info = ring.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_bad_max_corners_rejected(self):
+        with pytest.raises(OptimizationError):
+            RingOscillatorModel(soi_low_vt(), max_corners=0)
+
+    def test_eviction_counter(self):
+        with obs.enabled_scope():
+            ring = RingOscillatorModel(
+                soi_low_vt(), stages=11, max_corners=2
+            )
+            for i in range(5):
+                ring.stage_delay(1.0, 0.05 + 0.05 * i)
+            counters = obs.snapshot()["counters"]
+        assert counters["ring.corner_evictions"] == 3
+        assert counters["ring.corner_misses"] == 5
+
+
+class TestOptimizerInstrumentation:
+    def test_sweep_and_optimum_record_probes(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        optimizer = FixedThroughputOptimizer(ring, cycle_stages=22)
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        with obs.enabled_scope():
+            optimizer.sweep([0.1, 0.2, 0.3], target)
+            optimizer.optimum(target, vt_bounds=(0.05, 0.45))
+            snap = obs.snapshot()
+        counters = snap["counters"]
+        assert counters["optimizer.vdd_solves"] >= 3
+        assert counters["optimizer.delay_probes"] > 0
+        assert counters["optimizer.golden_probes"] > 0
+        assert snap["timers"]["optimizer.sweep"]["count"] == 1
+        assert snap["timers"]["optimizer.optimum"]["count"] == 1
+
+    def test_low_bound_clamp_counted(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        with obs.enabled_scope():
+            vdd = ring.solve_vdd_for_delay(1.0, vt=0.05)
+            counters = obs.snapshot()["counters"]
+        assert vdd == pytest.approx(soi_low_vt().min_vdd)
+        assert counters["optimizer.low_bound_clamps"] == 1
+
+
+class TestCliMetrics:
+    def test_optimize_metrics_prints_summary(self, capsys):
+        from repro.cli import main
+
+        code = main(["optimize", "--stages", "11", "--metrics"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Metrics: optimize" in output
+        assert "characterizer.hit_rate" in output
+        assert "optimizer.golden_probes" in output
+        # The flag must not leave instrumentation globally enabled.
+        assert not obs.is_enabled()
+
+    def test_metrics_json_written(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["optimize", "--stages", "11", "--metrics-json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "optimize"
+        assert payload["counters"]  # non-empty
+        assert "optimizer.sweep" in payload["timers"]
+
+    def test_contour_metrics_and_progress(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "contour", "--grid", "4", "--vectors", "10",
+                "--width", "4", "--progress", "--metrics",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Metrics: contour" in captured.out
+        assert "flow.ratio_surface" in captured.out
+        assert "16/16 cells" in captured.err
