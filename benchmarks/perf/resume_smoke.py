@@ -1,0 +1,158 @@
+"""Resume-after-kill smoke test for the persistent result store.
+
+Exercises the store's central durability claim end to end, against the
+real Fig. 10 surface path rather than a toy function:
+
+1. Compute a cold serial reference surface (no store).
+2. Spawn a child process that computes the same surface into a disk
+   store with per-cell checkpointing, and **SIGKILLs itself** partway
+   through the grid — no cleanup, no atexit, the hard-crash case.
+3. Resume the surface in this process from the same store and assert
+   (a) at least half the grid came back from the store (via the
+   ``store.sweep_cells_restored`` obs counter) and (b) the resumed
+   surface is bit-identical to the cold reference.
+4. Finish with ``repro cache gc`` over the store, asserting the CLI
+   path drains it.
+
+Exits non-zero (with a message) on any violated assertion, so CI can
+run it directly::
+
+    PYTHONPATH=src python benchmarks/perf/resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+from repro import obs
+from repro.analysis.contour import energy_ratio_surface
+from repro.cli import main as repro_main
+from repro.power.energy import ModuleEnergyParameters
+from repro.store import ResultStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+GRID_N = 8
+VDD = 1.0
+T_CYCLE_S = 1e-6
+
+# The child kills itself once this fraction of the grid has completed
+# (and, at checkpoint_every=1, has been durably flushed).
+KILL_FRACTION = 0.6
+
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import os, signal
+    from repro.analysis.contour import energy_ratio_surface
+    from repro.power.energy import ModuleEnergyParameters
+    from repro.store import ResultStore
+
+    module = ModuleEnergyParameters(
+        name="smoke-adder",
+        switched_capacitance_f=45e-12,
+        leakage_low_vt_a=2.0e-6,
+        leakage_high_vt_a=4.0e-9,
+        back_gate_capacitance_f=18e-12,
+        back_gate_swing_v=2.0,
+    )
+    grid = [i / {n} for i in range(1, {n} + 1)]
+
+    def die_partway(done, total):
+        if done >= int(total * {kill_fraction}):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    energy_ratio_surface(
+        module, {vdd}, {t_cycle}, grid, grid,
+        progress=die_partway,
+        store=ResultStore.at({root!r}),
+        checkpoint_every=1,
+    )
+    raise SystemExit("child was supposed to die mid-grid")
+    """
+)
+
+
+def _module() -> ModuleEnergyParameters:
+    return ModuleEnergyParameters(
+        name="smoke-adder",
+        switched_capacitance_f=45e-12,
+        leakage_low_vt_a=2.0e-6,
+        leakage_high_vt_a=4.0e-9,
+        back_gate_capacitance_f=18e-12,
+        back_gate_swing_v=2.0,
+    )
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"resume smoke FAILED: {message}")
+
+
+def run_smoke() -> None:
+    grid = [i / GRID_N for i in range(1, GRID_N + 1)]
+    total_cells = GRID_N * GRID_N
+    reference = energy_ratio_surface(_module(), VDD, T_CYCLE_S, grid, grid)
+
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+        store_root = os.path.join(tmp, "cache")
+        script = CHILD_SCRIPT.format(
+            n=GRID_N, vdd=VDD, t_cycle=T_CYCLE_S,
+            kill_fraction=KILL_FRACTION, root=store_root,
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, timeout=600,
+        )
+        _check(
+            child.returncode == -signal.SIGKILL,
+            f"child exited {child.returncode}, expected SIGKILL "
+            f"({child.stderr.decode(errors='replace')[-500:]})",
+        )
+
+        obs.reset()
+        obs.enable()
+        try:
+            resumed = energy_ratio_surface(
+                _module(), VDD, T_CYCLE_S, grid, grid,
+                store=ResultStore.at(store_root),
+            )
+            restored = obs.counter_value("store.sweep_cells_restored")
+        finally:
+            obs.disable()
+
+        _check(
+            restored >= total_cells // 2,
+            f"only {restored}/{total_cells} cells restored from the "
+            f"store after the kill (need >= {total_cells // 2})",
+        )
+        _check(
+            resumed.grid.zs == reference.grid.zs,
+            "resumed surface differs from the cold serial reference",
+        )
+        print(
+            f"resume smoke OK: child SIGKILLed mid-grid, resume "
+            f"restored {restored}/{total_cells} cells, surface "
+            f"bit-identical to the cold run"
+        )
+
+        code = repro_main(
+            ["cache", "gc", "--store", store_root, "--max-mb", "0"]
+        )
+        _check(code == 0, f"repro cache gc exited {code}")
+        _check(
+            ResultStore.at(store_root).stats()["backend_entries"] == 0,
+            "cache gc left entries behind",
+        )
+        print("cache gc OK: store drained")
+
+
+if __name__ == "__main__":
+    run_smoke()

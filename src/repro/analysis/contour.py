@@ -156,6 +156,8 @@ def energy_ratio_surface(
     bga_values: Sequence[float],
     workers: int = 0,
     progress: Optional[Callable[[int, int], None]] = None,
+    store=None,
+    checkpoint_every: int = 32,
 ) -> RatioSurface:
     """Sample the Fig. 10 surface over a grid.
 
@@ -165,8 +167,26 @@ def energy_ratio_surface(
     the sampled surface is identical for any worker count.
     ``progress(done_cells, total_cells)`` reports completion for long
     grids.
+
+    With ``store`` (a :class:`repro.store.ResultStore`) the grid is
+    checkpointed under a canonical digest of every input — module
+    parameters, operating point, and both axes — so a killed surface
+    resumes from its completed chunks and an identical re-request is
+    served entirely from the store.
     """
     cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
+    store_key = None
+    if store is not None:
+        from repro.store.hashing import request_digest
+
+        store_key = request_digest(
+            "ratio-surface",
+            module,
+            vdd,
+            t_cycle_s,
+            [float(v) for v in fga_values],
+            [float(v) for v in bga_values],
+        )
     with obs.span("analysis.ratio_surface"):
         grid = sweep_2d(
             "fga",
@@ -177,6 +197,9 @@ def energy_ratio_surface(
             cell,
             workers=workers,
             progress=progress,
+            store=store,
+            store_key=store_key,
+            checkpoint_every=checkpoint_every,
         )
     return RatioSurface(
         module=module, vdd=vdd, t_cycle_s=t_cycle_s, grid=grid

@@ -105,6 +105,8 @@ def _serial_tail(
     progress: Optional[Callable[[int, int], None]],
     done_items: int,
     total_items: int,
+    chunksize: int,
+    chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]],
 ) -> None:
     """Evaluate the outstanding chunks in-process (the fallback path)."""
     if obs.ENABLED:
@@ -114,6 +116,11 @@ def _serial_tail(
         done_items += len(chunks[index])
         if obs.ENABLED:
             obs.incr("parallel.items", len(chunks[index]))
+        if chunk_done is not None:
+            start = index * chunksize
+            chunk_done(
+                range(start, start + len(chunks[index])), results[index]
+            )
         if progress is not None:
             progress(done_items, total_items)
 
@@ -126,6 +133,7 @@ def _map_chunked(
     timeout_s: Optional[float],
     progress: Optional[Callable[[int, int], None]],
     max_retries: int,
+    chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]],
 ) -> List[_R]:
     """The fault-tolerant chunk engine behind :func:`map_items`."""
     chunks: List[List[_X]] = [
@@ -143,7 +151,7 @@ def _map_chunked(
         except OSError:
             _serial_tail(
                 fn, chunks, results, pending, progress, done_items,
-                total_items,
+                total_items, chunksize, chunk_done,
             )
             pending = []
             break
@@ -157,7 +165,7 @@ def _map_chunked(
             except (OSError, BrokenProcessPool):
                 _serial_tail(
                     fn, chunks, results, pending, progress, done_items,
-                    total_items,
+                    total_items, chunksize, chunk_done,
                 )
                 pending = []
                 break
@@ -203,6 +211,12 @@ def _map_chunked(
                     done_items += len(chunks[index])
                     if obs.ENABLED:
                         obs.incr("parallel.items", len(chunks[index]))
+                    if chunk_done is not None:
+                        start = index * chunksize
+                        chunk_done(
+                            range(start, start + len(chunks[index])),
+                            chunk_result,
+                        )
                     if progress is not None:
                         progress(done_items, total_items)
                 if broke:
@@ -218,7 +232,7 @@ def _map_chunked(
         if rebuilds > max_retries:
             _serial_tail(
                 fn, chunks, results, pending, progress, done_items,
-                total_items,
+                total_items, chunksize, chunk_done,
             )
             pending = []
         elif obs.ENABLED:
@@ -239,6 +253,7 @@ def map_items(
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     max_retries: int = _DEFAULT_MAX_RETRIES,
+    chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]] = None,
 ) -> List[_R]:
     """``[fn(item) for item in items]``, possibly across processes.
 
@@ -263,6 +278,13 @@ def map_items(
     max_retries:
         Pool rebuilds tolerated before the remaining chunks fall back
         to serial evaluation.
+    chunk_done:
+        Optional ``chunk_done(item_indices, chunk_results)`` callback,
+        invoked in the *parent* process exactly once per completed
+        chunk, with the global (input-order) indices the chunk covers
+        (serial path: per item).  This is the checkpointing hook — a
+        chunk handed to ``chunk_done`` is complete and will never be
+        re-dispatched, so persisting it is safe.
     """
     work = list(items)
     n_workers = resolve_workers(workers)
@@ -272,6 +294,8 @@ def map_items(
         results = []
         for done, item in enumerate(work, start=1):
             results.append(fn(item))
+            if chunk_done is not None:
+                chunk_done([done - 1], results[-1:])
             if progress is not None:
                 progress(done, len(work))
         return results
@@ -285,7 +309,8 @@ def map_items(
         raise AnalysisError(f"max_retries must be >= 0, got {max_retries}")
     with obs.span("parallel.map_items"):
         return _map_chunked(
-            fn, work, n_workers, chunksize, timeout_s, progress, max_retries
+            fn, work, n_workers, chunksize, timeout_s, progress,
+            max_retries, chunk_done,
         )
 
 
@@ -310,14 +335,16 @@ def map_grid(
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     max_retries: int = _DEFAULT_MAX_RETRIES,
+    chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]] = None,
 ) -> List[List[_R]]:
     """Evaluate ``fn`` over the cartesian grid, row-major.
 
     Returns ``rows[i][j] == fn(xs[i], ys[j])`` — the same layout as
     :class:`repro.analysis.sweep.Sweep2D`.  The grid is flattened into
     one chunked work list so uneven rows cannot starve workers; the
-    fault-tolerance, timeout, and progress semantics are those of
-    :func:`map_items`.
+    fault-tolerance, timeout, progress, and ``chunk_done`` semantics
+    are those of :func:`map_items` (``chunk_done`` indices address the
+    row-major flattening: cell ``(i, j)`` is index ``i * len(ys) + j``).
     """
     x_list = list(xs)
     y_list = list(ys)
@@ -330,6 +357,7 @@ def map_grid(
         timeout_s=timeout_s,
         progress=progress,
         max_retries=max_retries,
+        chunk_done=chunk_done,
     )
     n_y = len(y_list)
     return [flat[i * n_y : (i + 1) * n_y] for i in range(len(x_list))]

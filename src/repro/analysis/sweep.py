@@ -99,6 +99,71 @@ def sweep_1d(
     )
 
 
+def _checkpointed_grid(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    fn: Callable[[float, float], Optional[float]],
+    workers: int,
+    progress: Optional[Callable[[int, int], None]],
+    store,
+    store_key: str,
+    checkpoint_every: int,
+) -> Tuple[Tuple[Optional[float], ...], ...]:
+    """Store-backed grid evaluation: restore, compute the gap, persist.
+
+    Every completed chunk becomes durable as it finishes (see
+    :class:`repro.store.checkpoint.SweepCheckpoint`), so a killed run
+    resumed with the same store and key recomputes only the missing
+    cells — and the assembled grid is bit-identical to a cold serial
+    run, because restored cells JSON-round-trip exactly and computed
+    cells are pure functions of their coordinates.
+    """
+    from repro.analysis.parallel import _PairFn, map_items
+    from repro.store.checkpoint import SweepCheckpoint
+
+    n_y = len(ys)
+    total = len(xs) * n_y
+    checkpoint = SweepCheckpoint(
+        store, store_key, total, flush_every=checkpoint_every
+    )
+    cells = checkpoint.restored()
+    if progress is not None and cells:
+        progress(len(cells), total)
+    missing = [index for index in range(total) if index not in cells]
+    if missing:
+        pairs = [(xs[index // n_y], ys[index % n_y]) for index in missing]
+        restored_count = len(cells)
+
+        def on_chunk(positions, values) -> None:
+            chunk = [
+                (
+                    missing[position],
+                    None if value is None else float(value),
+                )
+                for position, value in zip(positions, values)
+            ]
+            cells.update(chunk)
+            checkpoint.record_many(chunk)
+
+        shifted = None
+        if progress is not None:
+            def shifted(done: int, _missing_total: int) -> None:
+                progress(restored_count + done, total)
+
+        map_items(
+            _PairFn(fn),
+            pairs,
+            workers=workers,
+            progress=shifted,
+            chunk_done=on_chunk,
+        )
+    checkpoint.finalize()
+    return tuple(
+        tuple(cells[i * n_y + j] for j in range(n_y))
+        for i in range(len(xs))
+    )
+
+
 def sweep_2d(
     x_name: str,
     y_name: str,
@@ -108,6 +173,9 @@ def sweep_2d(
     fn: Callable[[float, float], Optional[float]],
     workers: int = 0,
     progress: Optional[Callable[[int, int], None]] = None,
+    store=None,
+    store_key: Optional[str] = None,
+    checkpoint_every: int = 32,
 ) -> Sweep2D:
     """Sample ``fn`` over the cartesian grid; fn may return None.
 
@@ -118,10 +186,28 @@ def sweep_2d(
     identical either way.  ``progress(done_cells, total_cells)`` is
     invoked as cells complete (per chunk on the parallel path, per
     cell on the serial one).
+
+    With ``store`` (a :class:`repro.store.ResultStore`) and
+    ``store_key`` (a stable digest of the sweep inputs — see
+    :func:`repro.store.request_digest`) the sweep is **checkpointed
+    and resumable**: completed cells are persisted in chunks of
+    ``checkpoint_every`` (immediately per chunk on the parallel path),
+    a re-run restores them and computes only the gap, and the result
+    is bit-identical to an unstored serial run.
     """
     if not xs or not ys:
         raise AnalysisError("empty sweep grid")
-    if workers == 0:
+    if store is not None:
+        if not store_key:
+            raise AnalysisError(
+                "a store-backed sweep needs a store_key identifying "
+                "its inputs"
+            )
+        grid = _checkpointed_grid(
+            xs, ys, fn, workers, progress, store, store_key,
+            checkpoint_every,
+        )
+    elif workers == 0:
         total = len(xs) * len(ys)
         done = 0
         rows = []

@@ -137,6 +137,7 @@ class MonteCarloAnalyzer:
         n_samples: int = 300,
         seed: int = 0,
         workers: int = 0,
+        store=None,
     ):
         if vt_sigma < 0.0:
             raise AnalysisError("vt_sigma must be >= 0")
@@ -147,7 +148,62 @@ class MonteCarloAnalyzer:
         self.n_samples = n_samples
         self.seed = seed
         self.workers = workers
+        self.store = store
         self._characterizer = CellCharacterizer(technology)
+        self._tech_digest: str = ""
+
+    def _request_key(self, kind: str, *parts) -> str:
+        """Canonical key for one distribution request on this analyzer."""
+        from repro.store.hashing import request_digest, technology_digest
+
+        if not self._tech_digest:
+            self._tech_digest = technology_digest(self.technology)
+        return request_digest(
+            kind,
+            self._tech_digest,
+            self.vt_sigma,
+            self.n_samples,
+            self.seed,
+            *parts,
+        )
+
+    def _checkpointed_samples(self, key, tasks, worker_fn, serial_fn):
+        """Evaluate per-sample tasks through a sweep checkpoint.
+
+        Restores already-persisted samples, computes only the gap
+        (serial or fanned out per ``self.workers``), and persists
+        completed chunks as they finish — the Monte-Carlo twin of the
+        checkpointed grid sweep.
+        """
+        from repro.analysis.parallel import map_items
+        from repro.store.checkpoint import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(self.store, key, len(tasks))
+        samples = checkpoint.restored()
+        missing = [i for i in range(len(tasks)) if i not in samples]
+        if missing:
+            if self.workers == 0:
+                for index in missing:
+                    value = serial_fn(tasks[index])
+                    samples[index] = value
+                    checkpoint.record(index, value)
+            else:
+                def on_chunk(positions, values) -> None:
+                    chunk = [
+                        (missing[position], float(value))
+                        for position, value in zip(positions, values)
+                    ]
+                    samples.update(chunk)
+                    checkpoint.record_many(chunk)
+
+                map_items(
+                    worker_fn,
+                    [tasks[index] for index in missing],
+                    workers=self.workers,
+                    chunk_done=on_chunk,
+                )
+        checkpoint.finalize()
+        return tuple(samples[i] for i in range(len(tasks)))
 
     def sample_vt_shifts(self) -> List[float]:
         """Deterministic Gaussian V_T offsets (one per sample)."""
@@ -164,10 +220,27 @@ class MonteCarloAnalyzer:
         With ``workers`` set on the analyzer the samples fan out over
         processes; the sampled values (and their order) are identical
         to the serial path because each sample is a pure function of
-        its deterministic V_T shift.
+        its deterministic V_T shift.  With a ``store`` on the analyzer
+        the samples are checkpointed and restored across runs (keyed
+        by technology, cell, operating point, and the sampling
+        parameters), again bit-identical.
         """
         shifts = self.sample_vt_shifts()
-        if self.workers == 0:
+        tasks = [
+            (self.technology, cell, vdd, load_f, shift) for shift in shifts
+        ]
+        if self.store is not None:
+            from repro.store.hashing import cell_digest
+
+            samples = self._checkpointed_samples(
+                self._request_key("mc-delay", cell_digest(cell), vdd, load_f),
+                tasks,
+                _delay_sample,
+                lambda task: self._characterizer.propagation_delay(
+                    task[1], task[2], task[3], vt_shift=task[4]
+                ),
+            )
+        elif self.workers == 0:
             samples = tuple(
                 self._characterizer.propagation_delay(
                     cell, vdd, load_f, vt_shift=shift
@@ -177,24 +250,32 @@ class MonteCarloAnalyzer:
         else:
             from repro.analysis.parallel import map_items
 
-            samples = tuple(
-                map_items(
-                    _delay_sample,
-                    [
-                        (self.technology, cell, vdd, load_f, shift)
-                        for shift in shifts
-                    ],
-                    workers=self.workers,
-                )
-            )
+            samples = tuple(map_items(
+                _delay_sample, tasks, workers=self.workers,
+            ))
         return Distribution(samples=samples)
 
     def leakage_distribution(
         self, cell: Cell, vdd: float
     ) -> Distribution:
-        """Cell leakage across the V_T samples at one supply."""
+        """Cell leakage across the V_T samples at one supply.
+
+        Store/workers semantics match :meth:`delay_distribution`.
+        """
         shifts = self.sample_vt_shifts()
-        if self.workers == 0:
+        tasks = [(self.technology, cell, vdd, shift) for shift in shifts]
+        if self.store is not None:
+            from repro.store.hashing import cell_digest
+
+            samples = self._checkpointed_samples(
+                self._request_key("mc-leakage", cell_digest(cell), vdd),
+                tasks,
+                _leakage_sample,
+                lambda task: self._characterizer.leakage_current(
+                    task[1], task[2], vt_shift=task[3]
+                ),
+            )
+        elif self.workers == 0:
             samples = tuple(
                 self._characterizer.leakage_current(
                     cell, vdd, vt_shift=shift
@@ -204,16 +285,9 @@ class MonteCarloAnalyzer:
         else:
             from repro.analysis.parallel import map_items
 
-            samples = tuple(
-                map_items(
-                    _leakage_sample,
-                    [
-                        (self.technology, cell, vdd, shift)
-                        for shift in shifts
-                    ],
-                    workers=self.workers,
-                )
-            )
+            samples = tuple(map_items(
+                _leakage_sample, tasks, workers=self.workers,
+            ))
         return Distribution(samples=samples)
 
     def leakage_amplification(self, cell: Cell, vdd: float) -> float:

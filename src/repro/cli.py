@@ -1,6 +1,6 @@
 """Command-line interface to the toolkit.
 
-Five subcommands mirror the paper's tool chain, three more cover the
+Five subcommands mirror the paper's tool chain, five more cover the
 extensions::
 
     python -m repro profile --workload idea            # Tables 1-3
@@ -12,16 +12,24 @@ extensions::
     python -m repro margins --floor 0.3                # V_DD floor
     python -m repro shutdown                           # policies
     python -m repro recover --circuit adder            # dual-V_T+sizing
+    python -m repro runs list                          # run manifests
+    python -m repro cache stats                        # result store
 
 Every subcommand prints an ASCII table; ``characterize`` can also
-write a JSON library.
+write a JSON library.  ``optimize``, ``compare``, and ``contour``
+accept ``--record`` (write a run manifest under ``.repro/runs/``) and
+``optimize``/``contour`` accept ``--store PATH`` (persist results for
+reuse and resumption — see ``docs/store.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
+import os
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro import obs
@@ -57,6 +65,105 @@ _TECHNOLOGIES = {
 }
 
 _UNITS = ("adder", "shifter", "multiplier", "logic", "memory", "control")
+
+_DEFAULT_STORE_ROOT = os.path.join(".repro", "cache")
+
+
+def _stderr_progress(enabled: bool, noun: str = "cells"):
+    """A ``progress(done, total)`` callback printing to stderr, or None."""
+    if not enabled:
+        return None
+
+    def progress_cb(done: int, total: int) -> None:
+        print(
+            f"\r  {done}/{total} {noun}", end="",
+            file=sys.stderr, flush=True,
+        )
+        if done == total:
+            print(file=sys.stderr)
+
+    return progress_cb
+
+
+def _open_store(args: argparse.Namespace):
+    """The ResultStore named by ``--store``, or None when not requested."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore.at(path)
+
+
+def _record_run(
+    args: argparse.Namespace, inputs: dict, result, wall_time_s: float
+) -> None:
+    """Persist a run manifest when ``--record`` was passed."""
+    if not getattr(args, "record", False):
+        return
+    from repro.store import RunRegistry
+
+    manifest = RunRegistry(args.runs_root).record(
+        args.command,
+        inputs,
+        result,
+        wall_time_s,
+        metrics=dict(obs.snapshot()["counters"]),
+    )
+    print(
+        f"\nRun recorded: {manifest.run_id} "
+        f"(inputs {manifest.inputs_digest[:12]}, "
+        f"result {manifest.result_digest[:12]})"
+    )
+
+
+#: Per-process ring-model cache for the parallel optimize path — a
+#: worker re-solving V_DD at many V_T corners reuses one model (and
+#: its corner characterizer memos) across its whole chunk.
+_WORKER_RINGS: dict = {}
+_MAX_WORKER_RINGS = 4
+
+
+def _locus_task(task):
+    """One fixed-delay locus point; module-level so workers can pickle it.
+
+    Returns None for infeasible V_T (the serial sweep's
+    ``skip_infeasible`` semantics).
+    """
+    from repro.errors import OptimizationError
+
+    technology, stages, activity, cycle_stages, vt, target = task
+    key = (technology, stages, activity)
+    ring = _WORKER_RINGS.get(key)
+    if ring is None:
+        while len(_WORKER_RINGS) >= _MAX_WORKER_RINGS:
+            _WORKER_RINGS.pop(next(iter(_WORKER_RINGS)))
+        ring = RingOscillatorModel(
+            technology, stages=stages, activity=activity
+        )
+        _WORKER_RINGS[key] = ring
+    optimizer = FixedThroughputOptimizer(ring, cycle_stages=cycle_stages)
+    try:
+        return optimizer.locus_point(vt, target)
+    except OptimizationError:
+        return None
+
+
+def _compare_unit_row(task):
+    """One unit's comparison row; module-level for the worker fan-out."""
+    name, unit, fga, bga, vdd, clock = task
+    flow = LowVoltageDesignFlow(vdd=vdd, clock_hz=clock)
+    report = flow.unit_activity(unit.netlist, unit.vectors)
+    module = flow.module_parameters(unit.netlist, report)
+    verdicts = flow.comparator(module).all_verdicts(fga, bga)
+    return [
+        name,
+        fga,
+        bga,
+        verdicts["soias"].saving_percent,
+        verdicts["mtcmos"].saving_percent,
+        verdicts["vtcmos"].saving_percent,
+    ]
 
 
 def _build_workload(name: str, scale: int):
@@ -170,21 +277,48 @@ def _cmd_activity(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     technology = _TECHNOLOGIES[args.technology]()
+    store = _open_store(args)
     ring = RingOscillatorModel(
-        technology, stages=args.stages, activity=args.activity
+        technology, stages=args.stages, activity=args.activity,
+        store=store,
     )
     optimizer = FixedThroughputOptimizer(
         ring, cycle_stages=2 * args.stages
     )
     target = args.delay_factor * ring.stage_delay(1.0, 0.2)
     vts = [0.04 + 0.02 * i for i in range(20)]
-    points = optimizer.sweep(vts, target)
+    if args.workers == 0:
+        points = optimizer.sweep(vts, target)
+    else:
+        from repro.analysis.parallel import map_items
+        from repro.errors import OptimizationError
+
+        tasks = [
+            (technology, args.stages, args.activity, 2 * args.stages,
+             vt, target)
+            for vt in vts
+        ]
+        points = [
+            point
+            for point in map_items(
+                _locus_task, tasks, workers=args.workers,
+                progress=_stderr_progress(args.progress, noun="corners"),
+            )
+            if point is not None
+        ]
+        if not points:
+            raise OptimizationError(
+                "no feasible V_T in the sweep for this delay target"
+            )
     rows = [
         [p.vt, p.vdd, p.energy_per_cycle_j, p.leakage_fraction]
         for p in points
     ]
     best = optimizer.optimum(target, vt_bounds=(0.02, 0.45))
+    if store is not None:
+        ring.flush_store()
     print(
         format_table(
             ["V_T [V]", "V_DD [V]", "E/cycle [J]", "leak frac"],
@@ -199,11 +333,31 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"\nOptimum: V_T = {best.vt:.3f} V, V_DD = {best.vdd:.3f} V, "
         f"E = {best.energy_per_cycle_j:.3e} J/cycle"
     )
+    _record_run(
+        args,
+        inputs={
+            "technology": args.technology,
+            "delay_factor": args.delay_factor,
+            "stages": args.stages,
+            "activity": args.activity,
+            "workers": args.workers,
+        },
+        result={
+            "target_stage_delay_s": target,
+            "locus": [[p.vt, p.vdd, p.energy_per_cycle_j] for p in points],
+            "optimum": {
+                "vt": best.vt,
+                "vdd": best.vdd,
+                "energy_per_cycle_j": best.energy_per_cycle_j,
+            },
+        },
+        wall_time_s=time.perf_counter() - started,
+    )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    flow = LowVoltageDesignFlow(vdd=args.vdd, clock_hz=args.clock)
+    started = time.perf_counter()
     datapath = standard_datapath(
         width=args.width, stimulus_vectors=args.vectors
     )
@@ -214,23 +368,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         lambda a, b: a.merged_with(b),
         [profile_program(p) for p in programs],
     ).scaled_by_duty_cycle(args.duty)
-    rows = []
-    for name, unit in datapath.items():
-        report = flow.unit_activity(unit.netlist, unit.vectors)
-        module = flow.module_parameters(unit.netlist, report)
-        verdicts = flow.comparator(module).all_verdicts(
-            session.fga(name), session.bga(name)
-        )
-        rows.append(
-            [
-                name,
-                session.fga(name),
-                session.bga(name),
-                verdicts["soias"].saving_percent,
-                verdicts["mtcmos"].saving_percent,
-                verdicts["vtcmos"].saving_percent,
-            ]
-        )
+    tasks = [
+        (name, unit, session.fga(name), session.bga(name),
+         args.vdd, args.clock)
+        for name, unit in datapath.items()
+    ]
+    from repro.analysis.parallel import map_items
+
+    rows = map_items(
+        _compare_unit_row,
+        tasks,
+        workers=args.workers,
+        progress=_stderr_progress(args.progress, noun="units"),
+    )
     print(
         format_table(
             ["unit", "fga", "bga", "SOIAS %", "MTCMOS %", "VTCMOS %"],
@@ -241,10 +391,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ),
         )
     )
+    _record_run(
+        args,
+        inputs={
+            "workload": list(args.workload),
+            "scale": args.scale,
+            "duty": args.duty,
+            "width": args.width,
+            "vectors": args.vectors,
+            "vdd": args.vdd,
+            "clock": args.clock,
+            "workers": args.workers,
+        },
+        result={
+            row[0]: {
+                "fga": row[1],
+                "bga": row[2],
+                "soias_percent": row[3],
+                "mtcmos_percent": row[4],
+                "vtcmos_percent": row[5],
+            }
+            for row in rows
+        },
+        wall_time_s=time.perf_counter() - started,
+    )
     return 0
 
 
 def _cmd_contour(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     flow = LowVoltageDesignFlow(vdd=args.vdd, clock_hz=args.clock)
     datapath = standard_datapath(
         width=args.width, stimulus_vectors=args.vectors
@@ -253,19 +428,10 @@ def _cmd_contour(args: argparse.Namespace) -> int:
     report = flow.unit_activity(unit.netlist, unit.vectors)
     module = flow.module_parameters(unit.netlist, report)
     grid = [i / args.grid for i in range(1, args.grid + 1)]
-    progress_cb = None
-    if args.progress:
-
-        def progress_cb(done: int, total: int) -> None:
-            print(
-                f"\r  {done}/{total} cells", end="",
-                file=sys.stderr, flush=True,
-            )
-            if done == total:
-                print(file=sys.stderr)
-
     surface = flow.ratio_surface(
-        module, grid, grid, workers=args.workers, progress=progress_cb
+        module, grid, grid, workers=args.workers,
+        progress=_stderr_progress(args.progress),
+        store=_open_store(args),
     )
     defined = [
         (fga, bga, value)
@@ -293,6 +459,23 @@ def _cmd_contour(args: argparse.Namespace) -> int:
                 f"(workers {args.workers})"
             ),
         )
+    )
+    _record_run(
+        args,
+        inputs={
+            "unit": args.unit,
+            "width": args.width,
+            "vectors": args.vectors,
+            "vdd": args.vdd,
+            "clock": args.clock,
+            "grid": args.grid,
+            "workers": args.workers,
+        },
+        result={
+            "defined_cells": surface.grid.defined_cells(),
+            "zs": [list(row) for row in surface.grid.zs],
+        },
+        wall_time_s=time.perf_counter() - started,
     )
     return 0
 
@@ -468,6 +651,121 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.store import RunRegistry
+
+    registry = RunRegistry(args.runs_root)
+    if args.action == "list":
+        manifests = registry.list_manifests()
+        if not manifests:
+            print(f"No runs recorded under {registry.root}")
+            return 0
+        rows = [
+            [
+                manifest.run_id,
+                manifest.command,
+                manifest.created_utc,
+                f"{manifest.wall_time_s:.3f}",
+                manifest.result_digest[:12],
+            ]
+            for manifest in manifests
+        ]
+        print(
+            format_table(
+                ["run", "command", "created (UTC)", "wall [s]", "result"],
+                rows,
+                title=f"Recorded runs in {registry.root}",
+            )
+        )
+        return 0
+    if args.action == "show":
+        if len(args.run_ids) != 1:
+            raise ReproError("runs show needs exactly one run id")
+        manifest = registry.load(args.run_ids[0])
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        return 0
+    # diff
+    if len(args.run_ids) != 2:
+        raise ReproError("runs diff needs exactly two run ids")
+    differences = registry.diff(args.run_ids[0], args.run_ids[1])
+    if not differences:
+        print("Runs are identical (apart from identity).")
+        return 0
+    rows = [
+        [name, str(pair[0]), str(pair[1])]
+        for name, pair in sorted(differences.items())
+    ]
+    print(
+        format_table(
+            ["field", args.run_ids[0], args.run_ids[1]],
+            rows,
+            title="Run differences",
+        )
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore.at(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [[name, str(stats[name])] for name in sorted(stats)]
+        print(
+            format_table(
+                ["statistic", "value"],
+                rows,
+                title=f"Result store at {args.store}",
+            )
+        )
+        return 0
+    # gc
+    removed, freed = store.gc(max_bytes=int(args.max_mb * 1_000_000))
+    print(
+        f"Removed {removed} entries ({freed} bytes) from {args.store}; "
+        f"{store.stats()['backend_entries']} entries remain."
+    )
+    return 0
+
+
+def _add_record_arguments(parser: argparse.ArgumentParser) -> None:
+    """--record / --runs-root for the manifest-recording subcommands."""
+    from repro.store.registry import DEFAULT_RUNS_ROOT
+
+    parser.add_argument(
+        "--record", action="store_true",
+        help="write a run manifest (inputs digest, wall time, metrics, "
+        "result digest) under the runs root",
+    )
+    parser.add_argument(
+        "--runs-root", default=DEFAULT_RUNS_ROOT, metavar="PATH",
+        help=f"run-manifest directory (default: {DEFAULT_RUNS_ROOT})",
+    )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persist results under PATH for reuse and resumption "
+        f"(e.g. {_DEFAULT_STORE_ROOT})",
+    )
+
+
+def _add_parallel_arguments(
+    parser: argparse.ArgumentParser, noun: str
+) -> None:
+    """--workers / --progress, shared by the fan-out subcommands."""
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help=f"worker processes for the {noun} (0 = serial)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="report completion on stderr as chunks finish",
+    )
+
+
 def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     """--metrics / --metrics-json for the instrumented subcommands."""
     parser.add_argument(
@@ -527,6 +825,9 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
     )
+    _add_parallel_arguments(optimize, "V_T locus")
+    _add_store_argument(optimize)
+    _add_record_arguments(optimize)
     _add_metrics_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
@@ -544,6 +845,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--vectors", type=int, default=80)
     compare.add_argument("--vdd", type=float, default=1.0)
     compare.add_argument("--clock", type=float, default=1e6)
+    _add_parallel_arguments(compare, "unit evaluations")
+    _add_record_arguments(compare)
     _add_metrics_arguments(compare)
     compare.set_defaults(handler=_cmd_compare)
 
@@ -559,14 +862,9 @@ def build_parser() -> argparse.ArgumentParser:
     contour.add_argument("--vdd", type=float, default=1.0)
     contour.add_argument("--clock", type=float, default=1e6)
     contour.add_argument("--grid", type=int, default=24)
-    contour.add_argument(
-        "--workers", type=int, default=0,
-        help="worker processes for the grid (0 = serial)",
-    )
-    contour.add_argument(
-        "--progress", action="store_true",
-        help="report grid completion on stderr as chunks finish",
-    )
+    _add_parallel_arguments(contour, "grid")
+    _add_store_argument(contour)
+    _add_record_arguments(contour)
     _add_metrics_arguments(contour)
     contour.set_defaults(handler=_cmd_contour)
 
@@ -632,6 +930,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.set_defaults(handler=_cmd_recover)
 
+    from repro.store.registry import DEFAULT_RUNS_ROOT
+
+    runs = sub.add_parser(
+        "runs", help="inspect recorded run manifests"
+    )
+    runs.add_argument("action", choices=["list", "show", "diff"])
+    runs.add_argument(
+        "run_ids", nargs="*", metavar="RUN_ID",
+        help="one id for show, two for diff",
+    )
+    runs.add_argument(
+        "--runs-root", default=DEFAULT_RUNS_ROOT, metavar="PATH",
+        help=f"run-manifest directory (default: {DEFAULT_RUNS_ROOT})",
+    )
+    runs.set_defaults(handler=_cmd_runs)
+
+    cache = sub.add_parser(
+        "cache", help="result-store statistics and garbage collection"
+    )
+    cache.add_argument("action", choices=["stats", "gc"])
+    cache.add_argument(
+        "--store", default=_DEFAULT_STORE_ROOT, metavar="PATH",
+        help=f"result-store directory (default: {_DEFAULT_STORE_ROOT})",
+    )
+    cache.add_argument(
+        "--max-mb", type=float, default=0.0,
+        help="gc target size in MB (0 = remove everything)",
+    )
+    cache.set_defaults(handler=_cmd_cache)
+
     return parser
 
 
@@ -657,7 +985,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         getattr(args, "metrics", False)
         or getattr(args, "metrics_json", None)
     )
-    if wants_metrics:
+    # --record implies instrumentation so the manifest's metrics
+    # snapshot is populated (the table still prints only on --metrics).
+    wants_obs = wants_metrics or bool(getattr(args, "record", False))
+    if wants_obs:
         obs.reset()
         obs.enable()
     try:
@@ -676,7 +1007,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             pass
         return 0
     finally:
-        if wants_metrics:
+        if wants_obs:
             obs.disable()
 
 

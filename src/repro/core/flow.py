@@ -178,11 +178,15 @@ class LowVoltageDesignFlow:
         bga_values: Sequence[float],
         workers: int = 0,
         progress: Optional[Callable[[int, int], None]] = None,
+        store=None,
     ) -> RatioSurface:
         """Fig. 10 surface for one module (``workers`` fans out the grid).
 
         ``progress(done_cells, total_cells)`` is forwarded to the grid
-        sweep so long surfaces can report completion.
+        sweep so long surfaces can report completion; ``store`` (a
+        :class:`repro.store.ResultStore`) makes the grid checkpointed
+        and resumable — see :func:`repro.analysis.contour.
+        energy_ratio_surface`.
         """
         with obs.span("flow.ratio_surface"):
             return energy_ratio_surface(
@@ -193,6 +197,7 @@ class LowVoltageDesignFlow:
                 bga_values,
                 workers=workers,
                 progress=progress,
+                store=store,
             )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ from repro.device.capacitance import (
 from repro.device.mosfet import MosfetParameters
 from repro.device.technology import Technology, TransistorPair
 from repro.device.threshold import SoiasBackGateModel
-from repro.errors import DeviceModelError
+from repro.errors import SerializationError
 
 __all__ = [
     "technology_to_dict",
@@ -75,33 +75,60 @@ def technology_to_dict(technology: Technology) -> dict:
     }
 
 
-def technology_from_dict(payload: dict) -> Technology:
-    """Reconstruct a technology from :func:`technology_to_dict` output."""
-    if payload.get("format") != _FORMAT:
-        raise DeviceModelError(
-            f"unsupported technology format {payload.get('format')!r}"
+def technology_from_dict(
+    payload: dict, source: Optional[str] = None
+) -> Technology:
+    """Reconstruct a technology from :func:`technology_to_dict` output.
+
+    Raises
+    ------
+    SerializationError
+        On a wrong schema version, a missing key, or field values the
+        model constructors reject — never a raw :class:`KeyError` /
+        :class:`TypeError`.  ``source`` (a file path, when known) is
+        included in the message.
+    """
+    where = f" in {source!r}" if source else ""
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"technology payload{where} is not a JSON object "
+            f"(got {type(payload).__name__})"
         )
-    back_gate = (
-        SoiasBackGateModel(**payload["back_gate"])
-        if payload["back_gate"] is not None
-        else None
-    )
-    return Technology(
-        name=payload["name"],
-        transistors=_pair_from_dict(payload["transistors"]),
-        gate_cap=GateCapacitanceModel(**payload["gate_cap"]),
-        junction_cap=JunctionCapacitanceModel(**payload["junction_cap"]),
-        wire_cap=WireCapacitanceModel(**payload["wire_cap"]),
-        nominal_vdd=payload["nominal_vdd"],
-        min_vdd=payload["min_vdd"],
-        max_vdd=payload["max_vdd"],
-        drawn_length_um=payload["drawn_length_um"],
-        drain_extent_um=payload["drain_extent_um"],
-        back_gate=back_gate,
-        back_gate_cap_f_per_um2=payload["back_gate_cap_f_per_um2"],
-        back_gate_swing=payload["back_gate_swing"],
-        sleep_transistors=_pair_from_dict(payload["sleep_transistors"]),
-    )
+    if payload.get("format") != _FORMAT:
+        raise SerializationError(
+            f"unsupported technology format {payload.get('format')!r}"
+            f"{where} (expected {_FORMAT!r})"
+        )
+    try:
+        back_gate = (
+            SoiasBackGateModel(**payload["back_gate"])
+            if payload["back_gate"] is not None
+            else None
+        )
+        return Technology(
+            name=payload["name"],
+            transistors=_pair_from_dict(payload["transistors"]),
+            gate_cap=GateCapacitanceModel(**payload["gate_cap"]),
+            junction_cap=JunctionCapacitanceModel(**payload["junction_cap"]),
+            wire_cap=WireCapacitanceModel(**payload["wire_cap"]),
+            nominal_vdd=payload["nominal_vdd"],
+            min_vdd=payload["min_vdd"],
+            max_vdd=payload["max_vdd"],
+            drawn_length_um=payload["drawn_length_um"],
+            drain_extent_um=payload["drain_extent_um"],
+            back_gate=back_gate,
+            back_gate_cap_f_per_um2=payload["back_gate_cap_f_per_um2"],
+            back_gate_swing=payload["back_gate_swing"],
+            sleep_transistors=_pair_from_dict(payload["sleep_transistors"]),
+        )
+    except KeyError as error:
+        raise SerializationError(
+            f"technology payload{where} is missing key {error.args[0]!r}"
+        ) from error
+    except (TypeError, AttributeError) as error:
+        raise SerializationError(
+            f"technology payload{where} has a wrong-shaped field: {error}"
+        ) from error
 
 
 def save_technology(technology: Technology, path: str) -> None:
@@ -111,12 +138,17 @@ def save_technology(technology: Technology, path: str) -> None:
 
 
 def load_technology(path: str) -> Technology:
-    """Read a technology written by :func:`save_technology`."""
+    """Read a technology written by :func:`save_technology`.
+
+    Every failure mode — unreadable file, malformed JSON, missing
+    keys, wrong schema version — surfaces as a
+    :class:`~repro.errors.SerializationError` naming ``path``.
+    """
     with open(path) as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as error:
-            raise DeviceModelError(
+            raise SerializationError(
                 f"malformed technology JSON in {path!r}: {error}"
             ) from error
-    return technology_from_dict(payload)
+    return technology_from_dict(payload, source=path)

@@ -21,6 +21,8 @@ __all__ = [
     "LibraryError",
     "OptimizationError",
     "AnalysisError",
+    "SerializationError",
+    "StoreError",
 ]
 
 
@@ -74,3 +76,13 @@ class OptimizationError(ReproError):
 
 class AnalysisError(ReproError):
     """Analysis-layer misuse (empty sweep, bad contour request, ...)."""
+
+
+class SerializationError(DeviceModelError):
+    """A persisted payload is malformed: corrupt JSON, missing keys, or
+    a wrong schema version.  Subclasses :class:`DeviceModelError` so
+    callers that caught device errors for load failures keep working."""
+
+
+class StoreError(ReproError):
+    """Result-store misuse or damage (bad key, torn checkpoint, ...)."""

@@ -56,6 +56,7 @@ __all__ = [
     "observe_seconds",
     "span",
     "counter_value",
+    "counters_with_prefix",
     "timer_value",
     "snapshot",
     "reset",
@@ -203,6 +204,24 @@ def span(name: str):
 def counter_value(name: str) -> int:
     """Current value of a counter (0 if never incremented)."""
     return _counters.get(name, 0)
+
+
+def counters_with_prefix(prefix: str) -> Dict[str, int]:
+    """Every counter whose dotted name starts with ``prefix``.
+
+    ``counters_with_prefix("store")`` collects the result-store family
+    (``store.hits``, ``store.misses``, ``store.evictions``,
+    ``store.writes``, ``store.corrupt_dropped``,
+    ``store.sweep_cells_restored``, ...) — the snapshot run manifests
+    embed.  A bare prefix matches both the exact name and its
+    sub-families.
+    """
+    dotted = prefix + "."
+    return {
+        name: value
+        for name, value in sorted(_counters.items())
+        if name == prefix or name.startswith(dotted)
+    }
 
 
 def timer_value(name: str) -> Tuple[int, float]:

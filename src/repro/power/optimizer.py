@@ -117,6 +117,11 @@ class RingOscillatorModel:
         model leaks memory across repeated ``optimum`` calls.  The
         default comfortably covers one sweep plus one golden-section
         search with no evictions.
+    store:
+        Optional :class:`repro.store.ResultStore`.  Each corner's
+        characterizer loads previously flushed entries for its exact
+        (technology, V_T) pair and :meth:`flush_store` persists them —
+        a warm store turns repeat optimizations into pure lookups.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class RingOscillatorModel:
         stages: int = 101,
         activity: float = 1.0,
         max_corners: int = 64,
+        store=None,
     ):
         if stages < 3 or stages % 2 == 0:
             raise OptimizationError("stages must be odd and >= 3")
@@ -136,6 +142,7 @@ class RingOscillatorModel:
         self.stages = stages
         self.activity = activity
         self.max_corners = max_corners
+        self.store = store
         self._inverter = standard_cells()["INV"]
         self._corners: "OrderedDict[float, CellCharacterizer]" = OrderedDict()
         self._corner_hits = 0
@@ -166,7 +173,9 @@ class RingOscillatorModel:
             self._corner_misses += 1
             if obs.ENABLED:
                 obs.incr("ring.corner_misses")
-            corner = CellCharacterizer(self.technology.with_vt(vt))
+            corner = CellCharacterizer(
+                self.technology.with_vt(vt), store=self.store
+            )
             self._corners[vt] = corner
             if len(self._corners) > self.max_corners:
                 evicted_vt, _ = self._corners.popitem(last=False)
@@ -196,8 +205,24 @@ class RingOscillatorModel:
     def clear_corners(self) -> None:
         """Drop every cached corner and zero the LRU statistics."""
         self._corners.clear()
+        self._last_vt = None
+        self._last_corner = None
         self._corner_hits = 0
         self._corner_misses = 0
+
+    def flush_store(self) -> int:
+        """Persist every live corner's characterization memo.
+
+        Returns the total number of entries written (0 without a
+        store).  Corners already evicted from the LRU are not
+        re-flushed — call this at natural boundaries (end of a sweep
+        or ``optimum``) rather than once per probe.
+        """
+        if self.store is None:
+            return 0
+        return sum(
+            corner.flush_store() for corner in self._corners.values()
+        )
 
     def stage_delay(self, vdd: float, vt: float) -> float:
         """Fanout-1 inverter delay at a corner [s]."""

@@ -1,0 +1,49 @@
+"""Durable results: content-addressed store, checkpoints, run registry.
+
+The analysis layers (PRs 1-2) made single evaluations fast and sweeps
+parallel and fault-tolerant — but every cache died with the process.
+This package adds the persistence tier:
+
+* :mod:`repro.store.hashing` — canonical SHA-256 addressing of
+  technologies, cells, modules, and sweep requests;
+* :mod:`repro.store.backend` — :class:`ResultStore`: an atomic
+  (tmp + ``os.replace``) disk backend with a bounded in-memory LRU
+  front and obs-instrumented hit/miss/evict accounting;
+* :mod:`repro.store.checkpoint` — :class:`SweepCheckpoint`: chunk-
+  grained persistence that makes ``sweep_2d`` /
+  ``energy_ratio_surface`` / ``MonteCarloAnalyzer`` resumable after a
+  kill, bit-identical to a cold serial run;
+* :mod:`repro.store.registry` — :class:`RunRegistry`: one manifest
+  per recorded CLI invocation (inputs digest, config, wall time,
+  metrics snapshot, result digest) behind ``repro runs list|show|diff``.
+
+See ``docs/store.md`` for the on-disk layout and resume semantics.
+"""
+
+from repro.store.backend import DiskBackend, MemoryBackend, ResultStore
+from repro.store.checkpoint import SweepCheckpoint
+from repro.store.hashing import (
+    canonical_json,
+    cell_digest,
+    digest,
+    module_digest,
+    request_digest,
+    technology_digest,
+)
+from repro.store.registry import DEFAULT_RUNS_ROOT, RunManifest, RunRegistry
+
+__all__ = [
+    "ResultStore",
+    "DiskBackend",
+    "MemoryBackend",
+    "SweepCheckpoint",
+    "RunManifest",
+    "RunRegistry",
+    "DEFAULT_RUNS_ROOT",
+    "canonical_json",
+    "digest",
+    "technology_digest",
+    "cell_digest",
+    "module_digest",
+    "request_digest",
+]

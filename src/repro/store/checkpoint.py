@@ -1,0 +1,166 @@
+"""Chunk-grained sweep checkpoints over a :class:`ResultStore`.
+
+A checkpointed sweep persists its completed cells as **part entries**
+under ``sweep/<key>/part-N`` while it runs; a re-run — after SIGKILL,
+``KeyboardInterrupt``, or in a fresh process — restores every part and
+recomputes only the missing cells.  When the sweep completes, the
+parts are consolidated into one ``sweep/<key>/final`` entry (and
+deleted), so resuming a finished sweep is a single read.
+
+Cell indices are flat integers (callers flatten ``(i, j)`` grids
+row-major); values are floats or ``None`` (an undefined cell).  JSON
+round-trips IEEE-754 doubles exactly via shortest-repr, so restored
+cells are bit-identical to freshly computed ones — the property the
+resume tests assert.
+
+Durability granularity: :meth:`record` buffers and flushes every
+``flush_every`` cells (the serial path), :meth:`record_many` flushes
+immediately when handed more than one cell (a completed parallel
+chunk).  A crash therefore loses at most the current buffer, never a
+flushed part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import StoreError
+
+__all__ = ["SweepCheckpoint"]
+
+
+class SweepCheckpoint:
+    """Persists one sweep's cells incrementally under ``sweep/<key>/``."""
+
+    def __init__(
+        self,
+        store,
+        key: str,
+        total_cells: int,
+        flush_every: int = 32,
+    ):
+        if total_cells < 1:
+            raise StoreError(f"total_cells must be >= 1, got {total_cells}")
+        if flush_every < 1:
+            raise StoreError(f"flush_every must be >= 1, got {flush_every}")
+        self.store = store
+        self.key = key
+        self.total_cells = total_cells
+        self.flush_every = flush_every
+        self.namespace = f"sweep/{key}"
+        self._pending: Dict[int, Optional[float]] = {}
+        self._seen: Dict[int, Optional[float]] = {}
+        self._next_part = 0
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restored(self) -> Dict[int, Optional[float]]:
+        """All cells already on disk for this sweep key.
+
+        Reads the consolidated ``final`` entry when present, otherwise
+        merges every ``part-N``.  Restored cells are counted under the
+        ``store.sweep_cells_restored`` obs counter.
+        """
+        cells: Dict[int, Optional[float]] = {}
+        final = self.store.get(f"{self.namespace}/final")
+        if final is not None:
+            cells.update(self._decode(final))
+        else:
+            part_keys = self.store.keys(prefix=f"{self.namespace}/part-")
+            for part_key in part_keys:
+                payload = self.store.get(part_key)
+                if payload is not None:
+                    cells.update(self._decode(payload))
+                index = self._part_index(part_key)
+                if index is not None:
+                    self._next_part = max(self._next_part, index + 1)
+        self._seen = dict(cells)
+        if obs.ENABLED and cells:
+            obs.incr("store.sweep_cells_restored", len(cells))
+        return dict(cells)
+
+    @staticmethod
+    def _part_index(part_key: str) -> Optional[int]:
+        suffix = part_key.rsplit("part-", 1)[-1]
+        try:
+            return int(suffix)
+        except ValueError:
+            return None
+
+    def _decode(self, payload) -> Dict[int, Optional[float]]:
+        if not isinstance(payload, dict) or "cells" not in payload:
+            return {}
+        if payload.get("total") != self.total_cells:
+            # A key collision with a different grid shape would corrupt
+            # results silently; refuse the entry instead.
+            raise StoreError(
+                f"checkpoint {self.namespace!r} was written for "
+                f"{payload.get('total')} cells, this sweep has "
+                f"{self.total_cells}"
+            )
+        cells: Dict[int, Optional[float]] = {}
+        for index_text, value in payload["cells"].items():
+            index = int(index_text)
+            if not 0 <= index < self.total_cells:
+                raise StoreError(
+                    f"checkpoint {self.namespace!r} holds out-of-range "
+                    f"cell {index}"
+                )
+            cells[index] = None if value is None else float(value)
+        return cells
+
+    # ------------------------------------------------------------------
+    # Record
+    # ------------------------------------------------------------------
+    def record(self, index: int, value: Optional[float]) -> None:
+        """Buffer one completed cell; auto-flush every ``flush_every``."""
+        self._pending[index] = value
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def record_many(
+        self, cells: Sequence[Tuple[int, Optional[float]]]
+    ) -> None:
+        """Record a completed chunk; flushes immediately for chunks > 1.
+
+        This is the parallel-path entry point: a chunk that completed
+        in a worker becomes durable the moment the parent drains it.
+        """
+        for index, value in cells:
+            self._pending[index] = value
+        if len(cells) > 1 or len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered cells as a new immutable part entry."""
+        if not self._pending:
+            return
+        payload = {
+            "total": self.total_cells,
+            "cells": {str(i): v for i, v in self._pending.items()},
+        }
+        self.store.put(f"{self.namespace}/part-{self._next_part}", payload)
+        self._next_part += 1
+        self._seen.update(self._pending)
+        self._pending.clear()
+
+    def finalize(self) -> None:
+        """Flush, consolidate every part into ``final``, drop the parts.
+
+        Idempotent; safe to call on a sweep that restored everything.
+        """
+        self.flush()
+        if len(self._seen) < self.total_cells:
+            raise StoreError(
+                f"finalize with {len(self._seen)}/{self.total_cells} "
+                f"cells recorded for {self.namespace!r}"
+            )
+        payload = {
+            "total": self.total_cells,
+            "cells": {str(i): v for i, v in self._seen.items()},
+        }
+        self.store.put(f"{self.namespace}/final", payload)
+        for part_key in self.store.keys(prefix=f"{self.namespace}/part-"):
+            self.store.delete(part_key)

@@ -79,9 +79,20 @@ class CellCharacterizer:
     ``Cell`` is a frozen dataclass, so cells key the cache by *value*:
     equal cells from different ``standard_cells()`` catalogs share
     entries.
+
+    With a ``store`` (a :class:`repro.store.ResultStore`) the memo
+    becomes **persistent**: construction loads the entries previously
+    flushed for this exact technology (keyed by its canonical digest,
+    so any model-parameter change starts a fresh namespace), they are
+    adopted into the memo as their cells are first interned — the hot
+    lookup path is unchanged — and :meth:`flush_store` writes the
+    merged memo back durably.  Restored values are bit-identical to
+    recomputed ones (JSON round-trips doubles exactly).
     """
 
-    def __init__(self, technology: Technology, cache: bool = True):
+    def __init__(
+        self, technology: Technology, cache: bool = True, store=None
+    ):
         self.technology = technology
         self.cache_enabled = bool(cache)
         self._memo: dict = {}
@@ -97,6 +108,78 @@ class CellCharacterizer:
         self._misses = 0
         self._nmos_stacks = StackLeakageModel(technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(technology.transistors.pmos)
+        # Persistence: stored entries wait in _pending_store keyed by
+        # cell digest until their cell is interned, then move into the
+        # memo under that cell's token.
+        self._store = store if self.cache_enabled else None
+        self._tech_store_key = ""
+        self._pending_store: dict = {}
+        self._token_digests: dict = {}
+        self._store_restored = 0
+        if self._store is not None:
+            self._load_store()
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    def _store_key(self) -> str:
+        if not self._tech_store_key:
+            from repro.store.hashing import technology_digest
+
+            self._tech_store_key = f"char/{technology_digest(self.technology)}"
+        return self._tech_store_key
+
+    def _load_store(self) -> None:
+        payload = self._store.get(self._store_key())
+        if not isinstance(payload, dict):
+            return
+        for entry in payload.get("entries", ()):
+            family, digest, args, value = entry
+            per_cell = self._pending_store.setdefault(digest, {})
+            per_cell[(family, tuple(args))] = value
+
+    def _adopt_stored(self, cell: Cell, token: int) -> None:
+        """Move a newly interned cell's stored entries into the memo."""
+        from repro.store.hashing import cell_digest
+
+        digest = cell_digest(cell)
+        self._token_digests[token] = digest
+        entries = self._pending_store.pop(digest, None)
+        if not entries:
+            return
+        for (family, args), value in entries.items():
+            self._memo[(family, token) + args] = value
+        self._store_restored += len(entries)
+        if _obs.ENABLED:
+            _obs.incr("characterizer.store_restored", len(entries))
+
+    def flush_store(self) -> int:
+        """Durably persist the memo (merged with unseen stored cells).
+
+        Returns the number of entries written; no-op without a store.
+        Safe to call repeatedly — the write is atomic and idempotent.
+        """
+        if self._store is None:
+            return 0
+        entries = []
+        for digest, per_cell in self._pending_store.items():
+            for (family, args), value in per_cell.items():
+                entries.append([family, digest, list(args), value])
+        for key, value in self._memo.items():
+            digest = self._token_digests.get(key[1])
+            if digest is None:  # pragma: no cover - tokens precede store
+                continue
+            entries.append([key[0], digest, list(key[2:]), value])
+        entries.sort(key=lambda entry: (entry[0], entry[1], repr(entry[2])))
+        self._store.put(self._store_key(), {"entries": entries})
+        if _obs.ENABLED:
+            _obs.incr("characterizer.store_flushes")
+        return len(entries)
+
+    @property
+    def store_restored(self) -> int:
+        """Memo entries served from the persistent store this session."""
+        return self._store_restored
 
     def _note(self, family: str, hit: bool) -> None:
         """Per-family obs counters (called only while obs is enabled)."""
@@ -112,19 +195,26 @@ class CellCharacterizer:
         if token is None:
             token = len(self._cell_tokens)
             self._cell_tokens[cell] = token
+            if self._store is not None:
+                self._adopt_stored(cell, token)
         self._id_tokens[id(cell)] = (cell, token)
         return token
 
     def clear_cache(self) -> None:
         """Drop every memoized corner result (stack memo included) and
-        zero the hit/miss statistics."""
+        zero the hit/miss statistics.  With a store attached, unflushed
+        entries are discarded and the persisted ones re-staged."""
         self._memo.clear()
         self._cell_tokens.clear()
         self._id_tokens.clear()
+        self._token_digests.clear()
         self._hits = 0
         self._misses = 0
         self._nmos_stacks = StackLeakageModel(self.technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(self.technology.transistors.pmos)
+        if self._store is not None:
+            self._pending_store = {}
+            self._load_store()
 
     @property
     def cache_size(self) -> int:

@@ -17,7 +17,7 @@ from repro.device.technology import (
     soi_low_vt,
     soias_technology,
 )
-from repro.errors import DeviceModelError
+from repro.errors import DeviceModelError, SerializationError
 
 ALL_CORNERS = [bulk_cmos_06um, soi_low_vt, soias_technology, mtcmos_technology]
 
@@ -62,6 +62,41 @@ class TestValidation:
         path = tmp_path / "bad.json"
         path.write_text("{not json")
         with pytest.raises(DeviceModelError, match="malformed"):
+            load_technology(str(path))
+
+    def test_serialization_error_is_device_model_error(self):
+        # Existing ``except DeviceModelError`` callers keep working.
+        assert issubclass(SerializationError, DeviceModelError)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SerializationError, match="not a JSON object"):
+            technology_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("key", ["name", "transistors", "gate_cap"])
+    def test_missing_top_level_key_named(self, key):
+        payload = technology_to_dict(soias_technology())
+        del payload[key]
+        with pytest.raises(SerializationError, match=repr(key)):
+            technology_from_dict(payload)
+
+    def test_wrong_shaped_field_rejected(self):
+        payload = technology_to_dict(soias_technology())
+        payload["gate_cap"] = 17
+        with pytest.raises(SerializationError, match="wrong-shaped field"):
+            technology_from_dict(payload)
+
+    def test_errors_from_file_name_the_path(self, tmp_path):
+        path = tmp_path / "torn.json"
+        payload = technology_to_dict(soias_technology())
+        del payload["nominal_vdd"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="torn.json"):
+            load_technology(str(path))
+
+    def test_malformed_json_names_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="bad.json"):
             load_technology(str(path))
 
     def test_json_is_human_readable(self, tmp_path):

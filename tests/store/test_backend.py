@@ -1,0 +1,203 @@
+"""Backend and ResultStore tests: atomicity, corruption, LRU, gc."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import StoreError
+from repro.store import DiskBackend, MemoryBackend, ResultStore
+
+
+class TestKeys:
+    @pytest.mark.parametrize(
+        "key",
+        ["", "a b", "a//b", "/abs", "a/../b", ".", "..", "a/..", None, 7],
+    )
+    def test_bad_keys_rejected(self, key):
+        backend = MemoryBackend()
+        with pytest.raises(StoreError, match="bad store key"):
+            backend.put(key, {"x": 1})
+
+    @pytest.mark.parametrize(
+        "key", ["abc", "a/b/c", "sweep/0f3a/part-12", "char/a.b-c_d"]
+    )
+    def test_good_keys_accepted(self, tmp_path, key):
+        backend = DiskBackend(str(tmp_path))
+        backend.put(key, {"x": 1})
+        assert backend.get(key) == {"x": 1}
+
+
+class TestDiskBackend:
+    def test_round_trip_and_persistence(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put("a/b", {"value": [1, 2.5, None]})
+        # A fresh backend over the same root sees the entry.
+        again = DiskBackend(str(tmp_path))
+        assert again.get("a/b") == {"value": [1, 2.5, None]}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert DiskBackend(str(tmp_path)).get("nope") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        for i in range(20):
+            backend.put(f"ns/k{i}", {"i": i})
+        leftovers = [
+            name
+            for _, _, files in os.walk(str(tmp_path))
+            for name in files
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_float_payloads_round_trip_bit_identical(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        values = [0.1 + 0.2, 1e-300, -0.0, 2**-1074, 1.7e308]
+        backend.put("floats", values)
+        restored = DiskBackend(str(tmp_path)).get("floats")
+        assert all(a == b for a, b in zip(restored, values))
+        assert str(restored[0]) == str(values[0])
+
+    def test_corrupt_json_dropped_and_counted(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put("k", {"x": 1})
+        path = os.path.join(str(tmp_path), "k.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn write")
+        assert backend.get("k") is None
+        assert backend.corrupt_dropped == 1
+        assert not os.path.exists(path)
+
+    def test_wrong_envelope_treated_as_absent(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        path = os.path.join(str(tmp_path), "k.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "other", "key": "k", "payload": 1}, handle)
+        assert backend.get("k") is None
+        assert backend.corrupt_dropped == 1
+
+    def test_key_mismatch_treated_as_corrupt(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put("a", {"x": 1})
+        os.rename(
+            os.path.join(str(tmp_path), "a.json"),
+            os.path.join(str(tmp_path), "b.json"),
+        )
+        assert backend.get("b") is None
+
+    def test_keys_prefix_listing(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        for key in ["sweep/x/part-0", "sweep/x/final", "char/t1", "other"]:
+            backend.put(key, 1)
+        assert backend.keys("sweep/x/") == [
+            "sweep/x/final",
+            "sweep/x/part-0",
+        ]
+        assert len(backend.keys()) == 4
+
+    def test_delete(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put("k", 1)
+        assert backend.delete("k") is True
+        assert backend.delete("k") is False
+        assert backend.get("k") is None
+
+    def test_gc_removes_oldest_first(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        for i in range(4):
+            backend.put(f"k{i}", {"i": i, "pad": "x" * 100})
+            path = os.path.join(str(tmp_path), f"k{i}.json")
+            os.utime(path, (1000 + i, 1000 + i))
+        size = backend.total_bytes() // 4
+        removed, freed = backend.gc(max_bytes=2 * size + 1)
+        assert removed == 2
+        assert freed > 0
+        assert backend.get("k0") is None
+        assert backend.get("k1") is None
+        assert backend.get("k3") == {"i": 3, "pad": "x" * 100}
+
+    def test_gc_zero_removes_everything_and_prunes_dirs(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put("deep/nested/key", 1)
+        removed, _ = backend.gc(max_bytes=0)
+        assert removed == 1
+        assert backend.entry_count() == 0
+        assert not os.path.exists(os.path.join(str(tmp_path), "deep"))
+
+    def test_gc_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="max_bytes"):
+            DiskBackend(str(tmp_path)).gc(-1)
+
+
+class TestResultStore:
+    def test_front_serves_repeat_reads(self, tmp_path):
+        store = ResultStore.at(str(tmp_path))
+        store.put("k", {"x": 1})
+        assert store.get("k") == {"x": 1}
+        assert store.get("k") == {"x": 1}
+        info = store.cache_info()
+        assert info.hits == 2
+        assert info.misses == 0
+
+    def test_miss_counted(self):
+        store = ResultStore.in_memory()
+        assert store.get("missing") is None
+        assert store.cache_info().misses == 1
+
+    def test_lru_front_evicts_beyond_bound(self):
+        store = ResultStore.in_memory(max_front=2)
+        for name in ["a", "b", "c"]:
+            store.put(name, name)
+        stats = store.stats()
+        assert stats["front_entries"] == 2
+        assert stats["evictions"] == 1
+        # Evicted entries still come back from the backend.
+        assert store.get("a") == "a"
+
+    def test_zero_front_goes_to_backend(self, tmp_path):
+        store = ResultStore.at(str(tmp_path), max_front=0)
+        store.put("k", 5)
+        assert store.stats()["front_entries"] == 0
+        assert store.get("k") == 5
+
+    def test_negative_front_rejected(self):
+        with pytest.raises(StoreError, match="max_front"):
+            ResultStore.in_memory(max_front=-1)
+
+    def test_obs_counters_mirrored(self, tmp_path):
+        store = ResultStore.at(str(tmp_path), max_front=1)
+        with obs.enabled_scope():
+            store.put("a", 1)
+            store.put("b", 2)  # evicts a from the front
+            store.get("a")
+            store.get("nope")
+            counters = dict(obs.snapshot()["counters"])
+        assert counters["store.writes"] == 2
+        # put("b") evicts a; get("a") promotes the backend hit back
+        # into the single-slot front, evicting b.
+        assert counters["store.evictions"] == 2
+        assert counters["store.hits"] == 1
+        assert counters["store.misses"] == 1
+
+    def test_gc_clears_front(self, tmp_path):
+        store = ResultStore.at(str(tmp_path))
+        store.put("k", 1)
+        removed, _ = store.gc(max_bytes=0)
+        assert removed == 1
+        assert store.get("k") is None
+
+    def test_memory_store_gc_is_noop(self):
+        store = ResultStore.in_memory()
+        store.put("k", 1)
+        assert store.gc(0) == (0, 0)
+        assert store.get("k") == 1
+
+    def test_stats_shape(self, tmp_path):
+        stats = ResultStore.at(str(tmp_path)).stats()
+        assert set(stats) == {
+            "hits", "misses", "evictions", "writes", "front_entries",
+            "front_max", "backend_entries", "backend_bytes",
+            "corrupt_dropped",
+        }

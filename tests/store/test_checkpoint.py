@@ -1,0 +1,250 @@
+"""Checkpointed-sweep tests: resume after interrupt, kill, and restart.
+
+The bit-identity contract under test: a sweep resumed from a store —
+after ``KeyboardInterrupt``, after SIGKILL of the whole process, or in
+a fresh process — produces exactly the grid a cold serial run without
+any store produces.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro import obs
+from repro.analysis.sweep import sweep_2d
+from repro.errors import AnalysisError, StoreError
+from repro.store import ResultStore, SweepCheckpoint, request_digest
+
+
+def _cell(x, y):
+    # Awkward floats on purpose: resume must preserve every bit.
+    if x == y:
+        return None
+    return (x + 0.1) / (y + 0.3)
+
+
+class _InterruptAt:
+    """Raise KeyboardInterrupt the first time the trigger cell is hit."""
+
+    def __init__(self, trigger, fired):
+        self.trigger = trigger
+        self.fired = fired
+
+    def __call__(self, x, y):
+        if (x, y) == self.trigger and not self.fired:
+            self.fired.append(True)
+            raise KeyboardInterrupt
+        return _cell(x, y)
+
+
+class TestSweepCheckpoint:
+    def test_record_restore_round_trip(self):
+        store = ResultStore.in_memory()
+        checkpoint = SweepCheckpoint(store, "k", 4, flush_every=2)
+        checkpoint.record(0, 1.5)
+        checkpoint.record(1, None)  # flushes
+        checkpoint.record(2, 0.1 + 0.2)
+        checkpoint.flush()
+        restored = SweepCheckpoint(store, "k", 4).restored()
+        assert restored == {0: 1.5, 1: None, 2: 0.1 + 0.2}
+
+    def test_finalize_consolidates_parts(self):
+        store = ResultStore.in_memory()
+        checkpoint = SweepCheckpoint(store, "k", 2, flush_every=1)
+        checkpoint.record(0, 1.0)
+        checkpoint.record(1, 2.0)
+        checkpoint.finalize()
+        assert store.keys("sweep/k/part-") == []
+        assert store.keys("sweep/k/") == ["sweep/k/final"]
+        assert SweepCheckpoint(store, "k", 2).restored() == {0: 1.0, 1: 2.0}
+
+    def test_finalize_incomplete_raises(self):
+        store = ResultStore.in_memory()
+        checkpoint = SweepCheckpoint(store, "k", 3)
+        checkpoint.record(0, 1.0)
+        with pytest.raises(StoreError, match="1/3"):
+            checkpoint.finalize()
+
+    def test_shape_mismatch_refused(self):
+        store = ResultStore.in_memory()
+        first = SweepCheckpoint(store, "k", 2, flush_every=1)
+        first.record(0, 1.0)
+        with pytest.raises(StoreError, match="written for 2 cells"):
+            SweepCheckpoint(store, "k", 5).restored()
+
+    def test_resume_continues_part_numbering(self):
+        store = ResultStore.in_memory()
+        first = SweepCheckpoint(store, "k", 4, flush_every=1)
+        first.record(0, 1.0)
+        first.record(1, 2.0)
+        second = SweepCheckpoint(store, "k", 4, flush_every=1)
+        assert second.restored() == {0: 1.0, 1: 2.0}
+        second.record(2, 3.0)
+        # The new part must not overwrite part-0/part-1.
+        assert len(store.keys("sweep/k/part-")) == 3
+
+    def test_validation(self):
+        store = ResultStore.in_memory()
+        with pytest.raises(StoreError, match="total_cells"):
+            SweepCheckpoint(store, "k", 0)
+        with pytest.raises(StoreError, match="flush_every"):
+            SweepCheckpoint(store, "k", 1, flush_every=0)
+
+
+class TestStoreBackedSweep2d:
+    XS = [0.25, 0.5, 0.75, 1.0]
+    YS = [0.1, 0.2, 0.5]
+
+    def _key(self):
+        return request_digest("test-sweep", self.XS, self.YS)
+
+    def test_store_requires_key(self):
+        with pytest.raises(AnalysisError, match="store_key"):
+            sweep_2d(
+                "x", "y", "z", self.XS, self.YS, _cell,
+                store=ResultStore.in_memory(),
+            )
+
+    def test_cold_run_matches_plain_serial(self):
+        store = ResultStore.in_memory()
+        stored = sweep_2d(
+            "x", "y", "z", self.XS, self.YS, _cell,
+            store=store, store_key=self._key(),
+        )
+        plain = sweep_2d("x", "y", "z", self.XS, self.YS, _cell)
+        assert stored == plain
+
+    def test_warm_run_is_served_entirely_from_store(self):
+        store = ResultStore.in_memory()
+        key = self._key()
+        cold = sweep_2d(
+            "x", "y", "z", self.XS, self.YS, _cell,
+            store=store, store_key=key,
+        )
+
+        def explode(x, y):
+            raise AssertionError("cell recomputed on a warm run")
+
+        with obs.enabled_scope():
+            warm = sweep_2d(
+                "x", "y", "z", self.XS, self.YS, explode,
+                store=store, store_key=key,
+            )
+            restored = obs.counter_value("store.sweep_cells_restored")
+        assert warm == cold
+        assert restored == len(self.XS) * len(self.YS)
+
+    def test_keyboard_interrupt_then_resume_bit_identical(self):
+        store = ResultStore.in_memory()
+        key = self._key()
+        fn = _InterruptAt(trigger=(0.75, 0.2), fired=[])
+        with pytest.raises(KeyboardInterrupt):
+            sweep_2d(
+                "x", "y", "z", self.XS, self.YS, fn,
+                store=store, store_key=key, checkpoint_every=1,
+            )
+        with obs.enabled_scope():
+            resumed = sweep_2d(
+                "x", "y", "z", self.XS, self.YS, fn,
+                store=store, store_key=key,
+            )
+            restored = obs.counter_value("store.sweep_cells_restored")
+        plain = sweep_2d("x", "y", "z", self.XS, self.YS, _cell)
+        assert resumed == plain
+        # Every cell completed before the interrupt came from the store.
+        assert restored >= 6
+
+    def test_parallel_store_run_matches_serial(self):
+        store = ResultStore.in_memory()
+        stored = sweep_2d(
+            "x", "y", "z", self.XS, self.YS, _cell,
+            workers=2, store=store, store_key=self._key(),
+        )
+        plain = sweep_2d("x", "y", "z", self.XS, self.YS, _cell)
+        assert stored == plain
+
+    def test_progress_includes_restored_cells(self):
+        store = ResultStore.in_memory()
+        key = self._key()
+        partial = SweepCheckpoint(
+            store, key, len(self.XS) * len(self.YS), flush_every=1
+        )
+        partial.record(0, _cell(self.XS[0], self.YS[0]))
+        calls = []
+        sweep_2d(
+            "x", "y", "z", self.XS, self.YS, _cell,
+            store=store, store_key=key,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        total = len(self.XS) * len(self.YS)
+        assert calls[0] == (1, total)
+        assert calls[-1] == (total, total)
+
+
+@pytest.mark.skipif(
+    os.name != "posix", reason="kill test uses POSIX signals"
+)
+class TestResumeAfterSigkill:
+    """The whole sweeping *process* dies mid-grid; a fresh one resumes."""
+
+    CHILD = textwrap.dedent(
+        """
+        import os, signal
+        from repro.store import ResultStore
+        from repro.analysis.sweep import sweep_2d
+
+        calls = []
+
+        def cell(x, y):
+            calls.append(1)
+            if len(calls) == 7:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x * 10.0 + y
+
+        store = ResultStore.at({root!r})
+        sweep_2d(
+            "x", "y", "z", {xs!r}, {ys!r}, cell,
+            store=store, store_key={key!r}, checkpoint_every=2,
+        )
+        """
+    )
+
+    def test_fresh_process_resumes_bit_identical(self, tmp_path):
+        xs = [float(i) for i in range(4)]
+        ys = [0.5, 1.5, 2.5]
+        key = request_digest("kill-sweep", xs, ys)
+        script = self.CHILD.format(
+            root=str(tmp_path / "cache"), xs=xs, ys=ys, key=key
+        )
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src"
+        )
+        env["PYTHONPATH"] = os.path.abspath(src)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            timeout=120,
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr.decode()
+
+        store = ResultStore.at(str(tmp_path / "cache"))
+        with obs.enabled_scope():
+            resumed = sweep_2d(
+                "x", "y", "z", xs, ys,
+                lambda x, y: x * 10.0 + y,
+                store=store, store_key=key,
+            )
+            restored = obs.counter_value("store.sweep_cells_restored")
+        plain = sweep_2d(
+            "x", "y", "z", xs, ys, lambda x, y: x * 10.0 + y
+        )
+        assert resumed == plain
+        # checkpoint_every=2 and the kill at call 7: at least 6 cells
+        # were durable when the process died.
+        assert restored >= 6

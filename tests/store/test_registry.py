@@ -1,0 +1,118 @@
+"""Run-registry tests: record, list, load, diff, damage handling."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import RunManifest, RunRegistry
+
+FIXED_NOW = time.gmtime(1_700_000_000)
+
+
+class TestRecord:
+    def test_record_and_load_round_trip(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        manifest = registry.record(
+            "optimize",
+            inputs={"vdd": 1.0, "grid": 24},
+            result={"energy": 2.5e-14},
+            wall_time_s=0.75,
+            metrics={"store.hits": 12},
+        )
+        assert registry.load(manifest.run_id) == manifest
+        assert manifest.inputs_digest != manifest.result_digest
+        assert len(manifest.inputs_digest) == 64
+
+    def test_two_runs_listed_oldest_first(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        a = registry.record("a", {"x": 1}, 1, 0.1, now=FIXED_NOW)
+        b = registry.record(
+            "b", {"x": 2}, 2, 0.2, now=time.gmtime(1_700_000_060)
+        )
+        assert registry.run_ids() == sorted([a.run_id, b.run_id])
+        assert [m.command for m in registry.list_manifests()] == ["a", "b"]
+
+    def test_identical_timestamp_and_inputs_disambiguated(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        a = registry.record("cmd", {"x": 1}, 1, 0.1, now=FIXED_NOW)
+        b = registry.record("cmd", {"x": 1}, 2, 0.1, now=FIXED_NOW)
+        assert a.run_id != b.run_id
+        assert b.run_id == f"{a.run_id}.1"
+        assert registry.load(b.run_id).result_digest != a.result_digest
+
+    def test_manifest_file_is_json_with_format(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        manifest = registry.record("cmd", {"x": 1}, 1, 0.1)
+        with open(
+            os.path.join(str(tmp_path), f"{manifest.run_id}.json"),
+            encoding="utf-8",
+        ) as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "repro-run-manifest-v1"
+        assert payload["command"] == "cmd"
+
+
+class TestLoadErrors:
+    def test_missing_run_names_known_ids(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        recorded = registry.record("cmd", {"x": 1}, 1, 0.1)
+        with pytest.raises(StoreError, match=recorded.run_id):
+            registry.load("does-not-exist")
+
+    def test_empty_registry_lists_nothing(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "never-created"))
+        assert registry.run_ids() == []
+        assert registry.list_manifests() == []
+
+    def test_malformed_manifest_names_path(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        path = os.path.join(str(tmp_path), "broken.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        with pytest.raises(StoreError, match="malformed run manifest"):
+            registry.load("broken")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="format"):
+            RunManifest.from_dict({"format": "other"}, source="x.json")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(StoreError, match="malformed"):
+            RunManifest.from_dict(
+                {"format": "repro-run-manifest-v1", "run_id": "r"}
+            )
+
+    @pytest.mark.parametrize("run_id", ["", "a/b", "../up", ".hidden"])
+    def test_bad_run_ids_rejected(self, tmp_path, run_id):
+        with pytest.raises(StoreError, match="bad run id"):
+            RunRegistry(str(tmp_path)).load(run_id)
+
+
+class TestDiff:
+    def test_diff_reports_keywise_differences(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        a = registry.record(
+            "optimize", {"vdd": 1.0, "grid": 24}, {"e": 1.0}, 0.5,
+            metrics={"store.hits": 3},
+        )
+        b = registry.record(
+            "optimize", {"vdd": 0.8, "grid": 24}, {"e": 2.0}, 0.7,
+            metrics={"store.hits": 9, "store.writes": 1},
+        )
+        differences = registry.diff(a.run_id, b.run_id)
+        assert differences["inputs.vdd"] == (1.0, 0.8)
+        assert differences["metrics.store.hits"] == (3, 9)
+        assert differences["metrics.store.writes"] == (None, 1)
+        assert "inputs.grid" not in differences
+        assert "command" not in differences
+        assert "inputs_digest" in differences
+        assert "result_digest" in differences
+
+    def test_identical_runs_diff_empty(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        a = registry.record("cmd", {"x": 1}, {"y": 2}, 0.5, now=FIXED_NOW)
+        b = registry.record("cmd", {"x": 1}, {"y": 2}, 0.5, now=FIXED_NOW)
+        assert registry.diff(a.run_id, b.run_id) == {}

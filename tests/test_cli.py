@@ -1,10 +1,18 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import re
 
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _recorded_run_id(captured_out):
+    match = re.search(r"Run recorded: (\S+)", captured_out)
+    assert match, captured_out
+    return match.group(1)
 
 
 class TestParser:
@@ -152,6 +160,166 @@ class TestRecoverCommand:
         output = capsys.readouterr().out
         assert "downsizing" in output
         assert "dual-V_T" in output
+
+
+class TestStoreParserArgs:
+    def test_optimize_accepts_store_and_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["optimize", "--workers", "2", "--progress",
+             "--store", ".repro/cache", "--record"]
+        )
+        assert args.workers == 2
+        assert args.progress is True
+        assert args.store == ".repro/cache"
+        assert args.record is True
+
+    def test_compare_accepts_parallel_and_record_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--workers", "3", "--progress", "--record",
+             "--runs-root", "/tmp/runs"]
+        )
+        assert args.workers == 3
+        assert args.runs_root == "/tmp/runs"
+
+    def test_contour_accepts_store(self):
+        args = build_parser().parse_args(["contour", "--store", "x"])
+        assert args.store == "x"
+
+    def test_runs_actions_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "frobnicate"])
+
+    def test_cache_actions_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
+
+
+class TestRunsCommand:
+    def _record(self, tmp_path, delay_factor, capsys):
+        code = main(
+            ["optimize", "--delay-factor", str(delay_factor),
+             "--stages", "11", "--record",
+             "--runs-root", str(tmp_path / "runs")]
+        )
+        assert code == 0
+        return _recorded_run_id(capsys.readouterr().out)
+
+    def test_list_empty(self, tmp_path, capsys):
+        code = main(
+            ["runs", "list", "--runs-root", str(tmp_path / "runs")]
+        )
+        assert code == 0
+        assert "No runs recorded" in capsys.readouterr().out
+
+    def test_record_list_show_diff_round_trip(self, tmp_path, capsys):
+        first = self._record(tmp_path, 4, capsys)
+        second = self._record(tmp_path, 6, capsys)
+        assert first != second
+
+        root = str(tmp_path / "runs")
+        assert main(["runs", "list", "--runs-root", root]) == 0
+        listing = capsys.readouterr().out
+        assert first in listing
+        assert second in listing
+
+        assert main(["runs", "show", first, "--runs-root", root]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["command"] == "optimize"
+        assert manifest["inputs"]["delay_factor"] == 4.0
+
+        assert main(
+            ["runs", "diff", first, second, "--runs-root", root]
+        ) == 0
+        diff_out = capsys.readouterr().out
+        assert "inputs.delay_factor" in diff_out
+        assert "result_digest" in diff_out
+
+    def test_show_unknown_run_fails(self, tmp_path, capsys):
+        code = main(
+            ["runs", "show", "nosuchrun",
+             "--runs-root", str(tmp_path / "runs")]
+        )
+        assert code == 1
+        assert "nosuchrun" in capsys.readouterr().err
+
+    def test_show_requires_exactly_one_id(self, tmp_path, capsys):
+        code = main(
+            ["runs", "show", "--runs-root", str(tmp_path / "runs")]
+        )
+        assert code == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_diff_requires_exactly_two_ids(self, tmp_path, capsys):
+        code = main(
+            ["runs", "diff", "only-one",
+             "--runs-root", str(tmp_path / "runs")]
+        )
+        assert code == 1
+        assert "exactly two" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _seed_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore.at(str(tmp_path / "cache"))
+        for i in range(4):
+            store.put(f"seed/k{i}", {"i": i, "pad": "x" * 50})
+        return str(tmp_path / "cache")
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        root = self._seed_store(tmp_path)
+        assert main(["cache", "stats", "--store", root]) == 0
+        output = capsys.readouterr().out
+        assert "backend_entries" in output
+        assert "4" in output
+
+    def test_gc_shrinks_store(self, tmp_path, capsys):
+        root = self._seed_store(tmp_path)
+        assert main(
+            ["cache", "gc", "--store", root, "--max-mb", "0"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Removed 4 entries" in output
+        assert not any(
+            name.endswith(".json")
+            for _, _, files in os.walk(root)
+            for name in files
+        )
+
+
+class TestRecordedStoreRun:
+    def test_contour_store_warm_run_restores_cells(self, tmp_path, capsys):
+        base = [
+            "contour", "--width", "4", "--vectors", "20", "--grid", "4",
+            "--store", str(tmp_path / "cache"),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert re.search(r"store\.sweep_cells_restored\s+16", output)
+
+
+class TestParallelCliPaths:
+    def test_optimize_parallel_matches_serial(self, capsys):
+        base = ["optimize", "--delay-factor", "4", "--stages", "11"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_compare_parallel_matches_serial(self, capsys):
+        base = [
+            "compare", "--workload", "li", "--scale", "12",
+            "--width", "4", "--vectors", "20", "--duty", "0.2",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--progress"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
 
 
 class TestCharacterizeCommand:
