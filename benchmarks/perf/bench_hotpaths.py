@@ -20,6 +20,13 @@ measurements to ``BENCH_hotpaths.json`` at the repo root:
    measured ratio is recorded honestly together with ``os.cpu_count()``
    (on a single-CPU host process fan-out *loses* to serial — the
    point of the record is scaling on real multi-core machines).
+4. **ISA interpreter** — the reference per-step loop (``run``) vs the
+   pre-decoded closure-dispatch engine (``run_fast``) on the Table-2
+   li-like workload.  Architectural state must be bit-identical.
+5. **ATOM profiler** — the hook-instrumented reference profile vs the
+   counter-based decoded profile (``run_counted`` +
+   ``profile_from_counts``) on the same workload.  Profiles must be
+   identical; the acceptance target is a >=5x speedup.
 
 Usage::
 
@@ -38,6 +45,10 @@ import time
 
 from repro import obs
 from repro.analysis.contour import energy_ratio_surface
+from repro.isa.instructions import FUNCTIONAL_UNITS
+from repro.isa.machine import Machine
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import build as build_workload
 from repro.analysis.variation import MonteCarloAnalyzer
 from repro.circuits.builders import ripple_carry_adder
 from repro.device.technology import soi_low_vt
@@ -221,7 +232,82 @@ def bench_monte_carlo(quick: bool, workers: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 4. Observability snapshot (instrumented rerun of small workloads)
+# 4. ISA interpreter: reference stepper vs decoded dispatch engine
+# ----------------------------------------------------------------------
+_BENCH_WORKLOAD = "li"  # the Table-2 workload named by the target
+
+
+def _bench_program(quick: bool):
+    return build_workload(_BENCH_WORKLOAD, scale=64 if quick else 192)
+
+
+def bench_interpreter(quick: bool) -> dict:
+    reference = Machine(_bench_program(quick))
+    retired, ref_seconds = _timed(lambda: reference.run())
+
+    fast = Machine(_bench_program(quick))
+    # Decode ahead of the timed run so its one-time cost is reported
+    # separately from the steady-state dispatch rate.
+    _, decode_seconds = _timed(lambda: fast.decode())
+    fast_retired, fast_seconds = _timed(lambda: fast.run_fast())
+
+    identical = (
+        fast_retired == retired
+        and fast.registers == reference.registers
+        and fast.memory == reference.memory
+        and fast.pc == reference.pc
+        and fast.halted == reference.halted
+    )
+    return {
+        "workload": _BENCH_WORKLOAD,
+        "instructions": retired,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "decode_seconds": decode_seconds,
+        "reference_instructions_per_s": retired / ref_seconds,
+        "fast_instructions_per_s": fast_retired / fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "state_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# 5. ATOM profiler: per-instruction hook vs decoded transition counters
+# ----------------------------------------------------------------------
+def bench_profiler(quick: bool) -> dict:
+    ref_profile, ref_seconds = _timed(
+        lambda: profile_program(_bench_program(quick), engine="reference")
+    )
+    fast_profile, fast_seconds = _timed(
+        lambda: profile_program(_bench_program(quick), engine="fast")
+    )
+    identical = (
+        fast_profile.total_instructions == ref_profile.total_instructions
+        and all(
+            fast_profile.stats(u) == ref_profile.stats(u)
+            for u in FUNCTIONAL_UNITS
+        )
+    )
+    return {
+        "workload": _BENCH_WORKLOAD,
+        "instructions": ref_profile.total_instructions,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "reference_instructions_per_s": (
+            ref_profile.total_instructions / ref_seconds
+        ),
+        "fast_instructions_per_s": (
+            fast_profile.total_instructions / fast_seconds
+        ),
+        "speedup": ref_seconds / fast_seconds,
+        "profiles_identical": identical,
+        "adder_fga": fast_profile.fga("adder"),
+        "adder_bga": fast_profile.bga("adder"),
+    }
+
+
+# ----------------------------------------------------------------------
+# 6. Observability snapshot (instrumented rerun of small workloads)
 # ----------------------------------------------------------------------
 def bench_observability(workers: int) -> dict:
     """A small instrumented pass recording the hot-path counters.
@@ -250,6 +336,8 @@ def bench_observability(workers: int) -> dict:
             module, 1.0, 1e-6, grid, grid, workers=workers
         )
 
+        Machine(build_workload(_BENCH_WORKLOAD, scale=16)).run_counted()
+
         obs.gauge("ring.corners", ring.cache_info().currsize)
         obs.gauge("ring.corner_hit_rate", ring.cache_info().hit_rate)
         return obs.snapshot()
@@ -271,6 +359,8 @@ def run(quick: bool, workers: int) -> dict:
         "optimizer_sweep": bench_optimizer(quick),
         "contour_grid": bench_contour(quick, workers),
         "monte_carlo": bench_monte_carlo(quick, workers),
+        "interpreter": bench_interpreter(quick),
+        "profiler": bench_profiler(quick),
         "observability": bench_observability(workers),
     }
     return results
@@ -304,6 +394,8 @@ def main(argv=None) -> int:
     opt = results["optimizer_sweep"]
     grid = results["contour_grid"]
     mc = results["monte_carlo"]
+    interp = results["interpreter"]
+    prof = results["profiler"]
     print(f"wrote {args.out}")
     print(
         f"simulator       {sim['speedup']:6.2f}x  "
@@ -327,6 +419,19 @@ def main(argv=None) -> int:
         f"workers={mc['workers']} "
         f"(identical={mc['distributions_identical']})"
     )
+    print(
+        f"interpreter     {interp['speedup']:6.2f}x  "
+        f"({interp['reference_instructions_per_s']:.0f} -> "
+        f"{interp['fast_instructions_per_s']:.0f} instr/s on "
+        f"{interp['workload']}-like, "
+        f"identical={interp['state_identical']})"
+    )
+    print(
+        f"profiler        {prof['speedup']:6.2f}x  "
+        f"({prof['reference_instructions_per_s']:.0f} -> "
+        f"{prof['fast_instructions_per_s']:.0f} instr/s profiled, "
+        f"identical={prof['profiles_identical']})"
+    )
     n_counters = len(results["observability"]["counters"])
     n_timers = len(results["observability"]["timers"])
     print(
@@ -339,6 +444,8 @@ def main(argv=None) -> int:
         and opt["points_identical"]
         and grid["grids_identical"]
         and mc["distributions_identical"]
+        and interp["state_identical"]
+        and prof["profiles_identical"]
     )
     if not ok:
         print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)

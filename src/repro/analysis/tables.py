@@ -10,7 +10,12 @@ from typing import List, Optional, Sequence
 
 from repro.errors import AnalysisError
 
-__all__ = ["format_table", "format_series", "format_value"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_value",
+    "format_profile",
+]
 
 
 def format_value(value, precision: int = 4) -> str:
@@ -72,6 +77,39 @@ def format_table(
             "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
         )
     return "\n".join(lines)
+
+
+def format_profile(
+    profile,
+    units: Sequence[str],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a :class:`~repro.isa.FunctionalUnitProfile` as a table.
+
+    One row per unit in ``units`` order with the paper's activity
+    columns (uses, runs, fga, bga, mean run length) — the layout of
+    Tables 1-3 and the ``profile`` CLI subcommand.
+    """
+    rows = []
+    for unit in units:
+        stats = profile.stats(unit)
+        rows.append(
+            [
+                unit,
+                stats.uses,
+                stats.runs,
+                stats.fga,
+                stats.bga,
+                stats.mean_run_length,
+            ]
+        )
+    return format_table(
+        ["unit", "uses", "runs", "fga", "bga", "mean run"],
+        rows,
+        title=title,
+        precision=precision,
+    )
 
 
 def format_series(

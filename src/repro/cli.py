@@ -33,7 +33,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro import obs
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_profile, format_table
 from repro.circuits.builders import (
     array_multiplier,
     barrel_shifter,
@@ -49,7 +49,7 @@ from repro.device.technology import (
 )
 from repro.errors import ReproError
 from repro.isa.profiler import profile_program
-from repro.isa.workloads import crc, espresso_like, fir, idea, li_like, matmul, sort
+from repro.isa.workloads import WORKLOAD_NAMES, build as build_workload
 from repro.power.optimizer import FixedThroughputOptimizer, RingOscillatorModel
 from repro.switchsim.simulator import SwitchLevelSimulator
 from repro.switchsim.stimulus import counting_bus_vectors, random_bus_vectors
@@ -166,45 +166,23 @@ def _compare_unit_row(task):
     ]
 
 
-def _build_workload(name: str, scale: int):
-    if name == "idea":
-        return idea.build_program(idea.random_blocks(max(scale // 8, 1)))
-    if name == "espresso":
-        return espresso_like.build_program(
-            n_cubes=max(scale, 8), n_vars=10
-        )
-    if name == "li":
-        return li_like.build_program(n=max(scale, 4), n_lookups=max(scale // 2, 2))
-    if name == "fir":
-        return fir.build_program(n_samples=max(scale, 8))[0]
-    if name == "crc":
-        return crc.build_program(n_words=max(scale // 2, 4))
-    if name == "sort":
-        return sort.build_program(count=max(scale, 8))
-    if name == "matmul":
-        return matmul.build_program(n=max(4 * (scale // 8), 4))
-    raise ReproError(f"unknown workload {name!r}")
+def _profile_engine(args: argparse.Namespace) -> str:
+    return "reference" if getattr(args, "reference", False) else "fast"
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    engine = _profile_engine(args)
     programs = [
-        _build_workload(name, args.scale) for name in args.workload
+        build_workload(name, args.scale) for name in args.workload
     ]
-    profiles = [profile_program(p) for p in programs]
+    profiles = [profile_program(p, engine=engine) for p in programs]
     profile = functools.reduce(lambda a, b: a.merged_with(b), profiles)
     if args.duty != 1.0:
         profile = profile.scaled_by_duty_cycle(args.duty)
-    rows = []
-    for unit in _UNITS:
-        stats = profile.stats(unit)
-        rows.append(
-            [unit, stats.uses, stats.runs, stats.fga, stats.bga,
-             stats.mean_run_length]
-        )
     print(
-        format_table(
-            ["unit", "uses", "runs", "fga", "bga", "mean run"],
-            rows,
+        format_profile(
+            profile,
+            _UNITS,
             title=(
                 f"Profile of {'+'.join(args.workload)} "
                 f"({profile.total_instructions} instruction slots, "
@@ -361,12 +339,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     datapath = standard_datapath(
         width=args.width, stimulus_vectors=args.vectors
     )
+    engine = _profile_engine(args)
     programs = [
-        _build_workload(name, args.scale) for name in args.workload
+        build_workload(name, args.scale) for name in args.workload
     ]
     session = functools.reduce(
         lambda a, b: a.merged_with(b),
-        [profile_program(p) for p in programs],
+        [profile_program(p, engine=engine) for p in programs],
     ).scaled_by_duty_cycle(args.duty)
     tasks = [
         (name, unit, session.fga(name), session.bga(name),
@@ -395,6 +374,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args,
         inputs={
             "workload": list(args.workload),
+            "engine": engine,
             "scale": args.scale,
             "duty": args.duty,
             "width": args.width,
@@ -766,6 +746,18 @@ def _add_parallel_arguments(
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    """--reference escape hatch for the profiling subcommands."""
+    parser.add_argument(
+        "--reference", action="store_true",
+        help=(
+            "profile through the hook-instrumented reference "
+            "interpreter instead of the decoded fast engine "
+            "(identical numbers, much slower)"
+        ),
+    )
+
+
 def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     """--metrics / --metrics-json for the instrumented subcommands."""
     parser.add_argument(
@@ -789,11 +781,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser("profile", help="fga/bga workload profiling")
     profile.add_argument(
         "--workload", nargs="+",
-        choices=["idea", "espresso", "li", "fir", "crc", "sort", "matmul"],
+        choices=list(WORKLOAD_NAMES),
         default=["idea"],
     )
     profile.add_argument("--scale", type=int, default=48)
     profile.add_argument("--duty", type=float, default=1.0)
+    _add_engine_argument(profile)
+    _add_metrics_arguments(profile)
     profile.set_defaults(handler=_cmd_profile)
 
     activity = sub.add_parser(
@@ -836,9 +830,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--workload", nargs="+",
-        choices=["idea", "espresso", "li", "fir", "crc", "sort", "matmul"],
+        choices=list(WORKLOAD_NAMES),
         default=["espresso", "li", "idea"],
     )
+    _add_engine_argument(compare)
     compare.add_argument("--scale", type=int, default=48)
     compare.add_argument("--duty", type=float, default=0.2)
     compare.add_argument("--width", type=int, default=8)

@@ -94,6 +94,10 @@ class LowVoltageDesignFlow:
         Operating supply [V].
     clock_hz:
         System clock; sets the cycle time leakage integrates over.
+    profile_engine:
+        ``"fast"`` (default) profiles workloads through the decoded
+        counter engine; ``"reference"`` steps the hook-instrumented
+        interpreter.  Both produce identical profiles.
     """
 
     def __init__(
@@ -101,14 +105,21 @@ class LowVoltageDesignFlow:
         technology: Optional[Technology] = None,
         vdd: float = 1.0,
         clock_hz: float = 1e6,
+        profile_engine: str = "fast",
     ):
         if vdd <= 0.0 or clock_hz <= 0.0:
             raise AnalysisError("vdd and clock must be positive")
+        if profile_engine not in ("fast", "reference"):
+            raise AnalysisError(
+                f"unknown profile engine {profile_engine!r}; "
+                "use 'fast' or 'reference'"
+            )
         self.technology = (
             soias_technology() if technology is None else technology
         )
         self.vdd = vdd
         self.clock_hz = clock_hz
+        self.profile_engine = profile_engine
 
     @property
     def t_cycle_s(self) -> float:
@@ -124,7 +135,9 @@ class LowVoltageDesignFlow:
         """Run the workload and extract per-unit fga/bga."""
         with obs.span("flow.profile"):
             return profile_program(
-                program, max_instructions=max_instructions
+                program,
+                max_instructions=max_instructions,
+                engine=self.profile_engine,
             )
 
     # ------------------------------------------------------------------

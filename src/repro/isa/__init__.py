@@ -11,9 +11,13 @@ provides the offline equivalent:
   instructions use the ALU adder").
 * :mod:`~repro.isa.assembler` — a two-pass assembler.
 * :mod:`~repro.isa.machine` — an interpreter with an ATOM-style
-  per-instruction instrumentation hook.
+  per-instruction instrumentation hook (the reference path) and a
+  pre-decoded closure-dispatch engine (``run_fast`` /
+  ``run_counted``) that is bit-identical and much faster.
 * :mod:`~repro.isa.profiler` — turns an execution trace into
-  per-functional-unit ``fga``/``bga`` numbers (Tables 1-3).
+  per-functional-unit ``fga``/``bga`` numbers (Tables 1-3), by hook
+  or — the default — by folding the decoded engine's unit-class
+  transition counts.
 * :mod:`~repro.isa.workloads` — the three paper workloads (an
   espresso-like minimizer kernel, a li-like list interpreter, the IDEA
   cipher) plus extension workloads.
@@ -26,8 +30,13 @@ from repro.isa.instructions import (
     instruction_set,
 )
 from repro.isa.assembler import Program, assemble
-from repro.isa.machine import Machine
-from repro.isa.profiler import FunctionalUnitProfile, UnitStats, profile_program
+from repro.isa.machine import Machine, UnitClassCounts
+from repro.isa.profiler import (
+    FunctionalUnitProfile,
+    UnitStats,
+    profile_from_counts,
+    profile_program,
+)
 from repro.isa.policy import GatedUnitStats, UnitTraceRecorder, apply_hysteresis
 from repro.isa.operands import OperandTraceRecorder
 from repro.isa.disasm import disassemble, listing
@@ -46,7 +55,9 @@ __all__ = [
     "Program",
     "assemble",
     "Machine",
+    "UnitClassCounts",
     "FunctionalUnitProfile",
     "UnitStats",
+    "profile_from_counts",
     "profile_program",
 ]

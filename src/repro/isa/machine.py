@@ -6,22 +6,48 @@ code attach a per-instruction hook that observes every retired
 instruction.  The profiler in :mod:`repro.isa.profiler` is one such
 analysis; tests attach their own.
 
+Two execution engines share one architectural state:
+
+* the **reference** path — :meth:`Machine.step` / :meth:`Machine.run` —
+  dispatches each retired instruction through a mnemonic if/elif chain
+  and invokes every attached hook.  It is the specification.
+* the **decoded** path — :meth:`Machine.run_fast` /
+  :meth:`Machine.run_counted` — compiles each instruction once into a
+  specialized closure (operands bound as locals, register file and
+  memory captured directly, signed/shift helpers inlined) and
+  dispatches through a flat ``pc -> closure`` list with the
+  instruction-budget check hoisted out of the per-step path.  It is
+  bit-identical to the reference in architectural state, retirement
+  counts, and error behavior.  Hooks are the ATOM contract of the
+  reference path: :meth:`run_fast` transparently falls back to
+  :meth:`run` whenever a hook is attached.
+
 Conventions: 32 registers (r0 hard-wired to zero), 32-bit two's
 complement words, word-addressed memory, ``HALT`` stops execution.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import MachineError
 from repro.isa.assembler import Program
 from repro.isa.instructions import Instruction
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "UnitClassCounts"]
 
 _WORD_MASK = 0xFFFFFFFF
 _SIGN_BIT = 0x80000000
+_TWO_32 = 0x100000000
+
+#: Instructions dispatched per budget check in the decoded engine.  The
+#: reference path compares the budget before every step; the decoded
+#: loop runs unchecked bursts of at most this many retirements (clamped
+#: to the remaining budget, so the raise point is identical).
+_DISPATCH_CHUNK = 65536
 
 #: Hook signature: (pc, instruction) -> None, called as each
 #: instruction retires.
@@ -30,7 +56,282 @@ InstrumentationHook = Callable[[int, Instruction], None]
 
 def _to_signed(value: int) -> int:
     value &= _WORD_MASK
-    return value - 0x100000000 if value & _SIGN_BIT else value
+    return value - _TWO_32 if value & _SIGN_BIT else value
+
+
+@dataclass(frozen=True)
+class UnitClassCounts:
+    """Functional-unit-class transition counts from a counted fast run.
+
+    Every instruction belongs to one **unit class** — the (interned)
+    set of functional units its opcode exercises; class 0 is always the
+    empty set, which doubles as the "nothing ran yet" start state.
+    ``transitions`` is the row-major ``len(classes) x len(classes)``
+    matrix ``transitions[prev * k + curr]`` counting retirements of a
+    ``curr``-class instruction whose predecessor was ``prev``-class.
+    Per-unit uses and run onsets (the paper's fga/bga numerators) are
+    exact functions of this matrix — see
+    :func:`repro.isa.profiler.profile_from_counts`.
+    """
+
+    classes: Tuple[FrozenSet[str], ...]
+    transitions: Tuple[int, ...]
+    retired: int
+    final_class: int
+
+
+def _nop_slot(pc: int) -> int:
+    """Shared closure for NOP and any op whose only effect targets r0."""
+    return pc + 1
+
+
+def _compile_instruction(
+    instruction: Instruction,
+    regs: List[int],
+    memory: Dict[int, int],
+    machine: "Machine",
+):
+    """One instruction -> a ``closure(pc) -> next_pc`` dispatch slot.
+
+    Operands are bound as default arguments (locals in CPython), the
+    register list and memory dict are captured directly, and the
+    signed/shift helpers are inlined.  Closures assume the register-
+    file invariant that every entry is already masked to 32 bits and
+    ``regs[0] == 0`` — maintained by every machine API and restored by
+    the dispatch entry points.  A halt slot returns the bitwise
+    complement of the next pc (always negative) so the dispatch loop
+    detects it without a per-step flag check.
+    """
+    mnemonic = instruction.spec.mnemonic
+    ops = instruction.operands
+
+    if mnemonic in ("ADD", "SUB", "SLT", "SLTU", "SLL", "SRL", "SRA",
+                    "MUL", "MULHU", "AND", "OR", "XOR"):
+        rd, rs1, rs2 = ops
+        if rd == 0:
+            return _nop_slot
+        if mnemonic == "ADD":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (regs[rs1] + regs[rs2]) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "SUB":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (regs[rs1] - regs[rs2]) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "SLT":
+            # XOR with the sign bit maps signed order onto unsigned.
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (
+                    1 if (regs[rs1] ^ _SIGN_BIT) < (regs[rs2] ^ _SIGN_BIT)
+                    else 0
+                )
+                return pc + 1
+        elif mnemonic == "SLTU":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+                return pc + 1
+        elif mnemonic == "SLL":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "SRL":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+                return pc + 1
+        elif mnemonic == "SRA":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                value = regs[rs1]
+                if value & _SIGN_BIT:
+                    regs[rd] = (
+                        (value - _TWO_32) >> (regs[rs2] & 31)
+                    ) & _WORD_MASK
+                else:
+                    regs[rd] = value >> (regs[rs2] & 31)
+                return pc + 1
+        elif mnemonic == "MUL":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (regs[rs1] * regs[rs2]) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "MULHU":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = (regs[rs1] * regs[rs2]) >> 32
+                return pc + 1
+        elif mnemonic == "AND":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = regs[rs1] & regs[rs2]
+                return pc + 1
+        elif mnemonic == "OR":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = regs[rs1] | regs[rs2]
+                return pc + 1
+        else:  # XOR
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, rs2=rs2):
+                regs[rd] = regs[rs1] ^ regs[rs2]
+                return pc + 1
+        return slot
+
+    if mnemonic in ("ADDI", "SLTI", "SLLI", "SRLI", "SRAI",
+                    "ANDI", "ORI", "XORI"):
+        rd, rs1, imm = ops
+        if rd == 0:
+            return _nop_slot
+        if mnemonic == "ADDI":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=imm):
+                regs[rd] = (regs[rs1] + imm) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "SLTI":
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=imm):
+                value = regs[rs1]
+                if value & _SIGN_BIT:
+                    value -= _TWO_32
+                regs[rd] = 1 if value < imm else 0
+                return pc + 1
+        elif mnemonic == "SLLI":
+            shift = imm & 31
+
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, shift=shift):
+                regs[rd] = (regs[rs1] << shift) & _WORD_MASK
+                return pc + 1
+        elif mnemonic == "SRLI":
+            shift = imm & 31
+
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, shift=shift):
+                regs[rd] = regs[rs1] >> shift
+                return pc + 1
+        elif mnemonic == "SRAI":
+            shift = imm & 31
+
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, shift=shift):
+                value = regs[rs1]
+                if value & _SIGN_BIT:
+                    regs[rd] = ((value - _TWO_32) >> shift) & _WORD_MASK
+                else:
+                    regs[rd] = value >> shift
+                return pc + 1
+        else:
+            # ANDI / ORI / XORI share the 32-bit immediate semantics
+            # (see docs/isa.md, "Immediate semantics").
+            masked = imm & _WORD_MASK
+            if mnemonic == "ANDI":
+                def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=masked):
+                    regs[rd] = regs[rs1] & imm
+                    return pc + 1
+            elif mnemonic == "ORI":
+                def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=masked):
+                    regs[rd] = regs[rs1] | imm
+                    return pc + 1
+            else:  # XORI
+                def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=masked):
+                    regs[rd] = regs[rs1] ^ imm
+                    return pc + 1
+        return slot
+
+    if mnemonic == "LUI":
+        rd, imm = ops
+        if rd == 0:
+            return _nop_slot
+        value = (imm & 0xFFFF) << 16
+
+        def slot(pc, regs=regs, rd=rd, value=value):
+            regs[rd] = value
+            return pc + 1
+        return slot
+
+    if mnemonic == "LW":
+        rd, rs1, imm = ops
+        if rd == 0:
+            # The address is masked non-negative, so the reference load
+            # can neither fault nor (with rd = r0) write — a pure no-op.
+            return _nop_slot
+
+        def slot(pc, regs=regs, memory=memory, rd=rd, rs1=rs1, imm=imm):
+            regs[rd] = memory.get((regs[rs1] + imm) & _WORD_MASK, 0)
+            return pc + 1
+        return slot
+
+    if mnemonic == "SW":
+        rd, rs1, imm = ops
+
+        def slot(pc, regs=regs, memory=memory, machine=machine,
+                 rd=rd, rs1=rs1, imm=imm):
+            address = (regs[rs1] + imm) & _WORD_MASK
+            if (
+                address not in memory
+                and len(memory) >= machine.memory_limit_words
+            ):
+                raise MachineError(
+                    f"memory footprint exceeded "
+                    f"{machine.memory_limit_words} words"
+                )
+            memory[address] = regs[rd]
+            return pc + 1
+        return slot
+
+    if mnemonic in ("BEQ", "BNE", "BLT", "BGE", "BLTU", "BGEU"):
+        rs1, rs2, target = ops
+        if mnemonic == "BEQ":
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return target if regs[rs1] == regs[rs2] else pc + 1
+        elif mnemonic == "BNE":
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return target if regs[rs1] != regs[rs2] else pc + 1
+        elif mnemonic == "BLT":
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return (
+                    target
+                    if (regs[rs1] ^ _SIGN_BIT) < (regs[rs2] ^ _SIGN_BIT)
+                    else pc + 1
+                )
+        elif mnemonic == "BGE":
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return (
+                    target
+                    if (regs[rs1] ^ _SIGN_BIT) >= (regs[rs2] ^ _SIGN_BIT)
+                    else pc + 1
+                )
+        elif mnemonic == "BLTU":
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return target if regs[rs1] < regs[rs2] else pc + 1
+        else:  # BGEU
+            def slot(pc, regs=regs, rs1=rs1, rs2=rs2, target=target):
+                return target if regs[rs1] >= regs[rs2] else pc + 1
+        return slot
+
+    if mnemonic == "JAL":
+        rd, target = ops
+        if rd == 0:
+            def slot(pc, target=target):
+                return target
+        else:
+            def slot(pc, regs=regs, rd=rd, target=target):
+                regs[rd] = pc + 1
+                return target
+        return slot
+
+    if mnemonic == "JALR":
+        rd, rs1, imm = ops
+        if rd == 0:
+            def slot(pc, regs=regs, rs1=rs1, imm=imm):
+                return (regs[rs1] + imm) & _WORD_MASK
+        else:
+            def slot(pc, regs=regs, rd=rd, rs1=rs1, imm=imm):
+                target = (regs[rs1] + imm) & _WORD_MASK
+                regs[rd] = pc + 1
+                return target
+        return slot
+
+    if mnemonic == "HALT":
+        def slot(pc, machine=machine):
+            machine.halted = True
+            return ~(pc + 1)
+        return slot
+
+    if mnemonic == "NOP":
+        return _nop_slot
+
+    raise MachineError(  # pragma: no cover - spec table is static
+        f"unimplemented mnemonic {mnemonic!r}"
+    )
 
 
 class Machine:
@@ -54,12 +355,21 @@ class Machine:
         self.instructions_retired = 0
         self.memory_limit_words = memory_limit_words
         self._hooks: List[InstrumentationHook] = []
+        # Decoded-engine state, built lazily on first fast run.
+        self._decoded: Optional[List[Callable[[int], int]]] = None
+        self._class_ids: Optional[List[int]] = None
+        self._unit_classes: Optional[Tuple[FrozenSet[str], ...]] = None
 
     # ------------------------------------------------------------------
     # Instrumentation (the ATOM analogue)
     # ------------------------------------------------------------------
     def add_hook(self, hook: InstrumentationHook) -> None:
-        """Attach a per-retired-instruction observer."""
+        """Attach a per-retired-instruction observer.
+
+        Hooks are a reference-path contract: while any hook is
+        attached, :meth:`run_fast` falls back to :meth:`run` so every
+        observer still sees every retired instruction.
+        """
         self._hooks.append(hook)
 
     # ------------------------------------------------------------------
@@ -94,7 +404,7 @@ class Machine:
         self.memory[address] = value & _WORD_MASK
 
     # ------------------------------------------------------------------
-    # Execution
+    # Reference execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute one instruction."""
@@ -107,20 +417,250 @@ class Machine:
         self.pc += 1
         self._execute(instruction)
         self.instructions_retired += 1
-        for hook in self._hooks:
-            hook(current_pc, instruction)
+        if self._hooks:
+            for hook in self._hooks:
+                hook(current_pc, instruction)
 
     def run(self, max_instructions: int = 50_000_000) -> int:
-        """Run to ``HALT``; returns instructions retired this call."""
+        """Run to ``HALT`` on the reference path; returns instructions
+        retired this call."""
         start = self.instructions_retired
+        started = time.perf_counter() if obs.ENABLED else 0.0
+        instructions = self.program.instructions
+        limit = len(instructions)
+        hooks = self._hooks
+        execute = self._execute
         while not self.halted:
             if self.instructions_retired - start >= max_instructions:
                 raise MachineError(
                     f"instruction budget {max_instructions} exhausted "
                     f"(pc={self.pc})"
                 )
-            self.step()
-        return self.instructions_retired - start
+            pc = self.pc
+            if not 0 <= pc < limit:
+                raise MachineError(f"PC {pc} outside program")
+            instruction = instructions[pc]
+            self.pc = pc + 1
+            execute(instruction)
+            self.instructions_retired += 1
+            if hooks:
+                for hook in hooks:
+                    hook(pc, instruction)
+        retired = self.instructions_retired - start
+        if obs.ENABLED:
+            self._record_run_metrics(
+                "machine.run", retired, time.perf_counter() - started
+            )
+        return retired
+
+    # ------------------------------------------------------------------
+    # Decoded execution
+    # ------------------------------------------------------------------
+    def decode(self) -> None:
+        """Compile the program into the decoded dispatch table.
+
+        Called lazily by :meth:`run_fast` / :meth:`run_counted` on
+        first use; calling it eagerly just front-loads the (timed)
+        decode cost.  Idempotent.
+        """
+        if self._decoded is not None:
+            return
+        with obs.span("machine.decode"):
+            regs = self.registers
+            memory = self.memory
+            decoded: List[Callable[[int], int]] = []
+            classes: List[FrozenSet[str]] = [frozenset()]
+            class_index: Dict[FrozenSet[str], int] = {frozenset(): 0}
+            class_ids: List[int] = []
+            for instruction in self.program.instructions:
+                decoded.append(
+                    _compile_instruction(instruction, regs, memory, self)
+                )
+                units = instruction.spec.units
+                cid = class_index.get(units)
+                if cid is None:
+                    cid = len(classes)
+                    class_index[units] = cid
+                    classes.append(units)
+                class_ids.append(cid)
+            self._decoded = decoded
+            self._class_ids = class_ids
+            self._unit_classes = tuple(classes)
+
+    def _normalize_registers(self) -> None:
+        """Restore the register-file invariant the closures rely on.
+
+        Every machine API keeps registers masked and r0 zero; this
+        re-normalizes defensively (in place, identity preserved) so a
+        caller who poked ``machine.registers`` directly still gets the
+        reference semantics from the decoded path.
+        """
+        regs = self.registers
+        regs[0] = 0
+        for index in range(1, 32):
+            regs[index] &= _WORD_MASK
+
+    def run_fast(self, max_instructions: int = 50_000_000) -> int:
+        """Run to ``HALT`` on the decoded path; returns instructions
+        retired this call.
+
+        Bit-identical to :meth:`run` in architectural state
+        (registers, memory, pc, ``halted``, ``instructions_retired``)
+        and in error behavior (same :class:`MachineError` messages at
+        the same machine states).  If any instrumentation hook is
+        attached, this transparently falls back to the reference path
+        so the ATOM contract — every hook sees every retired
+        instruction — is preserved.
+        """
+        if self._hooks:
+            return self.run(max_instructions)
+        if self._decoded is None:
+            self.decode()
+        decoded = self._decoded
+        self._normalize_registers()
+        start = self.instructions_retired
+        started = time.perf_counter() if obs.ENABLED else 0.0
+        remaining = max_instructions
+        pc = self.pc
+        limit = len(decoded)
+        while not self.halted:
+            if remaining <= 0:
+                self.pc = pc
+                raise MachineError(
+                    f"instruction budget {max_instructions} exhausted "
+                    f"(pc={pc})"
+                )
+            if not 0 <= pc < limit:
+                self.pc = pc
+                raise MachineError(f"PC {pc} outside program")
+            chunk = remaining if remaining < _DISPATCH_CHUNK \
+                else _DISPATCH_CHUNK
+            executed = 0
+            try:
+                for executed in range(1, chunk + 1):
+                    pc = decoded[pc](pc)
+                    if pc < 0:
+                        break
+            except IndexError:
+                # The fetch at an out-of-range pc did not retire; the
+                # bounds check above raises on the next pass.
+                executed -= 1
+            except MachineError:
+                # The faulting instruction did not retire, but the
+                # reference path had already advanced the pc past it.
+                self.instructions_retired += executed - 1
+                self.pc = pc + 1
+                raise
+            self.instructions_retired += executed
+            remaining -= executed
+            if pc < 0 and self.halted:
+                pc = ~pc  # decode the halt slot's ~(pc + 1) sentinel
+        self.pc = pc
+        retired = self.instructions_retired - start
+        if obs.ENABLED:
+            self._record_run_metrics(
+                "machine.run_fast", retired, time.perf_counter() - started
+            )
+        return retired
+
+    def run_counted(
+        self, max_instructions: int = 50_000_000, start_class: int = 0
+    ) -> UnitClassCounts:
+        """Decoded run that also counts unit-class transitions.
+
+        The profiling twin of :meth:`run_fast`: identical dispatch and
+        architectural behavior, plus one flat-array increment per
+        retirement recording the (previous class, current class)
+        transition.  The result is everything the ATOM profiler's
+        per-instruction hook would have observed, without calling any
+        Python hook — see
+        :func:`repro.isa.profiler.profile_from_counts`.
+
+        ``start_class`` seeds the predecessor state (class 0, the
+        empty set, means "nothing retired yet"); chaining the previous
+        call's ``final_class`` continues run-length accounting across
+        calls exactly like a persistent hook would.
+
+        Raises :class:`MachineError` if hooks are attached — counted
+        dispatch never invokes them, so use :meth:`run` with an
+        :class:`~repro.isa.profiler.AtomProfiler` instead.
+        """
+        if self._hooks:
+            raise MachineError(
+                "run_counted does not dispatch hooks; use run() with an "
+                "AtomProfiler attached"
+            )
+        if self._decoded is None:
+            self.decode()
+        decoded = self._decoded
+        class_ids = self._class_ids
+        classes = self._unit_classes
+        k = len(classes)
+        if not 0 <= start_class < k:
+            raise MachineError(
+                f"start_class {start_class} outside unit classes (k={k})"
+            )
+        self._normalize_registers()
+        transitions = [0] * (k * k)
+        prev_base = start_class * k
+        start = self.instructions_retired
+        started = time.perf_counter() if obs.ENABLED else 0.0
+        remaining = max_instructions
+        pc = self.pc
+        limit = len(decoded)
+        while not self.halted:
+            if remaining <= 0:
+                self.pc = pc
+                raise MachineError(
+                    f"instruction budget {max_instructions} exhausted "
+                    f"(pc={pc})"
+                )
+            if not 0 <= pc < limit:
+                self.pc = pc
+                raise MachineError(f"PC {pc} outside program")
+            chunk = remaining if remaining < _DISPATCH_CHUNK \
+                else _DISPATCH_CHUNK
+            executed = 0
+            try:
+                for executed in range(1, chunk + 1):
+                    cid = class_ids[pc]
+                    transitions[prev_base + cid] += 1
+                    prev_base = cid * k
+                    pc = decoded[pc](pc)
+                    if pc < 0:
+                        break
+            except IndexError:
+                executed -= 1
+            except MachineError:
+                self.instructions_retired += executed - 1
+                self.pc = pc + 1
+                raise
+            self.instructions_retired += executed
+            remaining -= executed
+            if pc < 0 and self.halted:
+                pc = ~pc
+        self.pc = pc
+        retired = self.instructions_retired - start
+        if obs.ENABLED:
+            self._record_run_metrics(
+                "machine.run_counted", retired,
+                time.perf_counter() - started,
+            )
+        return UnitClassCounts(
+            classes=classes,
+            transitions=tuple(transitions),
+            retired=retired,
+            final_class=prev_base // k,
+        )
+
+    @staticmethod
+    def _record_run_metrics(
+        timer: str, retired: int, elapsed: float
+    ) -> None:
+        obs.incr("machine.instructions", retired)
+        obs.observe_seconds(timer, elapsed)
+        if elapsed > 0.0:
+            obs.gauge("machine.instructions_per_s", retired / elapsed)
 
     # ------------------------------------------------------------------
     def _execute(self, instruction: Instruction) -> None:
@@ -169,7 +709,7 @@ class Machine:
         elif mnemonic == "ANDI":
             write(ops[0], read(ops[1]) & (ops[2] & _WORD_MASK))
         elif mnemonic == "ORI":
-            write(ops[0], read(ops[1]) | (ops[2] & 0xFFFF))
+            write(ops[0], read(ops[1]) | (ops[2] & _WORD_MASK))
         elif mnemonic == "XORI":
             write(ops[0], read(ops[1]) ^ (ops[2] & _WORD_MASK))
         elif mnemonic == "LUI":

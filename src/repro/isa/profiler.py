@@ -13,6 +13,19 @@ A "block of uses" is a maximal run of consecutive retired instructions
 that use the unit; we count run onsets.  ``bga`` is the probability the
 unit's V_T control (SOIAS back gate / MTCMOS sleep signal) must toggle
 in a cycle, so runs — not uses — are what cost back-gate energy.
+
+Two engines produce the same numbers:
+
+* the **reference** engine attaches an :class:`AtomProfiler` hook and
+  steps the machine — analysis code interposed per retired
+  instruction, the original ATOM picture;
+* the **fast** engine (the default) follows ATOM's actual design
+  point — the analysis is *compiled into* the instrumented program:
+  the machine's decoded dispatch loop tags each slot with a
+  functional-unit class id and counts class transitions in a flat
+  array (:meth:`~repro.isa.machine.Machine.run_counted`), and
+  :func:`profile_from_counts` folds the transition matrix into the
+  identical per-unit uses/runs afterwards.  No Python hook runs.
 """
 
 from __future__ import annotations
@@ -23,9 +36,15 @@ from typing import Dict, Optional, Tuple
 from repro.errors import ProfileError
 from repro.isa.assembler import Program
 from repro.isa.instructions import FUNCTIONAL_UNITS, Instruction
-from repro.isa.machine import Machine
+from repro.isa.machine import Machine, UnitClassCounts
 
-__all__ = ["UnitStats", "FunctionalUnitProfile", "AtomProfiler", "profile_program"]
+__all__ = [
+    "UnitStats",
+    "FunctionalUnitProfile",
+    "AtomProfiler",
+    "profile_from_counts",
+    "profile_program",
+]
 
 
 @dataclass(frozen=True)
@@ -182,10 +201,59 @@ class AtomProfiler:
         )
 
 
+def profile_from_counts(
+    program_name: str,
+    counts: UnitClassCounts,
+    units: Tuple[str, ...] = FUNCTIONAL_UNITS,
+) -> FunctionalUnitProfile:
+    """Fold a counted run's transition matrix into a unit profile.
+
+    Per-unit uses and run onsets are exact functions of the
+    class-transition counts: an instruction of class ``c`` uses every
+    unit in ``c``, and starts a run of unit ``u`` exactly when ``u`` is
+    in ``c`` but not in the predecessor class ``p``.  Summing
+    ``transitions[p][c]`` under those predicates therefore reproduces
+    the :class:`AtomProfiler` hook's counters without having observed
+    any individual instruction.
+    """
+    if counts.retired == 0:
+        raise ProfileError("no instructions retired; nothing to profile")
+    uses = {unit: 0 for unit in units}
+    runs = {unit: 0 for unit in units}
+    classes = counts.classes
+    k = len(classes)
+    transitions = counts.transitions
+    for p in range(k):
+        previous_units = classes[p]
+        base = p * k
+        for c in range(k):
+            count = transitions[base + c]
+            if not count:
+                continue
+            for unit in classes[c]:
+                uses[unit] += count
+                if unit not in previous_units:
+                    runs[unit] += count
+    return FunctionalUnitProfile(
+        program_name=program_name,
+        total_instructions=counts.retired,
+        units={
+            unit: UnitStats(
+                unit=unit,
+                uses=uses[unit],
+                runs=runs[unit],
+                total_instructions=counts.retired,
+            )
+            for unit in units
+        },
+    )
+
+
 def profile_program(
     program: Program,
     max_instructions: int = 50_000_000,
     machine: Optional[Machine] = None,
+    engine: str = "fast",
 ) -> FunctionalUnitProfile:
     """Run a program to completion and return its unit profile.
 
@@ -198,9 +266,25 @@ def profile_program(
     machine:
         Optionally a pre-configured machine (e.g. with extra hooks);
         a fresh one is created otherwise.
+    engine:
+        ``"fast"`` (default) profiles through the decoded counter
+        path — no per-instruction Python hook; ``"reference"`` attaches
+        an :class:`AtomProfiler` hook and steps the reference
+        interpreter.  Both produce identical profiles.  A machine with
+        hooks already attached always takes the reference path, so
+        user instrumentation keeps observing every retired
+        instruction.
     """
+    if engine not in ("fast", "reference"):
+        raise ProfileError(
+            f"unknown profiling engine {engine!r}; use 'fast' or "
+            "'reference'"
+        )
     if machine is None:
         machine = Machine(program)
+    if engine == "fast" and not machine._hooks:
+        counts = machine.run_counted(max_instructions=max_instructions)
+        return profile_from_counts(program.name, counts)
     profiler = AtomProfiler()
     machine.add_hook(profiler)
     machine.run(max_instructions=max_instructions)

@@ -20,6 +20,48 @@
   bga ≈ fga/4 (the run-length contrast to IDEA).
 """
 
+from repro.errors import ReproError
 from repro.isa.workloads import crc, espresso_like, fir, idea, li_like, matmul, sort
 
-__all__ = ["idea", "espresso_like", "li_like", "fir", "crc", "sort", "matmul"]
+__all__ = [
+    "idea",
+    "espresso_like",
+    "li_like",
+    "fir",
+    "crc",
+    "sort",
+    "matmul",
+    "WORKLOAD_NAMES",
+    "build",
+]
+
+#: CLI/benchmark short names, in paper-table order then extensions.
+WORKLOAD_NAMES = ("idea", "espresso", "li", "fir", "crc", "sort", "matmul")
+
+
+def build(name: str, scale: int = 48):
+    """Build a bundled workload by short name at a given scale.
+
+    ``scale`` is a single size knob mapped onto each workload's natural
+    parameters (blocks, cubes, list length, ...) with per-workload
+    floors so tiny scales still produce runnable programs.
+    """
+    if name == "idea":
+        return idea.build_program(idea.random_blocks(max(scale // 8, 1)))
+    if name == "espresso":
+        return espresso_like.build_program(n_cubes=max(scale, 8), n_vars=10)
+    if name == "li":
+        return li_like.build_program(
+            n=max(scale, 4), n_lookups=max(scale // 2, 2)
+        )
+    if name == "fir":
+        return fir.build_program(n_samples=max(scale, 8))[0]
+    if name == "crc":
+        return crc.build_program(n_words=max(scale // 2, 4))
+    if name == "sort":
+        return sort.build_program(count=max(scale, 8))
+    if name == "matmul":
+        return matmul.build_program(n=max(4 * (scale // 8), 4))
+    raise ReproError(
+        f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+    )

@@ -2,7 +2,9 @@
 
 The toolkit's hot paths (cell characterization, switch-level
 simulation, bisection/golden-section optimization, the parallel sweep
-engine) are instrumented against this module.  The design constraint
+engine, the ISA interpreter's ``machine.instructions`` /
+``machine.decode`` / instructions-per-second metrics) are instrumented
+against this module.  The design constraint
 is **zero overhead when disabled**: every instrumentation site guards
 on the module-level :data:`ENABLED` flag — a single attribute read —
 before doing any work, so production sweeps with metrics off pay

@@ -224,3 +224,133 @@ class TestInstrumentation:
         retired = machine.run()
         assert retired == 3
         assert machine.instructions_retired == 3
+
+
+LOOP_SOURCE = """
+LI r1, 10
+LI r2, 0
+loop: ADD r2, r2, r1
+ADDI r1, r1, -1
+BNE r1, zero, loop
+SW r2, 0(r1)
+HALT
+"""
+
+
+def _state(machine):
+    return (
+        machine.pc,
+        machine.halted,
+        machine.instructions_retired,
+        list(machine.registers),
+        dict(machine.memory),
+    )
+
+
+class TestDecodedEngine:
+    def test_same_architectural_state_as_reference(self):
+        reference = Machine(assemble(LOOP_SOURCE))
+        reference.run()
+        fast = Machine(assemble(LOOP_SOURCE))
+        retired = fast.run_fast()
+        assert retired == reference.instructions_retired
+        assert _state(fast) == _state(reference)
+
+    def test_decode_is_idempotent(self):
+        machine = Machine(assemble(LOOP_SOURCE))
+        machine.decode()
+        decoded = machine._decoded
+        machine.decode()
+        assert machine._decoded is decoded
+
+    def test_budget_error_matches_reference(self):
+        reference = Machine(assemble("loop: J loop"))
+        with pytest.raises(MachineError) as ref_err:
+            reference.run(max_instructions=1000)
+        fast = Machine(assemble("loop: J loop"))
+        with pytest.raises(MachineError) as fast_err:
+            fast.run_fast(max_instructions=1000)
+        assert str(fast_err.value) == str(ref_err.value)
+        assert _state(fast) == _state(reference)
+
+    def test_budget_error_beyond_one_chunk(self):
+        # The decoded loop checks the budget per chunk, not per step;
+        # exhaustion past a chunk boundary must still be exact.
+        fast = Machine(assemble("loop: J loop"))
+        with pytest.raises(MachineError, match="budget 70000"):
+            fast.run_fast(max_instructions=70_000)
+        assert fast.instructions_retired == 70_000
+
+    def test_pc_out_of_range_matches_reference(self):
+        reference = Machine(assemble("NOP\nNOP"))
+        with pytest.raises(MachineError) as ref_err:
+            reference.run()
+        fast = Machine(assemble("NOP\nNOP"))
+        with pytest.raises(MachineError) as fast_err:
+            fast.run_fast()
+        assert str(fast_err.value) == str(ref_err.value)
+        assert _state(fast) == _state(reference)
+
+    def test_memory_footprint_error_matches_reference(self):
+        source = "LI r1, 0\nloop: SW r1, 0(r1)\nADDI r1, r1, 1\nJ loop"
+        reference = Machine(assemble(source), memory_limit_words=100)
+        with pytest.raises(MachineError) as ref_err:
+            reference.run()
+        fast = Machine(assemble(source), memory_limit_words=100)
+        with pytest.raises(MachineError) as fast_err:
+            fast.run_fast()
+        assert str(fast_err.value) == str(ref_err.value)
+        assert _state(fast) == _state(reference)
+
+    def test_hooks_fall_back_to_reference_path(self):
+        machine = Machine(assemble(LOOP_SOURCE))
+        seen = []
+        machine.add_hook(lambda pc, instr: seen.append(instr.mnemonic))
+        retired = machine.run_fast()
+        assert len(seen) == retired
+        assert seen[-1] == "HALT"
+
+    def test_run_counted_rejects_hooks(self):
+        machine = Machine(assemble(LOOP_SOURCE))
+        machine.add_hook(lambda pc, instr: None)
+        with pytest.raises(MachineError, match="hook"):
+            machine.run_counted()
+
+    def test_run_counted_counts_match_retirements(self):
+        machine = Machine(assemble(LOOP_SOURCE))
+        counts = machine.run_counted()
+        assert counts.retired == machine.instructions_retired
+        assert sum(counts.transitions) == counts.retired
+        assert counts.classes[0] == frozenset()
+
+
+class TestOriImmediateMasking:
+    def test_ori_negative_immediate_sets_full_word(self):
+        # Regression: ORI used to mask its immediate to 16 bits while
+        # ANDI/XORI masked to 32; all three now mask to the full word.
+        m = run("LI r1, 0\nORI r2, r1, -1\nHALT")
+        assert m.read_register(2) == 0xFFFFFFFF
+
+    def test_ori_large_immediate_both_paths(self):
+        source = "LUI r1, 0x00F0\nORI r2, r1, -256\nHALT"
+        reference = Machine(assemble(source))
+        reference.run()
+        fast = Machine(assemble(source))
+        fast.run_fast()
+        expected = (0x00F0 << 16) | (-256 & 0xFFFFFFFF)
+        assert reference.read_register(2) == expected
+        assert fast.read_register(2) == expected
+
+    def test_andi_ori_xori_same_masking_rule(self):
+        m = run(
+            """
+            LI r1, 0x0F0F
+            ANDI r2, r1, -1
+            ORI r3, r1, -1
+            XORI r4, r1, -1
+            HALT
+            """
+        )
+        assert m.read_register(2) == 0x0F0F
+        assert m.read_register(3) == 0xFFFFFFFF
+        assert m.read_register(4) == 0xFFFFF0F0

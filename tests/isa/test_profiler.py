@@ -4,9 +4,13 @@ import pytest
 
 from repro.errors import ProfileError
 from repro.isa.assembler import assemble
-from repro.isa.instructions import instruction_set
+from repro.isa.instructions import FUNCTIONAL_UNITS, instruction_set
 from repro.isa.machine import Machine
-from repro.isa.profiler import AtomProfiler, profile_program
+from repro.isa.profiler import (
+    AtomProfiler,
+    profile_from_counts,
+    profile_program,
+)
 
 
 class TestUnitAnnotations:
@@ -136,3 +140,72 @@ class TestProfileProgramHelper:
         profile = profile_program(program, machine=machine)
         assert profile.total_instructions == 2
         assert len(extra) == 2
+
+
+MIXED_SOURCE = """
+LI r1, 20
+loop: SLLI r2, r1, 1
+MUL r3, r2, r2
+SW r3, 0(r0)
+LW r4, 0(r0)
+ADDI r1, r1, -1
+BNE r1, zero, loop
+HALT
+"""
+
+
+class TestProfilingEngines:
+    def test_engines_produce_identical_profiles(self):
+        fast = profile_program(assemble(MIXED_SOURCE), engine="fast")
+        ref = profile_program(assemble(MIXED_SOURCE), engine="reference")
+        assert fast.total_instructions == ref.total_instructions
+        for unit in FUNCTIONAL_UNITS:
+            assert fast.stats(unit).uses == ref.stats(unit).uses
+            assert fast.stats(unit).runs == ref.stats(unit).runs
+            assert fast.fga(unit) == ref.fga(unit)
+            assert fast.bga(unit) == ref.bga(unit)
+
+    def test_fast_is_the_default_engine(self):
+        program = assemble(MIXED_SOURCE)
+        default = profile_program(program)
+        fast = profile_program(assemble(MIXED_SOURCE), engine="fast")
+        assert default.units == fast.units
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ProfileError, match="unknown profiling engine"):
+            profile_program(assemble("HALT"), engine="turbo")
+
+    def test_hooked_machine_takes_reference_path(self):
+        # A user hook must keep observing every retired instruction
+        # even when the fast engine is requested.
+        program = assemble(MIXED_SOURCE)
+        machine = Machine(program)
+        seen = []
+        machine.add_hook(lambda pc, instr: seen.append(pc))
+        profile = profile_program(program, machine=machine, engine="fast")
+        assert len(seen) == profile.total_instructions
+
+    def test_profile_from_counts_matches_hook_profiler(self):
+        machine = Machine(assemble(MIXED_SOURCE))
+        counts = machine.run_counted()
+        from_counts = profile_from_counts("mixed", counts)
+
+        hooked = Machine(assemble(MIXED_SOURCE))
+        profiler = AtomProfiler()
+        hooked.add_hook(profiler)
+        hooked.run()
+        from_hook = profiler.profile("mixed")
+        assert from_counts.units == from_hook.units
+        assert from_counts.total_instructions == from_hook.total_instructions
+
+    def test_profile_from_counts_rejects_empty_run(self):
+        machine = Machine(assemble("HALT"))
+        counts = machine.run_counted()
+        empty = type(counts)(
+            classes=counts.classes,
+            transitions=counts.transitions,
+            retired=0,
+            final_class=0,
+        )
+        with pytest.raises(ProfileError, match="no instructions"):
+            profile_from_counts("empty", empty)

@@ -58,6 +58,44 @@ class TestProfileCommand:
         output = capsys.readouterr().out
         assert "duty 0.5" in output
 
+    def test_reference_engine_output_identical(self, capsys):
+        assert main(["profile", "--workload", "li", "--scale", "16"]) == 0
+        fast = capsys.readouterr().out
+        assert (
+            main(
+                ["profile", "--workload", "li", "--scale", "16",
+                 "--reference"]
+            )
+            == 0
+        )
+        reference = capsys.readouterr().out
+        assert fast == reference
+
+    def test_profile_metrics_show_machine_counters(self, capsys):
+        assert (
+            main(
+                ["profile", "--workload", "crc", "--scale", "8",
+                 "--metrics"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Metrics: profile" in output
+        assert "machine.instructions" in output
+        assert "machine.run_counted" in output
+
+    def test_reference_metrics_use_reference_timer(self, capsys):
+        assert (
+            main(
+                ["profile", "--workload", "crc", "--scale", "8",
+                 "--reference", "--metrics"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "machine.run " in output
+        assert "machine.run_counted" not in output
+
 
 class TestActivityCommand:
     @pytest.mark.parametrize("stimulus", ["random", "counting"])

@@ -229,6 +229,53 @@ class TestOptimizerInstrumentation:
         assert counters["optimizer.low_bound_clamps"] == 1
 
 
+class TestMachineInstrumentation:
+    SOURCE = "LI r1, 5\nloop: ADDI r1, r1, -1\nBNE r1, zero, loop\nHALT"
+
+    def _machine(self):
+        from repro.isa.assembler import assemble
+        from repro.isa.machine import Machine
+
+        return Machine(assemble(self.SOURCE))
+
+    def test_run_records_instruction_counter_and_timer(self):
+        with obs.enabled_scope(fresh=True):
+            retired = self._machine().run()
+            snap = obs.snapshot()
+        assert snap["counters"]["machine.instructions"] == retired
+        assert snap["timers"]["machine.run"]["count"] == 1
+        assert snap["gauges"]["machine.instructions_per_s"] > 0
+
+    def test_run_fast_records_decode_span_and_rate(self):
+        with obs.enabled_scope(fresh=True):
+            retired = self._machine().run_fast()
+            snap = obs.snapshot()
+        assert snap["counters"]["machine.instructions"] == retired
+        assert snap["timers"]["machine.decode"]["count"] == 1
+        assert snap["timers"]["machine.run_fast"]["count"] == 1
+        assert snap["gauges"]["machine.instructions_per_s"] > 0
+
+    def test_run_counted_records_its_own_timer(self):
+        with obs.enabled_scope(fresh=True):
+            counts = self._machine().run_counted()
+            snap = obs.snapshot()
+        assert snap["counters"]["machine.instructions"] == counts.retired
+        assert snap["timers"]["machine.run_counted"]["count"] == 1
+
+    def test_decode_span_recorded_once(self):
+        machine = self._machine()
+        with obs.enabled_scope(fresh=True):
+            machine.run_fast()
+            machine.decode()  # second call is a no-op
+            snap = obs.snapshot()
+        assert snap["timers"]["machine.decode"]["count"] == 1
+
+    def test_disabled_obs_records_nothing(self):
+        assert not obs.is_enabled()
+        self._machine().run_fast()
+        assert obs.snapshot()["counters"] == {}
+
+
 class TestCliMetrics:
     def test_optimize_metrics_prints_summary(self, capsys):
         from repro.cli import main

@@ -15,6 +15,10 @@ from repro.analysis.variation import MonteCarloAnalyzer
 from repro.circuits.builders import pipelined_adder, ripple_carry_adder
 from repro.device.technology import soi_low_vt, soias_technology
 from repro.errors import AnalysisError, CharacterizationError, SimulationError
+from repro.isa.instructions import FUNCTIONAL_UNITS
+from repro.isa.machine import Machine
+from repro.isa.profiler import profile_program
+from repro.isa.workloads import WORKLOAD_NAMES, build as build_workload
 from repro.power.energy import ModuleEnergyParameters
 from repro.power.optimizer import (
     FixedThroughputOptimizer,
@@ -264,3 +268,31 @@ class TestOptimizerCornerCacheEquivalence:
         )
         assert run(cached_ring) == run(uncached_ring)
         assert len(cached_ring._corners) > 0
+
+
+# ----------------------------------------------------------------------
+# Decoded ISA engine + counter profiler vs reference stepper
+# ----------------------------------------------------------------------
+class TestDecodedInterpreterEquivalence:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_workload_state_identical(self, name):
+        program = build_workload(name, scale=16)
+        reference = Machine(program)
+        reference.run()
+        fast = Machine(build_workload(name, scale=16))
+        retired = fast.run_fast()
+        assert retired == reference.instructions_retired
+        assert fast.registers == reference.registers
+        assert fast.memory == reference.memory
+        assert fast.pc == reference.pc
+        assert fast.halted == reference.halted
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_workload_profile_identical(self, name):
+        fast = profile_program(build_workload(name, scale=16), engine="fast")
+        ref = profile_program(
+            build_workload(name, scale=16), engine="reference"
+        )
+        assert fast.total_instructions == ref.total_instructions
+        for unit in FUNCTIONAL_UNITS:
+            assert fast.stats(unit) == ref.stats(unit), (name, unit)
