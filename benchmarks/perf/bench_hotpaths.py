@@ -27,6 +27,17 @@ measurements to ``BENCH_hotpaths.json`` at the repo root:
    counter-based decoded profile (``run_counted`` +
    ``profile_from_counts``) on the same workload.  Profiles must be
    identical; the acceptance target is a >=5x speedup.
+6. **Batched variation engine** — the per-sample Monte-Carlo path (one
+   full ``propagation_delay``/``leakage_current`` call chain per V_T
+   sample) vs the decoded :class:`VariationPlan` batch path on the
+   same shift vector.  Samples must be bit-identical; the acceptance
+   target is a >=5x speedup.
+7. **Adaptive contour refinement** — a uniform grid at the finest
+   refinement resolution vs the adaptive surface that subdivides only
+   the cells near the break-even contour.  Every point the adaptive
+   surface evaluates must be bit-identical to the uniform grid, the
+   resolved contour cells must match exactly, and the adaptive pass
+   must evaluate at most half the uniform grid's points.
 
 Usage::
 
@@ -44,7 +55,7 @@ import sys
 import time
 
 from repro import obs
-from repro.analysis.contour import energy_ratio_surface
+from repro.analysis.contour import energy_ratio_surface, zero_crossing_cells
 from repro.isa.instructions import FUNCTIONAL_UNITS
 from repro.isa.machine import Machine
 from repro.isa.profiler import profile_program
@@ -307,7 +318,130 @@ def bench_profiler(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 6. Observability snapshot (instrumented rerun of small workloads)
+# 6. Batched variation engine: per-sample chain vs decoded plan
+# ----------------------------------------------------------------------
+def bench_variation(quick: bool) -> dict:
+    n_samples = 40 if quick else 240
+    vdd = 0.6
+    load_f = 10e-15
+    technology = soi_low_vt()
+    cell = standard_cells()["NAND2"]
+
+    shifts = MonteCarloAnalyzer(
+        technology, n_samples=n_samples, seed=0
+    ).sample_vt_shifts()
+
+    # Before: the per-sample path — the full characterization call
+    # chain (effective-V_T resolve, drive solve, stack bisections) runs
+    # once per V_T sample, exactly as the analyzer did pre-plan.
+    reference = CellCharacterizer(technology)
+    ref_delays, ref_delay_seconds = _timed(
+        lambda: [
+            reference.propagation_delay(cell, vdd, load_f, vt_shift=s)
+            for s in shifts
+        ]
+    )
+    ref_leakages, ref_leakage_seconds = _timed(
+        lambda: [
+            reference.leakage_current(cell, vdd, vt_shift=s)
+            for s in shifts
+        ]
+    )
+
+    # After: the analyzer decodes the corner into one plan and pushes
+    # the whole shift vector through its tight inner loops.
+    analyzer = MonteCarloAnalyzer(
+        technology, n_samples=n_samples, seed=0, workers=0
+    )
+    delay_dist, fast_delay_seconds = _timed(
+        lambda: analyzer.delay_distribution(cell, vdd, load_f)
+    )
+    leakage_dist, fast_leakage_seconds = _timed(
+        lambda: analyzer.leakage_distribution(cell, vdd)
+    )
+
+    identical = (
+        tuple(ref_delays) == delay_dist.samples
+        and tuple(ref_leakages) == leakage_dist.samples
+    )
+    ref_total = ref_delay_seconds + ref_leakage_seconds
+    fast_total = fast_delay_seconds + fast_leakage_seconds
+    return {
+        "cell": cell.name,
+        "vdd": vdd,
+        "samples": n_samples,
+        "reference_delay_seconds": ref_delay_seconds,
+        "reference_leakage_seconds": ref_leakage_seconds,
+        "batched_delay_seconds": fast_delay_seconds,
+        "batched_leakage_seconds": fast_leakage_seconds,
+        "reference_seconds": ref_total,
+        "batched_seconds": fast_total,
+        "delay_speedup": ref_delay_seconds / fast_delay_seconds,
+        "leakage_speedup": ref_leakage_seconds / fast_leakage_seconds,
+        "speedup": ref_total / fast_total,
+        "identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# 7. Adaptive contour refinement: uniform finest grid vs refined
+# ----------------------------------------------------------------------
+def bench_contour_refine(quick: bool) -> dict:
+    base_n = 8 if quick else 12
+    levels = 2 if quick else 3
+    band = 0.1
+    # At a 10 us cycle the leakage term dominates at low fga, so the
+    # break-even contour (bga* ~ 0.28 * (1 - fga)) crosses the grid
+    # diagonally with genuinely flat regions on both sides — the
+    # workload adaptive refinement is for.
+    t_cycle_s = 1e-5
+    module = _bench_grid_module()
+    grid = [i / base_n for i in range(1, base_n + 1)]
+
+    adaptive, adaptive_seconds = _timed(
+        lambda: energy_ratio_surface(
+            module, 1.0, t_cycle_s, grid, grid,
+            refine_levels=levels, refine_band=band,
+        )
+    )
+    refined = adaptive.refined
+
+    # The honest reference: a uniform grid at the resolution the
+    # refinement reaches, evaluated everywhere.
+    uniform, uniform_seconds = _timed(
+        lambda: energy_ratio_surface(
+            module, 1.0, t_cycle_s, refined.xs, refined.ys
+        )
+    )
+
+    identical = all(
+        uniform.grid.zs[i][j] == value
+        for (i, j), value in refined.known().items()
+    )
+    contour_match = refined.zero_cells() == zero_crossing_cells(
+        uniform.grid.zs
+    )
+    return {
+        "base_grid": [base_n, base_n],
+        "refine_levels": levels,
+        "refine_band": band,
+        "finest_grid": [len(refined.xs), len(refined.ys)],
+        "points_evaluated": refined.evaluated,
+        "uniform_points": refined.total_points,
+        "coverage": refined.coverage,
+        "cells_refined": refined.cells_refined,
+        "cells_skipped": refined.cells_skipped,
+        "contour_cells": len(refined.zero_cells()),
+        "uniform_seconds": uniform_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": uniform_seconds / adaptive_seconds,
+        "identical": identical,
+        "contour_match": contour_match,
+    }
+
+
+# ----------------------------------------------------------------------
+# 8. Observability snapshot (instrumented rerun of small workloads)
 # ----------------------------------------------------------------------
 def bench_observability(workers: int) -> dict:
     """A small instrumented pass recording the hot-path counters.
@@ -361,6 +495,8 @@ def run(quick: bool, workers: int) -> dict:
         "monte_carlo": bench_monte_carlo(quick, workers),
         "interpreter": bench_interpreter(quick),
         "profiler": bench_profiler(quick),
+        "variation": bench_variation(quick),
+        "contour": bench_contour_refine(quick),
         "observability": bench_observability(workers),
     }
     return results
@@ -396,6 +532,8 @@ def main(argv=None) -> int:
     mc = results["monte_carlo"]
     interp = results["interpreter"]
     prof = results["profiler"]
+    var = results["variation"]
+    contour = results["contour"]
     print(f"wrote {args.out}")
     print(
         f"simulator       {sim['speedup']:6.2f}x  "
@@ -432,6 +570,19 @@ def main(argv=None) -> int:
         f"{prof['fast_instructions_per_s']:.0f} instr/s profiled, "
         f"identical={prof['profiles_identical']})"
     )
+    print(
+        f"variation       {var['speedup']:6.2f}x  "
+        f"(delay {var['delay_speedup']:.2f}x, "
+        f"leakage {var['leakage_speedup']:.2f}x over "
+        f"{var['samples']} samples, identical={var['identical']})"
+    )
+    print(
+        f"contour refine  {contour['speedup']:6.2f}x  "
+        f"({contour['points_evaluated']}/{contour['uniform_points']} points "
+        f"= {contour['coverage']:.0%} of the uniform grid, "
+        f"identical={contour['identical']}, "
+        f"contour_match={contour['contour_match']})"
+    )
     n_counters = len(results["observability"]["counters"])
     n_timers = len(results["observability"]["timers"])
     print(
@@ -446,6 +597,9 @@ def main(argv=None) -> int:
         and mc["distributions_identical"]
         and interp["state_identical"]
         and prof["profiles_identical"]
+        and var["identical"]
+        and contour["identical"]
+        and contour["contour_match"]
     )
     if not ok:
         print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)

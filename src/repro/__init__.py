@@ -40,6 +40,7 @@ Quickstart::
 from repro.analysis import (
     ApplicationPoint,
     RatioSurface,
+    RefinedSurface,
     TechnologyComparator,
     TechnologyVerdict,
     breakeven_bga,
@@ -172,6 +173,7 @@ __all__ = [
     "OperatingPoint",
     # analysis
     "RatioSurface",
+    "RefinedSurface",
     "ApplicationPoint",
     "energy_ratio_surface",
     "breakeven_bga",

@@ -3,8 +3,10 @@
 from repro.analysis.sweep import Sweep1D, Sweep2D, sweep_1d, sweep_2d
 from repro.analysis.contour import (
     RatioSurface,
+    RefinedSurface,
     energy_ratio_surface,
     breakeven_bga,
+    zero_crossing_cells,
     ApplicationPoint,
 )
 from repro.analysis.comparator import (
@@ -35,8 +37,10 @@ __all__ = [
     "sweep_1d",
     "sweep_2d",
     "RatioSurface",
+    "RefinedSurface",
     "energy_ratio_surface",
     "breakeven_bga",
+    "zero_crossing_cells",
     "ApplicationPoint",
     "TechnologyComparator",
     "TechnologyVerdict",

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import functools
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.analysis.sweep import Sweep2D, sweep_2d
@@ -30,9 +30,135 @@ from repro.power.energy import (
 __all__ = [
     "ApplicationPoint",
     "RatioSurface",
+    "RefinedSurface",
     "energy_ratio_surface",
     "breakeven_bga",
+    "zero_crossing_cells",
 ]
+
+#: Subdivision-depth bound: each level doubles both axes, so 10 levels
+#: already turn a 24-point axis into ~23k points.
+_MAX_REFINE_LEVELS = 10
+
+
+def _defined_straddle(corners: Sequence[Optional[float]]) -> bool:
+    """True when the defined corner values bracket zero."""
+    defined = [value for value in corners if value is not None]
+    if not defined:
+        return False
+    return min(defined) < 0.0 < max(defined)
+
+
+def _interesting(
+    corners: Sequence[Optional[float]], band: float
+) -> bool:
+    """Refinement criterion: the cell straddles or nears the contour.
+
+    The surface is monotone in bga, so a sign change across the
+    defined corners locates the contour exactly; the |value| <= band
+    test additionally catches cells whose corners are all undefined
+    but one (the contour can hide behind the infeasible bga > fga
+    triangle) and cells the contour merely grazes.
+    """
+    defined = [value for value in corners if value is not None]
+    if not defined:
+        return False
+    if min(defined) < 0.0 < max(defined):
+        return True
+    return any(abs(value) <= band for value in defined)
+
+
+def zero_crossing_cells(
+    zs: Sequence[Sequence[Optional[float]]],
+) -> Tuple[Tuple[int, int], ...]:
+    """Grid cells (by lower-corner index) whose corners bracket zero.
+
+    The uniform-grid counterpart of
+    :meth:`RefinedSurface.zero_cells`, used to verify that adaptive
+    refinement resolves the same contour as a full grid.
+    """
+    cells = []
+    for i in range(len(zs) - 1):
+        row, next_row = zs[i], zs[i + 1]
+        for j in range(len(row) - 1):
+            corners = (row[j], row[j + 1], next_row[j], next_row[j + 1])
+            if _defined_straddle(corners):
+                cells.append((i, j))
+    return tuple(cells)
+
+
+@dataclass(frozen=True)
+class RefinedSurface:
+    """Adaptively refined view of a ratio surface near its contour.
+
+    ``xs``/``ys`` are the finest-level axes (every base interval
+    subdivided ``levels`` times); ``indices``/``values`` hold the
+    sparse set of evaluated points on that lattice — the full base
+    grid plus the midpoints spawned inside cells that straddle or
+    near the break-even contour.  Points far from the contour are
+    never evaluated, which is the entire saving.
+    """
+
+    levels: int
+    band: float
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+    indices: Tuple[Tuple[int, int], ...]
+    values: Tuple[Optional[float], ...]
+    cells_refined: int
+    cells_skipped: int
+
+    def known(self) -> Dict[Tuple[int, int], Optional[float]]:
+        """Evaluated finest-lattice points as an ``{(i, j): z}`` map."""
+        return dict(zip(self.indices, self.values))
+
+    def value_at(self, i: int, j: int) -> Optional[float]:
+        """Value at one finest-lattice point (raises if unevaluated)."""
+        try:
+            return self.known()[(i, j)]
+        except KeyError:
+            raise AnalysisError(
+                f"point ({i}, {j}) was not evaluated (outside the "
+                f"refinement band)"
+            )
+
+    @property
+    def evaluated(self) -> int:
+        """Number of points actually evaluated."""
+        return len(self.indices)
+
+    @property
+    def total_points(self) -> int:
+        """Points a uniform grid at finest resolution would evaluate."""
+        return len(self.xs) * len(self.ys)
+
+    @property
+    def coverage(self) -> float:
+        """Evaluated fraction of the equivalent uniform grid."""
+        return self.evaluated / self.total_points
+
+    def zero_cells(self) -> Tuple[Tuple[int, int], ...]:
+        """Finest-level cells whose evaluated corners bracket zero.
+
+        Only cells with all four corners evaluated qualify — exactly
+        the cells inside the refinement band, where the contour is.
+        """
+        known = self.known()
+        cells = []
+        for i in range(len(self.xs) - 1):
+            for j in range(len(self.ys) - 1):
+                missing = object()
+                corners = (
+                    known.get((i, j), missing),
+                    known.get((i, j + 1), missing),
+                    known.get((i + 1, j), missing),
+                    known.get((i + 1, j + 1), missing),
+                )
+                if missing in corners:
+                    continue
+                if _defined_straddle(corners):
+                    cells.append((i, j))
+        return tuple(cells)
 
 
 @dataclass(frozen=True)
@@ -63,6 +189,8 @@ class RatioSurface:
     vdd: float
     t_cycle_s: float
     grid: Sweep2D
+    #: Present when the surface was computed with ``refine_levels > 0``.
+    refined: Optional[RefinedSurface] = field(default=None)
 
     def log10_ratio(self, fga: float, bga: float) -> float:
         """Exact surface value at one (fga, bga)."""
@@ -148,6 +276,185 @@ def _ratio_cell(
     return math.log10(soias / soi)
 
 
+def _subdivide_axis(
+    values: Sequence[float], levels: int
+) -> Tuple[float, ...]:
+    """Insert midpoints into every interval, ``levels`` times over."""
+    axis = [float(value) for value in values]
+    for _ in range(levels):
+        finer = []
+        for left, right in zip(axis[:-1], axis[1:]):
+            finer.append(left)
+            finer.append(0.5 * (left + right))
+        finer.append(axis[-1])
+        axis = finer
+    return tuple(axis)
+
+
+def _evaluate_points(
+    cell: Callable[[float, float], Optional[float]],
+    points: Sequence[Tuple[int, int]],
+    xs: Sequence[float],
+    ys: Sequence[float],
+    workers: int,
+    progress,
+    store,
+    store_key: Optional[str],
+    checkpoint_every: int,
+) -> List[Optional[float]]:
+    """Evaluate sparse lattice points, checkpointed when stored.
+
+    ``points`` must be deterministic for a given base surface — the
+    flat position of each point keys its checkpoint cell, so a resumed
+    run (which restores the same base grid bit-identically) addresses
+    the same cells.
+    """
+    from repro.analysis.parallel import _PairFn, map_items
+
+    pairs = [(xs[i], ys[j]) for i, j in points]
+    if store is None:
+        return map_items(
+            _PairFn(cell), pairs, workers=workers, progress=progress
+        )
+    from repro.store.checkpoint import SweepCheckpoint
+
+    checkpoint = SweepCheckpoint(
+        store, store_key, len(points), flush_every=checkpoint_every
+    )
+    values = checkpoint.restored()
+    missing = [k for k in range(len(points)) if k not in values]
+    if missing:
+
+        def on_chunk(positions, results) -> None:
+            chunk = [
+                (
+                    missing[position],
+                    None if result is None else float(result),
+                )
+                for position, result in zip(positions, results)
+            ]
+            values.update(chunk)
+            checkpoint.record_many(chunk)
+
+        map_items(
+            _PairFn(cell),
+            [pairs[k] for k in missing],
+            workers=workers,
+            progress=progress,
+            chunk_done=on_chunk,
+        )
+    checkpoint.finalize()
+    return [values[k] for k in range(len(points))]
+
+
+def _refine_surface(
+    module: ModuleEnergyParameters,
+    vdd: float,
+    t_cycle_s: float,
+    grid: Sweep2D,
+    levels: int,
+    band: float,
+    workers: int,
+    progress,
+    store,
+    checkpoint_every: int,
+) -> RefinedSurface:
+    """Recursively subdivide only the cells near the zero contour."""
+    cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
+    stride = 1 << levels
+    xs = _subdivide_axis(grid.xs, levels)
+    ys = _subdivide_axis(grid.ys, levels)
+    known: Dict[Tuple[int, int], Optional[float]] = {}
+    for i, row in enumerate(grid.zs):
+        for j, value in enumerate(row):
+            known[(i * stride, j * stride)] = value
+    active = [
+        (i * stride, j * stride)
+        for i in range(len(grid.xs) - 1)
+        for j in range(len(grid.ys) - 1)
+    ]
+    refined = 0
+    skipped = 0
+    for level in range(levels):
+        size = stride >> level
+        half = size >> 1
+        targets = []
+        for i, j in active:
+            corners = (
+                known[(i, j)],
+                known[(i, j + size)],
+                known[(i + size, j)],
+                known[(i + size, j + size)],
+            )
+            if _interesting(corners, band):
+                targets.append((i, j))
+            else:
+                skipped += 1
+        refined += len(targets)
+        if not targets:
+            break
+        # The five new points of each refined cell: edge midpoints and
+        # the center.  Shared edges between neighbouring targets (and
+        # points evaluated at earlier levels) dedup through the set.
+        needed = sorted(
+            {
+                point
+                for i, j in targets
+                for point in (
+                    (i, j + half),
+                    (i + half, j),
+                    (i + half, j + half),
+                    (i + half, j + size),
+                    (i + size, j + half),
+                )
+                if point not in known
+            }
+        )
+        if needed:
+            store_key = None
+            if store is not None:
+                from repro.store.hashing import request_digest
+
+                store_key = request_digest(
+                    "ratio-surface-refine",
+                    module,
+                    vdd,
+                    t_cycle_s,
+                    list(grid.xs),
+                    list(grid.ys),
+                    levels,
+                    band,
+                    level,
+                )
+            values = _evaluate_points(
+                cell, needed, xs, ys, workers, progress, store,
+                store_key, checkpoint_every,
+            )
+            known.update(zip(needed, values))
+        active = [
+            (i + di, j + dj)
+            for i, j in targets
+            for di in (0, half)
+            for dj in (0, half)
+        ]
+    if obs.ENABLED:
+        if refined:
+            obs.incr("contour.cells_refined", refined)
+        if skipped:
+            obs.incr("contour.cells_skipped", skipped)
+    indices = tuple(sorted(known))
+    return RefinedSurface(
+        levels=levels,
+        band=band,
+        xs=xs,
+        ys=ys,
+        indices=indices,
+        values=tuple(known[point] for point in indices),
+        cells_refined=refined,
+        cells_skipped=skipped,
+    )
+
+
 def energy_ratio_surface(
     module: ModuleEnergyParameters,
     vdd: float,
@@ -158,6 +465,8 @@ def energy_ratio_surface(
     progress: Optional[Callable[[int, int], None]] = None,
     store=None,
     checkpoint_every: int = 32,
+    refine_levels: int = 0,
+    refine_band: float = 0.15,
 ) -> RatioSurface:
     """Sample the Fig. 10 surface over a grid.
 
@@ -173,7 +482,37 @@ def energy_ratio_surface(
     parameters, operating point, and both axes — so a killed surface
     resumes from its completed chunks and an identical re-request is
     served entirely from the store.
+
+    ``refine_levels > 0`` turns on **adaptive contour refinement**:
+    after the coarse grid, cells straddling the zero contour (or with
+    a corner within ``refine_band`` of it in log10) are recursively
+    subdivided, each level halving the cell size — the contour ends up
+    resolved at ``2^levels`` times the grid resolution while the flat
+    regions of the surface are never re-sampled.  The sparse refined
+    points live in ``surface.refined`` (a :class:`RefinedSurface`),
+    they fan out through the same ``workers`` pool, and with a store
+    each level checkpoints under its own digest so refinement resumes
+    exactly like the base grid.  Every evaluated point is bit-identical
+    to the same cell of a uniform finest-level grid.
     """
+    if refine_levels < 0:
+        raise AnalysisError(
+            f"refine_levels must be >= 0, got {refine_levels}"
+        )
+    if refine_levels > _MAX_REFINE_LEVELS:
+        raise AnalysisError(
+            f"refine_levels must be <= {_MAX_REFINE_LEVELS}, "
+            f"got {refine_levels}"
+        )
+    if refine_levels > 0:
+        if refine_band <= 0.0:
+            raise AnalysisError(
+                f"refine_band must be positive, got {refine_band}"
+            )
+        if len(fga_values) < 2 or len(bga_values) < 2:
+            raise AnalysisError(
+                "refinement needs at least two points per axis"
+            )
     cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
     store_key = None
     if store is not None:
@@ -201,6 +540,17 @@ def energy_ratio_surface(
             store_key=store_key,
             checkpoint_every=checkpoint_every,
         )
+    refined = None
+    if refine_levels > 0:
+        with obs.span("analysis.contour_refine"):
+            refined = _refine_surface(
+                module, vdd, t_cycle_s, grid, refine_levels,
+                refine_band, workers, progress, store, checkpoint_every,
+            )
     return RatioSurface(
-        module=module, vdd=vdd, t_cycle_s=t_cycle_s, grid=grid
+        module=module,
+        vdd=vdd,
+        t_cycle_s=t_cycle_s,
+        grid=grid,
+        refined=refined,
     )

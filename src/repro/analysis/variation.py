@@ -11,6 +11,17 @@ on real silicon.
 :class:`MonteCarloAnalyzer` samples per-device V_T offsets and reports
 delay and leakage distributions for any cell; the closed-form
 lognormal mean amplification is provided for cross-checking.
+
+Every distribution is evaluated through the **batched variation
+engine**: the analyzer asks its characterizer for one
+:class:`~repro.tech.batch.VariationPlan` per (cell, V_DD, load) corner
+and pushes the whole shift vector through it, instead of running the
+full characterization call chain once per sample.  The serial,
+``workers``, and ``store``-checkpointed paths all use plans — on the
+parallel path each worker decodes the corner once and evaluates its
+chunks through it — and all three remain bit-identical to the
+per-sample path (asserted by the differential property tests and the
+``variation`` section of ``bench_hotpaths.py``).
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.device.technology import Technology
 from repro.errors import AnalysisError
@@ -33,8 +44,9 @@ __all__ = [
 ]
 
 #: Per-process characterizer cache for the parallel Monte-Carlo path —
-#: each worker builds the corner once and reuses its memo across the
-#: samples in its chunk.  Keyed by the (hashable) Technology value.
+#: each worker decodes the corner once (the plan is memoized on its
+#: characterizer) and reuses it across the chunks it is handed.  Keyed
+#: by the (hashable) Technology value.
 _WORKER_CHARACTERIZERS: dict = {}
 
 #: Eviction bound on the per-process cache: a long-lived worker serving
@@ -53,57 +65,89 @@ def _characterizer_for(technology: Technology) -> CellCharacterizer:
     return characterizer
 
 
-def _delay_sample(task) -> float:
-    technology, cell, vdd, load_f, shift = task
-    return _characterizer_for(technology).propagation_delay(
-        cell, vdd, load_f, vt_shift=shift
-    )
+def _batched_chunk(task) -> List[float]:
+    """Evaluate one chunk of V_T shifts through a per-process plan."""
+    kind, technology, cell, vdd, load_f, shifts = task
+    plan = _characterizer_for(technology).plan_variation(cell, vdd, load_f)
+    if kind == "delay":
+        return plan.delays(shifts)
+    return plan.leakages(shifts)
 
 
-def _leakage_sample(task) -> float:
-    technology, cell, vdd, shift = task
-    return _characterizer_for(technology).leakage_current(
-        cell, vdd, vt_shift=shift
-    )
+def _shift_chunks(
+    shifts: Sequence[float], workers: Optional[int]
+) -> List[Tuple[float, ...]]:
+    """Split a shift vector into the chunks the pool would form.
+
+    Mirrors ``map_items``'s own chunk sizing so each worker receives
+    about four plan-sized batches, keeping the pool busy without
+    paying per-sample IPC.
+    """
+    from repro.analysis.parallel import _chunksize, resolve_workers
+
+    count = max(resolve_workers(workers), 1)
+    size = _chunksize(len(shifts), count)
+    return [
+        tuple(shifts[i : i + size]) for i in range(0, len(shifts), size)
+    ]
 
 
 @dataclass(frozen=True)
 class Distribution:
-    """Summary of a sampled quantity."""
+    """Summary of a sampled quantity.
+
+    Moments and the sorted sample view are computed once on first use
+    and cached on the (frozen) instance, so ``percentile`` does not
+    re-sort the tuple per call — ``timing_yield_vdd``'s 40-step
+    bisection used to sort the same 300 samples on every probe.
+    """
 
     samples: Tuple[float, ...]
 
     def __post_init__(self) -> None:
         if len(self.samples) < 2:
             raise AnalysisError("need at least two samples")
+        object.__setattr__(self, "_moments", None)
+        object.__setattr__(self, "_ordered", None)
+
+    def _stats(self) -> Tuple[float, float]:
+        moments = self._moments
+        if moments is None:
+            mu = sum(self.samples) / len(self.samples)
+            std = math.sqrt(
+                sum((x - mu) ** 2 for x in self.samples)
+                / (len(self.samples) - 1)
+            )
+            moments = (mu, std)
+            object.__setattr__(self, "_moments", moments)
+        return moments
 
     @property
     def mean(self) -> float:
         """Sample mean."""
-        return sum(self.samples) / len(self.samples)
+        return self._stats()[0]
 
     @property
     def std(self) -> float:
         """Sample standard deviation (n-1)."""
-        mu = self.mean
-        return math.sqrt(
-            sum((x - mu) ** 2 for x in self.samples)
-            / (len(self.samples) - 1)
-        )
+        return self._stats()[1]
 
     @property
     def coefficient_of_variation(self) -> float:
         """std / mean — the spread metric that grows at low V_DD."""
-        mu = self.mean
+        mu, std = self._stats()
         if mu == 0.0:
             raise AnalysisError("mean is zero; CV undefined")
-        return self.std / mu
+        return std / mu
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile, p in [0, 100]."""
         if not 0.0 <= p <= 100.0:
             raise AnalysisError("percentile must be in [0, 100]")
-        ordered = sorted(self.samples)
+        ordered = self._ordered
+        if ordered is None:
+            ordered = sorted(self.samples)
+            object.__setattr__(self, "_ordered", ordered)
         position = p / 100.0 * (len(ordered) - 1)
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
@@ -138,6 +182,7 @@ class MonteCarloAnalyzer:
         seed: int = 0,
         workers: int = 0,
         store=None,
+        progress=None,
     ):
         if vt_sigma < 0.0:
             raise AnalysisError("vt_sigma must be >= 0")
@@ -149,6 +194,7 @@ class MonteCarloAnalyzer:
         self.seed = seed
         self.workers = workers
         self.store = store
+        self.progress = progress
         self._characterizer = CellCharacterizer(technology)
         self._tech_digest: str = ""
 
@@ -167,43 +213,109 @@ class MonteCarloAnalyzer:
             *parts,
         )
 
-    def _checkpointed_samples(self, key, tasks, worker_fn, serial_fn):
-        """Evaluate per-sample tasks through a sweep checkpoint.
+    # ------------------------------------------------------------------
+    # Evaluation paths (all plan-based)
+    # ------------------------------------------------------------------
+    def _fanout(
+        self, kind: str, cell: Cell, vdd: float, load_f: float, shifts
+    ) -> Tuple[float, ...]:
+        """Evaluate the shift vector across processes, chunk-batched."""
+        from repro.analysis.parallel import map_items
 
-        Restores already-persisted samples, computes only the gap
-        (serial or fanned out per ``self.workers``), and persists
-        completed chunks as they finish — the Monte-Carlo twin of the
-        checkpointed grid sweep.
+        tasks = [
+            (kind, self.technology, cell, vdd, load_f, chunk)
+            for chunk in _shift_chunks(shifts, self.workers)
+        ]
+        chunks = map_items(
+            _batched_chunk,
+            tasks,
+            workers=self.workers,
+            progress=self.progress,
+        )
+        return tuple(value for chunk in chunks for value in chunk)
+
+    def _checkpointed_batches(
+        self, key: str, kind: str, cell: Cell, vdd: float, load_f: float,
+        shifts,
+    ) -> Tuple[float, ...]:
+        """Evaluate the shift vector through a sweep checkpoint.
+
+        Restores already-persisted samples, batch-evaluates only the
+        gap (serial or fanned out per ``self.workers``), and persists
+        completed batches as they finish — the Monte-Carlo twin of the
+        checkpointed grid sweep.  Sample indices and stored values are
+        identical to the per-sample checkpoint layout, so checkpoints
+        written before the batched engine resume cleanly under it.
         """
         from repro.analysis.parallel import map_items
         from repro.store.checkpoint import SweepCheckpoint
 
-        checkpoint = SweepCheckpoint(self.store, key, len(tasks))
+        checkpoint = SweepCheckpoint(self.store, key, len(shifts))
         samples = checkpoint.restored()
-        missing = [i for i in range(len(tasks)) if i not in samples]
+        missing = [i for i in range(len(shifts)) if i not in samples]
         if missing:
             if self.workers == 0:
-                for index in missing:
-                    value = serial_fn(tasks[index])
-                    samples[index] = value
-                    checkpoint.record(index, value)
+                plan = self._characterizer.plan_variation(cell, vdd, load_f)
+                evaluate = plan.delays if kind == "delay" else plan.leakages
+                # Evaluate in flush-sized batches so a crash loses at
+                # most one buffer, exactly as the per-sample path did.
+                step = checkpoint.flush_every
+                for start in range(0, len(missing), step):
+                    block = missing[start : start + step]
+                    values = evaluate([shifts[i] for i in block])
+                    for index, value in zip(block, values):
+                        samples[index] = value
+                        checkpoint.record(index, value)
             else:
+                chunks = _shift_chunks(
+                    [shifts[i] for i in missing], self.workers
+                )
+                tasks = []
+                offsets = []
+                offset = 0
+                for chunk in chunks:
+                    tasks.append(
+                        (kind, self.technology, cell, vdd, load_f, chunk)
+                    )
+                    offsets.append(offset)
+                    offset += len(chunk)
+
                 def on_chunk(positions, values) -> None:
-                    chunk = [
-                        (missing[position], float(value))
-                        for position, value in zip(positions, values)
-                    ]
-                    samples.update(chunk)
-                    checkpoint.record_many(chunk)
+                    cells = []
+                    for position, chunk_values in zip(positions, values):
+                        base = offsets[position]
+                        cells.extend(
+                            (missing[base + k], float(value))
+                            for k, value in enumerate(chunk_values)
+                        )
+                    samples.update(cells)
+                    checkpoint.record_many(cells)
 
                 map_items(
-                    worker_fn,
-                    [tasks[index] for index in missing],
+                    _batched_chunk,
+                    tasks,
                     workers=self.workers,
+                    progress=self.progress,
                     chunk_done=on_chunk,
                 )
         checkpoint.finalize()
-        return tuple(samples[i] for i in range(len(tasks)))
+        return tuple(samples[i] for i in range(len(shifts)))
+
+    def _distribution(
+        self, key, kind: str, cell: Cell, vdd: float, load_f: float
+    ) -> Distribution:
+        shifts = self.sample_vt_shifts()
+        if self.store is not None:
+            samples = self._checkpointed_batches(
+                key, kind, cell, vdd, load_f, shifts
+            )
+        elif self.workers == 0:
+            plan = self._characterizer.plan_variation(cell, vdd, load_f)
+            evaluate = plan.delays if kind == "delay" else plan.leakages
+            samples = tuple(evaluate(shifts))
+        else:
+            samples = self._fanout(kind, cell, vdd, load_f, shifts)
+        return Distribution(samples=samples)
 
     def sample_vt_shifts(self) -> List[float]:
         """Deterministic Gaussian V_T offsets (one per sample)."""
@@ -225,35 +337,14 @@ class MonteCarloAnalyzer:
         by technology, cell, operating point, and the sampling
         parameters), again bit-identical.
         """
-        shifts = self.sample_vt_shifts()
-        tasks = [
-            (self.technology, cell, vdd, load_f, shift) for shift in shifts
-        ]
+        key = None
         if self.store is not None:
             from repro.store.hashing import cell_digest
 
-            samples = self._checkpointed_samples(
-                self._request_key("mc-delay", cell_digest(cell), vdd, load_f),
-                tasks,
-                _delay_sample,
-                lambda task: self._characterizer.propagation_delay(
-                    task[1], task[2], task[3], vt_shift=task[4]
-                ),
+            key = self._request_key(
+                "mc-delay", cell_digest(cell), vdd, load_f
             )
-        elif self.workers == 0:
-            samples = tuple(
-                self._characterizer.propagation_delay(
-                    cell, vdd, load_f, vt_shift=shift
-                )
-                for shift in shifts
-            )
-        else:
-            from repro.analysis.parallel import map_items
-
-            samples = tuple(map_items(
-                _delay_sample, tasks, workers=self.workers,
-            ))
-        return Distribution(samples=samples)
+        return self._distribution(key, "delay", cell, vdd, load_f)
 
     def leakage_distribution(
         self, cell: Cell, vdd: float
@@ -262,33 +353,12 @@ class MonteCarloAnalyzer:
 
         Store/workers semantics match :meth:`delay_distribution`.
         """
-        shifts = self.sample_vt_shifts()
-        tasks = [(self.technology, cell, vdd, shift) for shift in shifts]
+        key = None
         if self.store is not None:
             from repro.store.hashing import cell_digest
 
-            samples = self._checkpointed_samples(
-                self._request_key("mc-leakage", cell_digest(cell), vdd),
-                tasks,
-                _leakage_sample,
-                lambda task: self._characterizer.leakage_current(
-                    task[1], task[2], vt_shift=task[3]
-                ),
-            )
-        elif self.workers == 0:
-            samples = tuple(
-                self._characterizer.leakage_current(
-                    cell, vdd, vt_shift=shift
-                )
-                for shift in shifts
-            )
-        else:
-            from repro.analysis.parallel import map_items
-
-            samples = tuple(map_items(
-                _leakage_sample, tasks, workers=self.workers,
-            ))
-        return Distribution(samples=samples)
+            key = self._request_key("mc-leakage", cell_digest(cell), vdd)
+        return self._distribution(key, "leakage", cell, vdd, 0.0)
 
     def leakage_amplification(self, cell: Cell, vdd: float) -> float:
         """Measured mean-vs-nominal leakage ratio (cf. the closed form)."""
@@ -300,7 +370,11 @@ class MonteCarloAnalyzer:
     def delay_spread_vs_vdd(
         self, cell: Cell, vdds: Sequence[float], load_f: float = 10e-15
     ) -> List[Tuple[float, float]]:
-        """(V_DD, delay CV) pairs: the low-voltage variation penalty."""
+        """(V_DD, delay CV) pairs: the low-voltage variation penalty.
+
+        Each supply point reuses its memoized plan on repeat visits —
+        sweeping the same supplies again costs only the vector loops.
+        """
         if not vdds:
             raise AnalysisError("empty supply sweep")
         return [
@@ -325,7 +399,10 @@ class MonteCarloAnalyzer:
 
         The variation-aware version of Fig. 3's V_DD-for-delay solve:
         guard-banding the supply so slow-corner devices still make
-        timing.
+        timing.  Each bisection V_DD decodes one plan and evaluates the
+        shift vector through it, and the per-V_DD percentile is
+        memoized within the solve, so revisiting a bracket endpoint is
+        free.
         """
         if target_delay_s <= 0.0:
             raise AnalysisError("target delay must be positive")
@@ -333,10 +410,16 @@ class MonteCarloAnalyzer:
         if not 0.0 < low < high:
             raise AnalysisError(f"bad vdd bounds [{low}, {high}]")
 
+        solved: dict = {}
+
         def worst_delay(vdd: float) -> float:
-            return self.delay_distribution(cell, vdd, load_f).percentile(
-                percentile
-            )
+            result = solved.get(vdd)
+            if result is None:
+                result = self.delay_distribution(
+                    cell, vdd, load_f
+                ).percentile(percentile)
+                solved[vdd] = result
+            return result
 
         if worst_delay(high) > target_delay_s:
             raise AnalysisError(

@@ -1,13 +1,14 @@
 """Command-line interface to the toolkit.
 
-Five subcommands mirror the paper's tool chain, five more cover the
+Five subcommands mirror the paper's tool chain, six more cover the
 extensions::
 
     python -m repro profile --workload idea            # Tables 1-3
     python -m repro activity --circuit adder --width 8 # Figs. 8-9
     python -m repro optimize --delay-factor 4          # Figs. 3-4
     python -m repro compare --duty 0.2                 # Fig. 10
-    python -m repro contour --grid 24 --workers 4      # Fig. 10 surface
+    python -m repro contour --grid 24 --refine 2       # Fig. 10 surface
+    python -m repro variation --cell INV --vdd 0.5     # V_T Monte-Carlo
     python -m repro characterize --vdd 0.8 1.0 1.2     # liberty-lite
     python -m repro margins --floor 0.3                # V_DD floor
     python -m repro shutdown                           # policies
@@ -412,6 +413,8 @@ def _cmd_contour(args: argparse.Namespace) -> int:
         module, grid, grid, workers=args.workers,
         progress=_stderr_progress(args.progress),
         store=_open_store(args),
+        refine_levels=args.refine,
+        refine_band=args.refine_band,
     )
     defined = [
         (fga, bga, value)
@@ -429,6 +432,32 @@ def _cmd_contour(args: argparse.Namespace) -> int:
         ["best log10 ratio", f"{best[2]:+.3f}", best[0], best[1]],
         ["worst log10 ratio", f"{worst[2]:+.3f}", worst[0], worst[1]],
     ]
+    refined = surface.refined
+    if refined is not None:
+        rows.extend(
+            [
+                [
+                    "refined grid",
+                    f"{len(refined.xs)} x {len(refined.ys)}",
+                    "",
+                    "",
+                ],
+                [
+                    "points evaluated",
+                    f"{refined.evaluated}/{refined.total_points} "
+                    f"({100.0 * refined.coverage:.1f}%)",
+                    "",
+                    "",
+                ],
+                [
+                    "cells refined/skipped",
+                    f"{refined.cells_refined}/{refined.cells_skipped}",
+                    "",
+                    "",
+                ],
+                ["contour cells", len(refined.zero_cells()), "", ""],
+            ]
+        )
     print(
         format_table(
             ["quantity", "value", "fga", "bga"],
@@ -454,6 +483,101 @@ def _cmd_contour(args: argparse.Namespace) -> int:
         result={
             "defined_cells": surface.grid.defined_cells(),
             "zs": [list(row) for row in surface.grid.zs],
+            "refined": None
+            if refined is None
+            else {
+                "levels": refined.levels,
+                "band": refined.band,
+                "evaluated": refined.evaluated,
+                "total_points": refined.total_points,
+                "zero_cells": [list(cell) for cell in refined.zero_cells()],
+            },
+        },
+        wall_time_s=time.perf_counter() - started,
+    )
+    return 0
+
+
+def _cmd_variation(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    from repro.analysis.variation import (
+        MonteCarloAnalyzer,
+        lognormal_leakage_amplification,
+    )
+    from repro.tech.cells import standard_cells
+
+    technology = _TECHNOLOGIES[args.technology]()
+    cells = standard_cells()
+    if args.cell not in cells:
+        raise ReproError(
+            f"unknown cell {args.cell!r}; available: "
+            f"{', '.join(sorted(cells))}"
+        )
+    cell = cells[args.cell]
+    analyzer = MonteCarloAnalyzer(
+        technology,
+        vt_sigma=args.sigma,
+        n_samples=args.samples,
+        seed=args.seed,
+        workers=args.workers,
+        store=_open_store(args),
+        progress=_stderr_progress(args.progress, noun="samples"),
+    )
+    load_f = args.load_ff * 1e-15
+    delay = analyzer.delay_distribution(cell, args.vdd, load_f)
+    leakage = analyzer.leakage_distribution(cell, args.vdd)
+    amplification = analyzer.leakage_amplification(cell, args.vdd)
+    predicted = lognormal_leakage_amplification(
+        args.sigma, technology.transistors.nmos.subthreshold_swing
+    )
+    label = f"p{args.percentile:g}"
+    rows = [
+        [
+            "delay [s]",
+            delay.mean,
+            delay.std,
+            delay.coefficient_of_variation,
+            delay.percentile(args.percentile),
+        ],
+        [
+            "leakage [A]",
+            leakage.mean,
+            leakage.std,
+            leakage.coefficient_of_variation,
+            leakage.percentile(args.percentile),
+        ],
+    ]
+    print(
+        format_table(
+            ["quantity", "mean", "std", "CV", label],
+            rows,
+            title=(
+                f"{args.cell} V_T variation on {technology.name} at "
+                f"{args.vdd} V (sigma {args.sigma} V, {args.samples} "
+                f"samples, workers {args.workers})"
+            ),
+        )
+    )
+    print(
+        f"\nLeakage amplification: measured {amplification:.3f}x, "
+        f"lognormal closed form {predicted:.3f}x"
+    )
+    _record_run(
+        args,
+        inputs={
+            "cell": args.cell,
+            "technology": args.technology,
+            "vdd": args.vdd,
+            "sigma": args.sigma,
+            "samples": args.samples,
+            "seed": args.seed,
+            "load_ff": args.load_ff,
+            "workers": args.workers,
+        },
+        result={
+            "delay_samples": list(delay.samples),
+            "leakage_samples": list(leakage.samples),
+            "amplification": amplification,
         },
         wall_time_s=time.perf_counter() - started,
     )
@@ -857,11 +981,41 @@ def build_parser() -> argparse.ArgumentParser:
     contour.add_argument("--vdd", type=float, default=1.0)
     contour.add_argument("--clock", type=float, default=1e6)
     contour.add_argument("--grid", type=int, default=24)
+    contour.add_argument(
+        "--refine", type=int, default=0, metavar="N",
+        help="adaptive subdivision levels around the break-even "
+        "contour (0 = uniform grid only)",
+    )
+    contour.add_argument(
+        "--refine-band", type=float, default=0.15, metavar="B",
+        help="|log10 ratio| band that marks a cell for refinement "
+        "(default: 0.15)",
+    )
     _add_parallel_arguments(contour, "grid")
     _add_store_argument(contour)
     _add_record_arguments(contour)
     _add_metrics_arguments(contour)
     contour.set_defaults(handler=_cmd_contour)
+
+    variation = sub.add_parser(
+        "variation",
+        help="Monte-Carlo V_T variation analysis (batched plan engine)",
+    )
+    variation.add_argument("--cell", default="INV", metavar="NAME")
+    variation.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    variation.add_argument("--vdd", type=float, default=1.0)
+    variation.add_argument("--sigma", type=float, default=0.03)
+    variation.add_argument("--samples", type=int, default=300)
+    variation.add_argument("--seed", type=int, default=0)
+    variation.add_argument("--load-ff", type=float, default=10.0)
+    variation.add_argument("--percentile", type=float, default=99.0)
+    _add_parallel_arguments(variation, "sample chunks")
+    _add_store_argument(variation)
+    _add_record_arguments(variation)
+    _add_metrics_arguments(variation)
+    variation.set_defaults(handler=_cmd_variation)
 
     characterize = sub.add_parser(
         "characterize", help="cell-library characterization"

@@ -192,13 +192,17 @@ class LowVoltageDesignFlow:
         workers: int = 0,
         progress: Optional[Callable[[int, int], None]] = None,
         store=None,
+        refine_levels: int = 0,
+        refine_band: float = 0.15,
     ) -> RatioSurface:
         """Fig. 10 surface for one module (``workers`` fans out the grid).
 
         ``progress(done_cells, total_cells)`` is forwarded to the grid
         sweep so long surfaces can report completion; ``store`` (a
         :class:`repro.store.ResultStore`) makes the grid checkpointed
-        and resumable — see :func:`repro.analysis.contour.
+        and resumable; ``refine_levels``/``refine_band`` enable
+        adaptive subdivision of the cells around the break-even
+        contour — see :func:`repro.analysis.contour.
         energy_ratio_surface`.
         """
         with obs.span("flow.ratio_surface"):
@@ -211,6 +215,8 @@ class LowVoltageDesignFlow:
                 workers=workers,
                 progress=progress,
                 store=store,
+                refine_levels=refine_levels,
+                refine_band=refine_band,
             )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.tech.cells import (
     register_styles,
 )
 from repro.tech.characterize import CellCharacterizer, CellTimings
+from repro.tech.batch import VariationPlan
 from repro.tech.library import CellLibrary
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "register_styles",
     "CellCharacterizer",
     "CellTimings",
+    "VariationPlan",
     "CellLibrary",
 ]

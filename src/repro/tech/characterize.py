@@ -108,6 +108,9 @@ class CellCharacterizer:
         self._misses = 0
         self._nmos_stacks = StackLeakageModel(technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(technology.transistors.pmos)
+        # Decoded variation plans (repro.tech.batch); they share the
+        # stack models above, so both caches are dropped together.
+        self._plans: dict = {}
         # Persistence: stored entries wait in _pending_store keyed by
         # cell digest until their cell is interned, then move into the
         # memo under that cell's token.
@@ -212,6 +215,9 @@ class CellCharacterizer:
         self._misses = 0
         self._nmos_stacks = StackLeakageModel(self.technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(self.technology.transistors.pmos)
+        # Plans hold references to the replaced stack memos; drop them
+        # so stale caches cannot be revived.
+        self._plans.clear()
         if self._store is not None:
             self._pending_store = {}
             self._load_store()
@@ -485,6 +491,58 @@ class CellCharacterizer:
         if self.cache_enabled:
             self._memo[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    # Batched variation evaluation
+    # ------------------------------------------------------------------
+    def plan_variation(
+        self,
+        cell: Cell,
+        vdd: float,
+        load_f: float = 0.0,
+        output_high_probability: float = 0.5,
+    ):
+        """Decode a (cell, V_DD, load) corner for vectorized V_T sweeps.
+
+        Returns a :class:`repro.tech.batch.VariationPlan` whose
+        ``delays``/``leakages`` evaluate whole shift vectors
+        bit-identically to :meth:`propagation_delay` /
+        :meth:`leakage_current` called per sample.  Plans are memoized
+        per corner (when caching is on) and share this characterizer's
+        stack-leakage memos, so plan and per-sample evaluations feed
+        the same caches.
+        """
+        self._check_vdd(vdd)
+        if load_f < 0.0:
+            raise CharacterizationError("load must be >= 0")
+        if not 0.0 <= output_high_probability <= 1.0:
+            raise CharacterizationError(
+                "output_high_probability must be in [0, 1]"
+            )
+        from repro.tech.batch import VariationPlan
+
+        if not self.cache_enabled:
+            if _obs.ENABLED:
+                _obs.incr("variation.plan_builds")
+            return VariationPlan.build(
+                self, cell, vdd, load_f, output_high_probability
+            )
+        key = (
+            "vplan",
+            self._token(cell),
+            vdd,
+            load_f,
+            output_high_probability,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = VariationPlan.build(
+                self, cell, vdd, load_f, output_high_probability
+            )
+            self._plans[key] = plan
+            if _obs.ENABLED:
+                _obs.incr("variation.plan_builds")
+        return plan
 
     # ------------------------------------------------------------------
     # One-call corner characterization

@@ -45,6 +45,24 @@ class TestDistribution:
         with pytest.raises(AnalysisError):
             Distribution(samples=(1.0, 2.0)).percentile(101)
 
+    def test_moments_computed_once_and_cached(self):
+        d = Distribution(samples=(3.0, 1.0, 2.0))
+        assert d._moments is None
+        mean = d.mean
+        cached = d._moments
+        assert cached is not None
+        assert d.std == cached[1] and d.mean == mean
+        assert d._moments is cached
+
+    def test_sorted_view_cached_across_percentile_calls(self):
+        d = Distribution(samples=(3.0, 1.0, 2.0))
+        assert d._ordered is None
+        first = d.percentile(50)
+        cached = d._ordered
+        assert cached == [1.0, 2.0, 3.0]
+        assert d.percentile(50) == first
+        assert d._ordered is cached
+
 
 class TestSampling:
     def test_deterministic_by_seed(self, analyzer):
@@ -145,3 +163,60 @@ class TestTimingYield:
     def test_bad_vdd_bounds_rejected(self, analyzer, inverter, bounds):
         with pytest.raises(AnalysisError, match="bounds"):
             analyzer.timing_yield_vdd(inverter, 1e-9, vdd_bounds=bounds)
+
+    def test_solve_memoizes_per_vdd_distributions(self, inverter):
+        # The bisection revisits its bracket endpoints; each distinct
+        # V_DD must be evaluated exactly once within one solve.
+        analyzer = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.03, n_samples=50, seed=1
+        )
+        evaluated = []
+        original = analyzer.delay_distribution
+
+        def counting(cell, vdd, load_f=10e-15):
+            evaluated.append(vdd)
+            return original(cell, vdd, load_f)
+
+        analyzer.delay_distribution = counting
+        from repro.tech.characterize import CellCharacterizer
+
+        target = CellCharacterizer(soi_low_vt()).propagation_delay(
+            inverter, 0.6, 10e-15
+        )
+        analyzer.timing_yield_vdd(inverter, target)
+        assert len(evaluated) == len(set(evaluated))
+
+
+class TestBatchedPathParity:
+    def test_serial_matches_per_sample_reference(self, inverter):
+        analyzer = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.03, n_samples=24, seed=3
+        )
+        from repro.tech.characterize import CellCharacterizer
+
+        reference = CellCharacterizer(soi_low_vt())
+        shifts = analyzer.sample_vt_shifts()
+        assert analyzer.delay_distribution(
+            inverter, 0.6, 10e-15
+        ).samples == tuple(
+            reference.propagation_delay(inverter, 0.6, 10e-15, vt_shift=s)
+            for s in shifts
+        )
+        assert analyzer.leakage_distribution(
+            inverter, 0.6
+        ).samples == tuple(
+            reference.leakage_current(inverter, 0.6, vt_shift=s)
+            for s in shifts
+        )
+
+    def test_worker_fanout_matches_serial(self, inverter):
+        serial = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.03, n_samples=24, seed=3
+        )
+        fanned = MonteCarloAnalyzer(
+            soi_low_vt(), vt_sigma=0.03, n_samples=24, seed=3, workers=2
+        )
+        assert (
+            fanned.delay_distribution(inverter, 0.8).samples
+            == serial.delay_distribution(inverter, 0.8).samples
+        )

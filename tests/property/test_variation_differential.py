@@ -1,0 +1,161 @@
+"""Differential tests: batched variation engine vs the per-sample path.
+
+Random (cell, V_DD, load, shift-vector) corners are evaluated through
+both the decoded :class:`VariationPlan` and the per-sample
+``propagation_delay``/``leakage_current`` chain; the results must be
+bit-identical — not approximately equal.  A second suite checks that
+adaptive contour refinement evaluates exactly the same values a
+uniform finest-resolution grid would, and resolves the same
+zero-crossing cells.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.contour import (
+    energy_ratio_surface,
+    zero_crossing_cells,
+)
+from repro.device.technology import bulk_cmos_06um, soi_low_vt
+from repro.power.energy import ModuleEnergyParameters
+from repro.tech.characterize import CellCharacterizer
+from repro.tech.cells import standard_cells
+
+_CELLS = standard_cells()
+
+technologies = st.sampled_from([soi_low_vt, bulk_cmos_06um])
+cell_names = st.sampled_from(["INV", "NAND2", "NOR2", "NAND3", "AOI21"])
+vdds = st.floats(0.3, 2.0, allow_nan=False, allow_infinity=False)
+loads = st.floats(0.0, 50e-15, allow_nan=False, allow_infinity=False)
+shift_vectors = st.lists(
+    st.floats(-0.1, 0.1, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestPlanMatchesPerSamplePath:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        make_technology=technologies,
+        name=cell_names,
+        vdd=vdds,
+        load_f=loads,
+        shifts=shift_vectors,
+    )
+    def test_delays_bit_identical(
+        self, make_technology, name, vdd, load_f, shifts
+    ):
+        cell = _CELLS[name]
+        plan = CellCharacterizer(make_technology()).plan_variation(
+            cell, vdd, load_f
+        )
+        reference = CellCharacterizer(make_technology())
+        expected = [
+            reference.propagation_delay(cell, vdd, load_f, vt_shift=s)
+            for s in shifts
+        ]
+        assert plan.delays(shifts) == expected
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        make_technology=technologies,
+        name=cell_names,
+        vdd=vdds,
+        shifts=shift_vectors,
+    )
+    def test_leakages_bit_identical(
+        self, make_technology, name, vdd, shifts
+    ):
+        cell = _CELLS[name]
+        plan = CellCharacterizer(make_technology()).plan_variation(
+            cell, vdd
+        )
+        reference = CellCharacterizer(make_technology())
+        expected = [
+            reference.leakage_current(cell, vdd, vt_shift=s)
+            for s in shifts
+        ]
+        assert plan.leakages(shifts) == expected
+
+    @settings(deadline=None, max_examples=10)
+    @given(name=cell_names, vdd=vdds, shifts=shift_vectors)
+    def test_shared_characterizer_interleaving(self, name, vdd, shifts):
+        # Plan and per-sample calls share one characterizer's memos;
+        # alternating between them must still equal a pure per-sample
+        # run on a fresh characterizer.
+        cell = _CELLS[name]
+        shared = CellCharacterizer(soi_low_vt())
+        reference = CellCharacterizer(soi_low_vt())
+        expected = [
+            reference.leakage_current(cell, vdd, vt_shift=s)
+            for s in shifts
+        ]
+        plan = shared.plan_variation(cell, vdd)
+        mixed = []
+        for index, shift in enumerate(shifts):
+            if index % 2:
+                mixed.append(
+                    shared.leakage_current(cell, vdd, vt_shift=shift)
+                )
+            else:
+                mixed.extend(plan.leakages([shift]))
+        assert mixed == expected
+
+
+def _surface_module() -> ModuleEnergyParameters:
+    return ModuleEnergyParameters(
+        name="prop-adder",
+        switched_capacitance_f=45e-12,
+        leakage_low_vt_a=2.0e-6,
+        leakage_high_vt_a=4.0e-9,
+        back_gate_capacitance_f=18e-12,
+        back_gate_swing_v=2.0,
+    )
+
+
+class TestAdaptiveSurfaceMatchesUniformGrid:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        base_n=st.integers(3, 6),
+        levels=st.integers(1, 3),
+        band=st.floats(0.02, 0.5, allow_nan=False, allow_infinity=False),
+        t_cycle_s=st.sampled_from([1e-6, 1e-5, 1e-4]),
+    )
+    def test_refined_points_and_contour_match(
+        self, base_n, levels, band, t_cycle_s
+    ):
+        module = _surface_module()
+        grid = [i / base_n for i in range(1, base_n + 1)]
+        surface = energy_ratio_surface(
+            module, 1.0, t_cycle_s, grid, grid,
+            refine_levels=levels, refine_band=band,
+        )
+        refined = surface.refined
+        uniform = energy_ratio_surface(
+            module, 1.0, t_cycle_s, refined.xs, refined.ys
+        )
+        # Every point the adaptive pass evaluated is bit-identical to
+        # the same lattice point of the full uniform grid...
+        for (i, j), value in refined.known().items():
+            assert uniform.grid.zs[i][j] == value
+        # ...and the cells it resolves as zero crossings are exactly
+        # the uniform grid's (refinement may only miss cells whose
+        # corners it never evaluated, and those must not straddle).
+        assert refined.zero_cells() == zero_crossing_cells(
+            uniform.grid.zs
+        )
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        base_n=st.integers(3, 6),
+        levels=st.integers(1, 3),
+    )
+    def test_base_grid_unchanged_by_refinement(self, base_n, levels):
+        module = _surface_module()
+        grid = [i / base_n for i in range(1, base_n + 1)]
+        plain = energy_ratio_surface(module, 1.0, 1e-5, grid, grid)
+        refined = energy_ratio_surface(
+            module, 1.0, 1e-5, grid, grid, refine_levels=levels
+        )
+        assert refined.grid.zs == plain.grid.zs

@@ -200,6 +200,59 @@ class TestRecoverCommand:
         assert "dual-V_T" in output
 
 
+class TestVariationCommand:
+    def test_reports_distributions_and_amplification(self, capsys):
+        assert main(
+            ["variation", "--samples", "16", "--vdd", "0.8"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "delay" in output
+        assert "leakage" in output
+        assert "Leakage amplification" in output
+        assert "lognormal closed form" in output
+
+    def test_metrics_show_batched_counters(self, capsys):
+        assert main(
+            ["variation", "--samples", "16", "--vdd", "0.8", "--metrics"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "variation.plan_builds" in output
+        assert "variation.samples_batched" in output
+
+    def test_unknown_cell_rejected(self, capsys):
+        assert main(["variation", "--cell", "FLUXCAP"]) == 1
+        assert "unknown cell" in capsys.readouterr().err
+
+    def test_workers_match_serial_output(self, capsys):
+        # Identical numbers either way; only the header echoes the
+        # worker count.
+        base = ["variation", "--samples", "16", "--vdd", "0.8"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out.splitlines()[1:]
+        assert main(base + ["--workers", "2"]) == 0
+        fanned = capsys.readouterr().out.splitlines()[1:]
+        assert serial == fanned
+
+
+class TestContourRefineCommand:
+    def test_refine_rows_printed(self, capsys):
+        assert main(
+            ["contour", "--width", "4", "--vectors", "20", "--grid", "6",
+             "--refine", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "refined grid" in output
+        assert "points evaluated" in output
+        assert "cells refined/skipped" in output
+        assert "contour cells" in output
+
+    def test_no_refine_rows_by_default(self, capsys):
+        assert main(
+            ["contour", "--width", "4", "--vectors", "20", "--grid", "4"]
+        ) == 0
+        assert "refined grid" not in capsys.readouterr().out
+
+
 class TestStoreParserArgs:
     def test_optimize_accepts_store_and_parallel_flags(self):
         args = build_parser().parse_args(
@@ -222,6 +275,33 @@ class TestStoreParserArgs:
     def test_contour_accepts_store(self):
         args = build_parser().parse_args(["contour", "--store", "x"])
         assert args.store == "x"
+
+    def test_contour_refine_defaults_off(self):
+        args = build_parser().parse_args(["contour"])
+        assert args.refine == 0
+        assert args.refine_band == 0.15
+
+    def test_contour_refine_flags(self):
+        args = build_parser().parse_args(
+            ["contour", "--refine", "2", "--refine-band", "0.3"]
+        )
+        assert args.refine == 2
+        assert args.refine_band == 0.3
+
+    def test_variation_defaults(self):
+        args = build_parser().parse_args(["variation"])
+        assert args.cell == "INV"
+        assert args.samples == 300
+        assert args.sigma == 0.03
+        assert args.vdd == 1.0
+
+    def test_variation_accepts_parallel_and_store_flags(self):
+        args = build_parser().parse_args(
+            ["variation", "--workers", "2", "--store", "x", "--metrics"]
+        )
+        assert args.workers == 2
+        assert args.store == "x"
+        assert args.metrics
 
     def test_runs_actions_enforced(self):
         with pytest.raises(SystemExit):
