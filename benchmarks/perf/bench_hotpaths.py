@@ -62,11 +62,13 @@ from repro.isa.profiler import profile_program
 from repro.isa.workloads import build as build_workload
 from repro.analysis.variation import MonteCarloAnalyzer
 from repro.circuits.builders import ripple_carry_adder
-from repro.device.technology import soi_low_vt
+from repro.core.flow import LowVoltageDesignFlow
+from repro.device.technology import soi_low_vt, soias_technology
 from repro.power.energy import ModuleEnergyParameters
 from repro.power.optimizer import (
     FixedThroughputOptimizer,
     RingOscillatorModel,
+    VariationSpec,
 )
 from repro.switchsim.simulator import SwitchLevelSimulator
 from repro.switchsim.stimulus import random_bus_vectors
@@ -441,7 +443,81 @@ def bench_contour_refine(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 8. Observability snapshot (instrumented rerun of small workloads)
+# 8. Yield-constrained optimum vs the nominal seed path (soias)
+# ----------------------------------------------------------------------
+def bench_yield_optimum(quick: bool) -> dict:
+    """Statistical optimizer cost and the nominal-path identity gate.
+
+    The gate: a flow-built optimizer with no variation spec must
+    reproduce the seed-style construction (bare ring + optimizer)
+    bit-for-bit on the soias technology.  The statistical optimum is
+    then timed and its supply guard band over the nominal solve at the
+    same V_T reported.
+    """
+    technology = soias_technology()
+    stages = 11
+    samples = 24 if quick else 120
+    vt_bounds = (0.05, 0.45)
+
+    seed_ring = RingOscillatorModel(technology, stages=stages)
+    seed_optimizer = FixedThroughputOptimizer(
+        seed_ring, cycle_stages=2 * stages
+    )
+    target = 4.0 * seed_ring.stage_delay(1.0, 0.2)
+    seed_best, nominal_seconds = _timed(
+        lambda: seed_optimizer.optimum(target, vt_bounds=vt_bounds)
+    )
+
+    nominal_optimizer = LowVoltageDesignFlow(
+        technology=technology
+    ).throughput_optimizer(stages=stages)
+    nominal_best = nominal_optimizer.optimum(target, vt_bounds=vt_bounds)
+    identical = nominal_best == seed_best
+
+    spec = VariationSpec(
+        percentile=99.0, vt_sigma=0.03, n_samples=samples, seed=0
+    )
+    statistical_optimizer = LowVoltageDesignFlow(
+        technology=technology, variation=spec
+    ).throughput_optimizer(stages=stages)
+    stat_best, statistical_seconds = _timed(
+        lambda: statistical_optimizer.optimum(target, vt_bounds=vt_bounds)
+    )
+
+    # Guard band: how much supply the p99 corner demands over the
+    # nominal solve at the V_T the statistical optimum picked.
+    nominal_at_stat_vt = seed_optimizer.locus_point(stat_best.vt, target)
+    return {
+        "technology": "soias",
+        "stages": stages,
+        "samples": samples,
+        "percentile": spec.percentile,
+        "vt_sigma": spec.vt_sigma,
+        "identical": identical,
+        "nominal": {
+            "vt": seed_best.vt,
+            "vdd": seed_best.vdd,
+            "energy_per_cycle_j": seed_best.energy_per_cycle_j,
+        },
+        "statistical": {
+            "vt": stat_best.vt,
+            "vdd": stat_best.vdd,
+            "energy_per_cycle_j": stat_best.energy_per_cycle_j,
+            "delay_percentile_s": stat_best.delay_percentile_s,
+            "leakage_amplification": stat_best.leakage_amplification,
+            "lognormal_amplification": stat_best.lognormal_amplification,
+        },
+        "guard_band_v": stat_best.vdd - nominal_at_stat_vt.vdd,
+        "energy_cost_ratio": (
+            stat_best.energy_per_cycle_j / seed_best.energy_per_cycle_j
+        ),
+        "nominal_seconds": nominal_seconds,
+        "statistical_seconds": statistical_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# 9. Observability snapshot (instrumented rerun of small workloads)
 # ----------------------------------------------------------------------
 def bench_observability(workers: int) -> dict:
     """A small instrumented pass recording the hot-path counters.
@@ -497,6 +573,7 @@ def run(quick: bool, workers: int) -> dict:
         "profiler": bench_profiler(quick),
         "variation": bench_variation(quick),
         "contour": bench_contour_refine(quick),
+        "yield_optimum": bench_yield_optimum(quick),
         "observability": bench_observability(workers),
     }
     return results
@@ -534,6 +611,7 @@ def main(argv=None) -> int:
     prof = results["profiler"]
     var = results["variation"]
     contour = results["contour"]
+    yld = results["yield_optimum"]
     print(f"wrote {args.out}")
     print(
         f"simulator       {sim['speedup']:6.2f}x  "
@@ -583,6 +661,12 @@ def main(argv=None) -> int:
         f"identical={contour['identical']}, "
         f"contour_match={contour['contour_match']})"
     )
+    print(
+        f"yield optimum   {yld['statistical_seconds'] / yld['nominal_seconds']:6.2f}x nominal cost  "
+        f"(guard band {yld['guard_band_v'] * 1000:.0f} mV at p{yld['percentile']:g} "
+        f"over {yld['samples']} samples, "
+        f"identical={yld['identical']})"
+    )
     n_counters = len(results["observability"]["counters"])
     n_timers = len(results["observability"]["timers"])
     print(
@@ -600,6 +684,7 @@ def main(argv=None) -> int:
         and var["identical"]
         and contour["identical"]
         and contour["contour_match"]
+        and yld["identical"]
     )
     if not ok:
         print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)

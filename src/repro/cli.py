@@ -129,11 +129,13 @@ def _locus_task(task):
     """One fixed-delay locus point; module-level so workers can pickle it.
 
     Returns None for infeasible V_T (the serial sweep's
-    ``skip_infeasible`` semantics).
+    ``skip_infeasible`` semantics).  ``variation`` (a frozen, picklable
+    :class:`~repro.power.optimizer.VariationSpec` or None) switches the
+    worker's solve to the yield-constrained corner.
     """
     from repro.errors import OptimizationError
 
-    technology, stages, activity, cycle_stages, vt, target = task
+    technology, stages, activity, cycle_stages, vt, target, variation = task
     key = (technology, stages, activity)
     ring = _WORKER_RINGS.get(key)
     if ring is None:
@@ -143,7 +145,9 @@ def _locus_task(task):
             technology, stages=stages, activity=activity
         )
         _WORKER_RINGS[key] = ring
-    optimizer = FixedThroughputOptimizer(ring, cycle_stages=cycle_stages)
+    optimizer = FixedThroughputOptimizer(
+        ring, cycle_stages=cycle_stages, variation=variation
+    )
     try:
         return optimizer.locus_point(vt, target)
     except OptimizationError:
@@ -152,8 +156,8 @@ def _locus_task(task):
 
 def _compare_unit_row(task):
     """One unit's comparison row; module-level for the worker fan-out."""
-    name, unit, fga, bga, vdd, clock = task
-    flow = LowVoltageDesignFlow(vdd=vdd, clock_hz=clock)
+    name, unit, fga, bga, vdd, clock, variation = task
+    flow = LowVoltageDesignFlow(vdd=vdd, clock_hz=clock, variation=variation)
     report = flow.unit_activity(unit.netlist, unit.vectors)
     module = flow.module_parameters(unit.netlist, report)
     verdicts = flow.comparator(module).all_verdicts(fga, bga)
@@ -169,6 +173,20 @@ def _compare_unit_row(task):
 
 def _profile_engine(args: argparse.Namespace) -> str:
     return "reference" if getattr(args, "reference", False) else "fast"
+
+
+def _variation_spec(args: argparse.Namespace):
+    """VariationSpec from the --yield-* flags, or None when unset."""
+    if getattr(args, "yield_percentile", None) is None:
+        return None
+    from repro.power.optimizer import VariationSpec
+
+    return VariationSpec(
+        percentile=args.yield_percentile,
+        vt_sigma=args.sigma,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -259,13 +277,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     technology = _TECHNOLOGIES[args.technology]()
     store = _open_store(args)
-    ring = RingOscillatorModel(
-        technology, stages=args.stages, activity=args.activity,
-        store=store,
+    spec = _variation_spec(args)
+    flow = LowVoltageDesignFlow(technology=technology, variation=spec)
+    optimizer = flow.throughput_optimizer(
+        stages=args.stages, activity=args.activity, store=store
     )
-    optimizer = FixedThroughputOptimizer(
-        ring, cycle_stages=2 * args.stages
-    )
+    ring = optimizer.ring
     target = args.delay_factor * ring.stage_delay(1.0, 0.2)
     vts = [0.04 + 0.02 * i for i in range(20)]
     if args.workers == 0:
@@ -276,7 +293,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
         tasks = [
             (technology, args.stages, args.activity, 2 * args.stages,
-             vt, target)
+             vt, target, spec)
             for vt in vts
         ]
         points = [
@@ -312,24 +329,51 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"\nOptimum: V_T = {best.vt:.3f} V, V_DD = {best.vdd:.3f} V, "
         f"E = {best.energy_per_cycle_j:.3e} J/cycle"
     )
+    if spec is not None:
+        print(
+            f"Yield: p{spec.percentile:g} delay = "
+            f"{best.delay_percentile_s:.3e} s "
+            f"(sigma {spec.vt_sigma:g} V, {spec.n_samples} samples, "
+            f"seed {spec.seed}), leakage amplification "
+            f"{best.leakage_amplification:.2f}x measured / "
+            f"{best.lognormal_amplification:.2f}x lognormal"
+        )
+    inputs = {
+        "technology": args.technology,
+        "delay_factor": args.delay_factor,
+        "stages": args.stages,
+        "activity": args.activity,
+        "workers": args.workers,
+    }
+    result = {
+        "target_stage_delay_s": target,
+        "locus": [[p.vt, p.vdd, p.energy_per_cycle_j] for p in points],
+        "optimum": {
+            "vt": best.vt,
+            "vdd": best.vdd,
+            "energy_per_cycle_j": best.energy_per_cycle_j,
+        },
+    }
+    # Yield keys are added only in statistical mode so nominal runs
+    # keep their manifest digests from before this feature existed.
+    if spec is not None:
+        inputs["yield"] = {
+            "percentile": spec.percentile,
+            "vt_sigma": spec.vt_sigma,
+            "n_samples": spec.n_samples,
+            "seed": spec.seed,
+        }
+        result["optimum"]["delay_percentile_s"] = best.delay_percentile_s
+        result["optimum"]["leakage_amplification"] = (
+            best.leakage_amplification
+        )
+        result["optimum"]["lognormal_amplification"] = (
+            best.lognormal_amplification
+        )
     _record_run(
         args,
-        inputs={
-            "technology": args.technology,
-            "delay_factor": args.delay_factor,
-            "stages": args.stages,
-            "activity": args.activity,
-            "workers": args.workers,
-        },
-        result={
-            "target_stage_delay_s": target,
-            "locus": [[p.vt, p.vdd, p.energy_per_cycle_j] for p in points],
-            "optimum": {
-                "vt": best.vt,
-                "vdd": best.vdd,
-                "energy_per_cycle_j": best.energy_per_cycle_j,
-            },
-        },
+        inputs=inputs,
+        result=result,
         wall_time_s=time.perf_counter() - started,
     )
     return 0
@@ -348,9 +392,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         lambda a, b: a.merged_with(b),
         [profile_program(p, engine=engine) for p in programs],
     ).scaled_by_duty_cycle(args.duty)
+    spec = _variation_spec(args)
     tasks = [
         (name, unit, session.fga(name), session.bga(name),
-         args.vdd, args.clock)
+         args.vdd, args.clock, spec)
         for name, unit in datapath.items()
     ]
     from repro.analysis.parallel import map_items
@@ -371,19 +416,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ),
         )
     )
+    compare_inputs = {
+        "workload": list(args.workload),
+        "engine": engine,
+        "scale": args.scale,
+        "duty": args.duty,
+        "width": args.width,
+        "vectors": args.vectors,
+        "vdd": args.vdd,
+        "clock": args.clock,
+        "workers": args.workers,
+    }
+    if spec is not None:
+        compare_inputs["yield"] = {
+            "percentile": spec.percentile,
+            "vt_sigma": spec.vt_sigma,
+            "n_samples": spec.n_samples,
+            "seed": spec.seed,
+        }
     _record_run(
         args,
-        inputs={
-            "workload": list(args.workload),
-            "engine": engine,
-            "scale": args.scale,
-            "duty": args.duty,
-            "width": args.width,
-            "vectors": args.vectors,
-            "vdd": args.vdd,
-            "clock": args.clock,
-            "workers": args.workers,
-        },
+        inputs=compare_inputs,
         result={
             row[0]: {
                 "fga": row[1],
@@ -882,6 +935,28 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_yield_arguments(parser: argparse.ArgumentParser) -> None:
+    """--yield-percentile / --sigma / --samples / --seed knobs."""
+    parser.add_argument(
+        "--yield-percentile", type=float, default=None, metavar="P",
+        help="solve V_DD for the P-th percentile Monte-Carlo delay "
+        "corner instead of the nominal corner (default: off — "
+        "bit-identical nominal optimization)",
+    )
+    parser.add_argument(
+        "--sigma", type=float, default=0.03, metavar="V",
+        help="V_T standard deviation for the yield solve (default 0.03)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=300,
+        help="Monte-Carlo samples per yield solve (default 300)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="shift-vector seed for the yield solve (default 0)",
+    )
+
+
 def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     """--metrics / --metrics-json for the instrumented subcommands."""
     parser.add_argument(
@@ -943,6 +1018,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
     )
+    _add_yield_arguments(optimize)
     _add_parallel_arguments(optimize, "V_T locus")
     _add_store_argument(optimize)
     _add_record_arguments(optimize)
@@ -964,6 +1040,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--vectors", type=int, default=80)
     compare.add_argument("--vdd", type=float, default=1.0)
     compare.add_argument("--clock", type=float, default=1e6)
+    _add_yield_arguments(compare)
     _add_parallel_arguments(compare, "unit evaluations")
     _add_record_arguments(compare)
     _add_metrics_arguments(compare)

@@ -98,6 +98,12 @@ class LowVoltageDesignFlow:
         ``"fast"`` (default) profiles workloads through the decoded
         counter engine; ``"reference"`` steps the hook-instrumented
         interpreter.  Both produce identical profiles.
+    variation:
+        Optional :class:`repro.power.optimizer.VariationSpec`; when
+        set, throughput optimizers built by this flow solve supplies
+        for the p-th percentile Monte-Carlo delay corner instead of
+        the nominal corner.  ``None`` (default) keeps every optimizer
+        bit-identical to the nominal flow.
     """
 
     def __init__(
@@ -106,7 +112,10 @@ class LowVoltageDesignFlow:
         vdd: float = 1.0,
         clock_hz: float = 1e6,
         profile_engine: str = "fast",
+        variation: Optional["VariationSpec"] = None,
     ):
+        from repro.power.optimizer import VariationSpec
+
         if vdd <= 0.0 or clock_hz <= 0.0:
             raise AnalysisError("vdd and clock must be positive")
         if profile_engine not in ("fast", "reference"):
@@ -114,12 +123,17 @@ class LowVoltageDesignFlow:
                 f"unknown profile engine {profile_engine!r}; "
                 "use 'fast' or 'reference'"
             )
+        if variation is not None and not isinstance(variation, VariationSpec):
+            raise AnalysisError(
+                "variation must be a VariationSpec or None"
+            )
         self.technology = (
             soias_technology() if technology is None else technology
         )
         self.vdd = vdd
         self.clock_hz = clock_hz
         self.profile_engine = profile_engine
+        self.variation = variation
 
     @property
     def t_cycle_s(self) -> float:
@@ -217,6 +231,59 @@ class LowVoltageDesignFlow:
                 store=store,
                 refine_levels=refine_levels,
                 refine_band=refine_band,
+            )
+
+    # ------------------------------------------------------------------
+    # Fixed-throughput (V_DD, V_T) optimization
+    # ------------------------------------------------------------------
+    def throughput_optimizer(
+        self,
+        stages: int = 101,
+        activity: float = 1.0,
+        cycle_stages: Optional[int] = None,
+        store=None,
+    ) -> "FixedThroughputOptimizer":
+        """Figs. 3-4 optimizer on this flow's technology and variation.
+
+        The returned optimizer carries the flow's ``variation`` spec:
+        with one configured, ``locus_point``/``sweep``/``optimum``
+        solve yield-constrained supplies; without, they reproduce the
+        nominal optimizer bit-for-bit.  ``cycle_stages`` defaults to
+        ``2 * stages`` (one ring period per cycle).
+        """
+        from repro.power.optimizer import (
+            FixedThroughputOptimizer,
+            RingOscillatorModel,
+        )
+
+        ring = RingOscillatorModel(
+            self.technology, stages=stages, activity=activity, store=store
+        )
+        return FixedThroughputOptimizer(
+            ring,
+            cycle_stages=2 * stages if cycle_stages is None else cycle_stages,
+            variation=self.variation,
+        )
+
+    def optimize_throughput(
+        self,
+        target_stage_delay_s: float,
+        stages: int = 101,
+        activity: float = 1.0,
+        cycle_stages: Optional[int] = None,
+        vt_bounds: Sequence[float] = (0.01, 0.6),
+        store=None,
+    ) -> "OperatingPoint":
+        """Minimum-energy (V_DD, V_T) point at a fixed stage delay."""
+        optimizer = self.throughput_optimizer(
+            stages=stages,
+            activity=activity,
+            cycle_stages=cycle_stages,
+            store=store,
+        )
+        with obs.span("flow.optimize"):
+            return optimizer.optimum(
+                target_stage_delay_s, vt_bounds=vt_bounds
             )
 
     # ------------------------------------------------------------------

@@ -40,6 +40,8 @@ from repro.power.optimizer import (
     FixedThroughputOptimizer,
     ModuleThroughputOptimizer,
     OperatingPoint,
+    StatisticalOperatingPoint,
+    VariationSpec,
 )
 
 __all__ = [
@@ -67,4 +69,6 @@ __all__ = [
     "FixedThroughputOptimizer",
     "ModuleThroughputOptimizer",
     "OperatingPoint",
+    "StatisticalOperatingPoint",
+    "VariationSpec",
 ]

@@ -11,10 +11,19 @@ knobs are the supply and the threshold:
   pair (Fig. 4).  Because lowering V_T lets V_DD drop (quadratic
   switching win) while raising leakage (exponential loss), the energy
   is U-shaped in V_T with an optimum typically well below 1 V.
+
+Both optimizers also support a **statistical mode** driven by a
+:class:`VariationSpec`: instead of the nominal corner, the V_DD solve
+targets the p-th percentile of a Monte-Carlo delay distribution
+(yield-constrained timing) and the energy model prices leakage at the
+sampled mean — the lognormal mean-shift that makes real silicon leak
+more than its nominal corner says.  With ``variation=None`` the
+optimizers are bit-identical to the purely nominal behavior.
 """
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -27,6 +36,8 @@ from repro.tech.characterize import CellCharacterizer
 
 __all__ = [
     "OperatingPoint",
+    "StatisticalOperatingPoint",
+    "VariationSpec",
     "RingOscillatorModel",
     "FixedThroughputOptimizer",
     "ModuleThroughputOptimizer",
@@ -76,7 +87,70 @@ def _bracketed_golden_minimum(energy, low, high, tolerance):
             d = a + _GOLDEN * (b - a)
             fd = energy(d)
     candidates = [(coarse[best], grid[best]), (fc, c), (fd, d)]
-    return min(candidates)[1]
+    # Ties (degenerate brackets, plateaus) break to the lowest V_T —
+    # explicitly, rather than leaning on tuple comparison reaching the
+    # V_T element.
+    return min(candidates, key=lambda pair: (pair[0], pair[1]))[1]
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100].
+
+    Replicates :meth:`repro.analysis.variation.Distribution.percentile`
+    exactly (same order statistics, same interpolation) so yield solves
+    agree bit-for-bit with the Monte-Carlo analyzer's view of the same
+    samples.
+    """
+    ordered = sorted(values)
+    position = p / 100.0 * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Statistical corner description for yield-constrained optimization.
+
+    Parameters
+    ----------
+    percentile:
+        Timing yield target: the V_DD solve constrains the p-th
+        percentile of the Monte-Carlo delay distribution (99 = 99 % of
+        sampled corners meet timing).
+    vt_sigma:
+        Gaussian V_T spread [V], applied as a common shift to both
+        device polarities per sample (die-to-die variation).
+    n_samples:
+        Monte-Carlo samples per solve.  The shift vector is drawn once
+        per solve and reused across every probed V_DD, which keeps the
+        percentile delay monotone in V_DD (bisection stays valid).
+    seed:
+        Deterministic sampling seed; the draw matches
+        :meth:`repro.analysis.variation.MonteCarloAnalyzer.
+        sample_vt_shifts` for the same (sigma, samples, seed).
+    """
+
+    percentile: float = 99.0
+    vt_sigma: float = 0.03
+    n_samples: int = 300
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.percentile <= 100.0:
+            raise OptimizationError("percentile must be in [0, 100]")
+        if self.vt_sigma < 0.0:
+            raise OptimizationError("vt_sigma must be >= 0")
+        if self.n_samples < 2:
+            raise OptimizationError("need at least two samples")
+
+    def draw_shifts(self) -> List[float]:
+        """The deterministic Gaussian V_T shift vector for this spec."""
+        rng = random.Random(self.seed)
+        return [
+            rng.gauss(0.0, self.vt_sigma) for _ in range(self.n_samples)
+        ]
 
 
 @dataclass(frozen=True)
@@ -96,6 +170,27 @@ class OperatingPoint:
         if self.energy_per_cycle_j <= 0.0:
             return 0.0
         return self.leakage_energy_j / self.energy_per_cycle_j
+
+
+@dataclass(frozen=True)
+class StatisticalOperatingPoint(OperatingPoint):
+    """A yield-constrained operating point (statistical mode).
+
+    Extends the nominal :class:`OperatingPoint` with the Monte-Carlo
+    quantities the solve was driven by: ``stage_delay_s`` remains the
+    *nominal* delay at the solved supply, ``delay_percentile_s`` is
+    the p-th percentile delay the yield constraint pinned to the
+    target, and ``leakage_energy_j`` already prices the *mean* sampled
+    leakage.  ``leakage_amplification`` (sampled mean over nominal) is
+    cross-checkable against ``lognormal_amplification``, the
+    closed-form :func:`repro.analysis.variation.
+    lognormal_leakage_amplification` prediction for the same sigma.
+    """
+
+    percentile: float = 99.0
+    delay_percentile_s: float = 0.0
+    leakage_amplification: float = 1.0
+    lognormal_amplification: float = 1.0
 
 
 class RingOscillatorModel:
@@ -225,9 +320,18 @@ class RingOscillatorModel:
         )
 
     def stage_delay(self, vdd: float, vt: float) -> float:
-        """Fanout-1 inverter delay at a corner [s]."""
+        """Fanout-1 inverter delay at a corner [s].
+
+        Every call is exactly one characterizer fanout-delay query, and
+        ``optimizer.delay_probes`` counts it here — at the query site —
+        so the counter matches the actual characterizer traffic even
+        for probes issued outside a solve (``energy_per_cycle``'s
+        re-probe, ``locus_point``, direct calls).
+        """
         if vdd <= 0.0:
             raise OptimizationError("vdd must be positive")
+        if obs.ENABLED:
+            obs.incr("optimizer.delay_probes")
         return self._corner(vt).fanout_delay(self._inverter, vdd, fanout=1)
 
     def oscillation_period(self, vdd: float, vt: float) -> float:
@@ -266,15 +370,12 @@ class RingOscillatorModel:
         if obs.ENABLED:
             obs.incr("optimizer.vdd_solves")
         if self.stage_delay(high, vt) > target_stage_delay_s:
-            if obs.ENABLED:
-                obs.incr("optimizer.delay_probes")
             raise OptimizationError(
                 f"target {target_stage_delay_s:.3e} s unreachable: still "
                 f"slower at V_DD = {high} V (V_T = {vt} V)"
             )
         if self.stage_delay(low, vt) < target_stage_delay_s:
             if obs.ENABLED:
-                obs.incr("optimizer.delay_probes", 2)
                 obs.incr("optimizer.low_bound_clamps")
             return low
         for _ in range(_BISECTION_STEPS):
@@ -283,10 +384,9 @@ class RingOscillatorModel:
                 low = mid
             else:
                 high = mid
-        # Probe counting is batched per solve (2 bracket checks + the
-        # bisection steps) to keep the per-probe hot path check-free.
-        if obs.ENABLED:
-            obs.incr("optimizer.delay_probes", 2 + _BISECTION_STEPS)
+        # Probes are counted in stage_delay itself, so the counter is
+        # exact: one increment per characterizer query, bracket checks
+        # and bisection steps included.
         return 0.5 * (low + high)
 
     def energy_per_cycle(
@@ -320,6 +420,155 @@ class RingOscillatorModel:
             leakage_energy_j=leakage,
         )
 
+    # ------------------------------------------------------------------
+    # Statistical (yield-constrained) mode
+    # ------------------------------------------------------------------
+    def _stage_delay_percentile(
+        self, vdd: float, vt: float, shifts: Sequence[float],
+        percentile: float,
+    ) -> float:
+        """p-th percentile of the batched stage-delay distribution [s].
+
+        One :class:`~repro.tech.batch.VariationPlan` per probed
+        (V_T, V_DD) corner; the whole shift vector is evaluated through
+        its tight loop per probe.  A plan delay at shift 0 is
+        bit-identical to :meth:`stage_delay` at the same corner.
+        """
+        corner = self._corner(vt)
+        load = corner._input_capacitance(self._inverter, vdd)
+        plan = corner.plan_variation(self._inverter, vdd, load)
+        if obs.ENABLED:
+            obs.incr("optimizer.mc_probes")
+        return _percentile(plan.delays(shifts), percentile)
+
+    def solve_vdd_for_yield(
+        self,
+        target_stage_delay_s: float,
+        vt: float,
+        percentile: float = 99.0,
+        vt_sigma: float = 0.03,
+        n_samples: int = 300,
+        seed: int = 0,
+        vdd_bounds: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Supply at which the p-th percentile delay meets the target.
+
+        The yield-constrained twin of :meth:`solve_vdd_for_delay`: the
+        shift vector is drawn **once per solve** and reused across
+        every probed V_DD, so each sample's delay — and therefore every
+        order statistic of the distribution — decreases monotonically
+        with V_DD and bisection applies.  Clamping at the low bound
+        keeps the nominal solve's semantics: the p-th percentile corner
+        is already fast enough at the minimum supply.
+
+        Raises
+        ------
+        OptimizationError
+            If the p-th percentile corner still misses the target at
+            the high V_DD bound.
+        """
+        if target_stage_delay_s <= 0.0:
+            raise OptimizationError("target delay must be positive")
+        spec = VariationSpec(
+            percentile=percentile, vt_sigma=vt_sigma,
+            n_samples=n_samples, seed=seed,
+        )
+        if vdd_bounds is None:
+            vdd_bounds = (self.technology.min_vdd, self.technology.max_vdd)
+        low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
+        if not 0.0 < low < high:
+            raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if obs.ENABLED:
+            obs.incr("optimizer.yield_solves")
+        shifts = spec.draw_shifts()
+        if (
+            self._stage_delay_percentile(high, vt, shifts, percentile)
+            > target_stage_delay_s
+        ):
+            raise OptimizationError(
+                f"p{percentile:g} target {target_stage_delay_s:.3e} s "
+                f"unreachable: still slower at V_DD = {high} V "
+                f"(V_T = {vt} V, sigma = {vt_sigma} V)"
+            )
+        if (
+            self._stage_delay_percentile(low, vt, shifts, percentile)
+            < target_stage_delay_s
+        ):
+            if obs.ENABLED:
+                obs.incr("optimizer.low_bound_clamps")
+            return low
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (low + high)
+            if (
+                self._stage_delay_percentile(mid, vt, shifts, percentile)
+                > target_stage_delay_s
+            ):
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def statistical_energy_per_cycle(
+        self,
+        vdd: float,
+        vt: float,
+        cycle_time_s: float,
+        variation: VariationSpec,
+    ) -> StatisticalOperatingPoint:
+        """Cycle energy with leakage priced at the Monte-Carlo mean [J].
+
+        Switching energy is shift-independent (C and V_DD do not vary
+        here), but leakage is exponential in V_T, so the sampled mean
+        exceeds the nominal corner's leakage — the lognormal mean
+        amplification.  The measured amplification is reported next to
+        the closed-form :func:`repro.analysis.variation.
+        lognormal_leakage_amplification` prediction as a cross-check
+        (they agree up to stack-effect and sampling corrections).
+        """
+        from repro.analysis.variation import lognormal_leakage_amplification
+
+        if cycle_time_s <= 0.0:
+            raise OptimizationError("cycle time must be positive")
+        shifts = variation.draw_shifts()
+        corner = self._corner(vt)
+        load = self._inverter.input_capacitance(corner.technology, vdd)
+        switching_per_stage = corner.energy_per_transition(
+            self._inverter, vdd, load
+        )
+        switching = self.stages * self.activity * switching_per_stage
+        leakage_plan = corner.plan_variation(self._inverter, vdd, 0.0)
+        if obs.ENABLED:
+            obs.incr("optimizer.mc_probes")
+        leakages = leakage_plan.leakages(shifts)
+        mean_leakage = sum(leakages) / len(leakages)
+        nominal_leakage = corner.leakage_current(self._inverter, vdd)
+        amplification = (
+            mean_leakage / nominal_leakage if nominal_leakage > 0.0 else 1.0
+        )
+        predicted = lognormal_leakage_amplification(
+            variation.vt_sigma,
+            self.technology.transistors.nmos.subthreshold_swing,
+        )
+        if obs.ENABLED:
+            obs.gauge("optimizer.leakage_amplification", amplification)
+            obs.gauge("optimizer.leakage_amplification_lognormal", predicted)
+        leakage = self.stages * mean_leakage * vdd * cycle_time_s
+        delay_percentile = self._stage_delay_percentile(
+            vdd, vt, shifts, variation.percentile
+        )
+        return StatisticalOperatingPoint(
+            vt=vt,
+            vdd=vdd,
+            stage_delay_s=self.stage_delay(vdd, vt),
+            energy_per_cycle_j=switching + leakage,
+            switching_energy_j=switching,
+            leakage_energy_j=leakage,
+            percentile=variation.percentile,
+            delay_percentile_s=delay_percentile,
+            leakage_amplification=amplification,
+            lognormal_amplification=predicted,
+        )
+
 
 class FixedThroughputOptimizer:
     """Finds energy-optimal (V_DD, V_T) at a fixed performance.
@@ -328,26 +577,54 @@ class FixedThroughputOptimizer:
     ring-oscillator frequency, the paper's two "MHz" curve families in
     Fig. 4); the cycle time against which leakage integrates is the
     operation period ``cycle_stages * stage_delay``.
+
+    With a :class:`VariationSpec` the whole locus turns statistical:
+    each V_DD is solved so the p-th percentile Monte-Carlo delay meets
+    the target (:meth:`RingOscillatorModel.solve_vdd_for_yield`) and
+    the energy prices leakage at the sampled mean.  ``variation=None``
+    (the default) reproduces the nominal optimizer bit-for-bit.
     """
 
     def __init__(
         self,
         ring: RingOscillatorModel,
         cycle_stages: int = 20,
+        variation: Optional[VariationSpec] = None,
     ):
         if cycle_stages < 1:
             raise OptimizationError("cycle_stages must be >= 1")
+        if variation is not None and not isinstance(variation, VariationSpec):
+            raise OptimizationError(
+                "variation must be a VariationSpec or None"
+            )
         self.ring = ring
         self.cycle_stages = cycle_stages
+        self.variation = variation
 
     def locus_point(
         self, vt: float, target_stage_delay_s: float
     ) -> OperatingPoint:
-        """The fixed-delay operating point at one V_T."""
-        vdd = self.ring.solve_vdd_for_delay(target_stage_delay_s, vt)
+        """The fixed-delay operating point at one V_T.
+
+        Statistical mode (``variation`` set on the optimizer) returns a
+        :class:`StatisticalOperatingPoint` at the yield-constrained
+        supply instead of the nominal one.
+        """
+        spec = self.variation
+        if spec is None:
+            vdd = self.ring.solve_vdd_for_delay(target_stage_delay_s, vt)
+            cycle = self.cycle_stages * target_stage_delay_s
+            return self.ring.energy_per_cycle(vdd, vt, cycle)
+        vdd = self.ring.solve_vdd_for_yield(
+            target_stage_delay_s,
+            vt,
+            percentile=spec.percentile,
+            vt_sigma=spec.vt_sigma,
+            n_samples=spec.n_samples,
+            seed=spec.seed,
+        )
         cycle = self.cycle_stages * target_stage_delay_s
-        point = self.ring.energy_per_cycle(vdd, vt, cycle)
-        return point
+        return self.ring.statistical_energy_per_cycle(vdd, vt, cycle, spec)
 
     def sweep(
         self,
@@ -427,6 +704,10 @@ class ModuleThroughputOptimizer:
         Simulated activity at a representative stimulus (the alpha
         values are treated as voltage-independent; the capacitances
         are not).
+    variation:
+        Optional :class:`VariationSpec` switching the optimizer into
+        statistical mode (yield-constrained V_DD solves, mean-leakage
+        energy pricing); ``None`` keeps the nominal behavior exactly.
     """
 
     def __init__(
@@ -435,13 +716,19 @@ class ModuleThroughputOptimizer:
         technology: Technology,
         activity_report,
         wire_length_per_fanout_um: float = 5.0,
+        variation: Optional[VariationSpec] = None,
     ):
         from repro.circuits.timing import StaticTimingAnalyzer
         from repro.power.estimator import PowerEstimator
 
+        if variation is not None and not isinstance(variation, VariationSpec):
+            raise OptimizationError(
+                "variation must be a VariationSpec or None"
+            )
         self.netlist = netlist
         self.technology = technology
         self.report = activity_report
+        self.variation = variation
         self._analyzer = StaticTimingAnalyzer(
             technology, wire_length_per_fanout_um
         )
@@ -456,10 +743,14 @@ class ModuleThroughputOptimizer:
 
     def delay(self, vdd: float, vt: float) -> float:
         """Critical-path delay at an absolute-V_T corner [s]."""
+        return self._delay_at_shift(vdd, self._shift(vt))
+
+    def _delay_at_shift(self, vdd: float, vt_shift: float) -> float:
+        """STA delay at an explicit global shift (probe-counted)."""
         if obs.ENABLED:
             obs.incr("optimizer.delay_probes")
         return self._analyzer.analyze(
-            self.netlist, vdd, vt_shift=self._shift(vt)
+            self.netlist, vdd, vt_shift=vt_shift
         ).delay_s
 
     def solve_vdd_for_delay(
@@ -501,6 +792,96 @@ class ModuleThroughputOptimizer:
                 high = mid
         return 0.5 * (low + high)
 
+    def _delay_percentile(
+        self,
+        vdd: float,
+        vt: float,
+        ordered_shifts: Sequence[float],
+        percentile: float,
+    ) -> float:
+        """p-th percentile of the sampled critical-path delay [s].
+
+        The STA delay is a max over per-path delays, each monotone
+        nondecreasing in the global V_T shift, so the sorted delay
+        vector equals the delay evaluated at the *sorted shift vector*.
+        The percentile therefore needs only the two bracketing shift
+        order statistics — two STA runs per probe instead of
+        ``n_samples`` — and is exactly equal to the full-vector
+        percentile it shortcuts.
+        """
+        if obs.ENABLED:
+            obs.incr("optimizer.mc_probes")
+        position = percentile / 100.0 * (len(ordered_shifts) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered_shifts) - 1)
+        fraction = position - low
+        base = self._shift(vt)
+        delay_low = self._delay_at_shift(vdd, base + ordered_shifts[low])
+        if high == low or fraction == 0.0:
+            return delay_low
+        delay_high = self._delay_at_shift(vdd, base + ordered_shifts[high])
+        return delay_low * (1.0 - fraction) + delay_high * fraction
+
+    def solve_vdd_for_yield(
+        self,
+        target_delay_s: float,
+        vt: float,
+        percentile: float = 99.0,
+        vt_sigma: float = 0.03,
+        n_samples: int = 300,
+        seed: int = 0,
+        vdd_bounds: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Supply at which the p-th percentile delay meets the target.
+
+        The module-level twin of
+        :meth:`RingOscillatorModel.solve_vdd_for_yield`: one shift
+        vector per solve, reused across probed supplies, so every order
+        statistic of the delay distribution is monotone decreasing in
+        V_DD and bisection applies.  Low-bound clamp and unreachable
+        semantics mirror :meth:`solve_vdd_for_delay`.
+        """
+        if target_delay_s <= 0.0:
+            raise OptimizationError("target delay must be positive")
+        spec = VariationSpec(
+            percentile=percentile, vt_sigma=vt_sigma,
+            n_samples=n_samples, seed=seed,
+        )
+        if vdd_bounds is None:
+            vdd_bounds = (self.technology.min_vdd, self.technology.max_vdd)
+        low, high = float(vdd_bounds[0]), float(vdd_bounds[1])
+        if not 0.0 < low < high:
+            raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
+        if obs.ENABLED:
+            obs.incr("optimizer.yield_solves")
+        ordered = sorted(spec.draw_shifts())
+        if (
+            self._delay_percentile(high, vt, ordered, percentile)
+            > target_delay_s
+        ):
+            raise OptimizationError(
+                f"p{percentile:g} target {target_delay_s:.3e} s "
+                f"unreachable: still slower at V_DD = {high} V "
+                f"(V_T = {vt} V, sigma = {vt_sigma} V)"
+            )
+        if (
+            self._delay_percentile(low, vt, ordered, percentile)
+            < target_delay_s
+        ):
+            if obs.ENABLED:
+                obs.incr("optimizer.low_bound_clamps")
+            return low
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (low + high)
+            if (
+                self._delay_percentile(mid, vt, ordered, percentile)
+                > target_delay_s
+            ):
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
     def energy_per_operation(
         self, vdd: float, vt: float, operation_time_s: float
     ) -> OperatingPoint:
@@ -524,6 +905,66 @@ class ModuleThroughputOptimizer:
             leakage_energy_j=leakage,
         )
 
+    def statistical_energy_per_operation(
+        self,
+        vdd: float,
+        vt: float,
+        operation_time_s: float,
+        variation: VariationSpec,
+    ) -> StatisticalOperatingPoint:
+        """Operation energy with leakage priced at the sampled mean [J].
+
+        Leakage current is averaged over the full shift vector (the
+        lognormal amplification the paper's subthreshold model implies)
+        and cross-checked against the closed-form
+        ``lognormal_leakage_amplification`` prediction; both ratios are
+        reported on the returned point and as obs gauges.
+        """
+        from repro.analysis.variation import (
+            lognormal_leakage_amplification,
+        )
+
+        if operation_time_s <= 0.0:
+            raise OptimizationError("operation time must be positive")
+        shifts = variation.draw_shifts()
+        base = self._shift(vt)
+        switching = self.report.switching_energy_per_cycle(
+            self.netlist, self.technology, vdd, self._wire
+        )
+        currents = [
+            self._estimator.leakage_current(vdd, base + s) for s in shifts
+        ]
+        mean_leakage = sum(currents) / len(currents)
+        nominal_leakage = self._estimator.leakage_current(vdd, base)
+        amplification = (
+            mean_leakage / nominal_leakage if nominal_leakage > 0.0 else 1.0
+        )
+        predicted = lognormal_leakage_amplification(
+            variation.vt_sigma,
+            self.technology.transistors.nmos.subthreshold_swing,
+        )
+        if obs.ENABLED:
+            obs.gauge("optimizer.leakage_amplification", amplification)
+            obs.gauge(
+                "optimizer.leakage_amplification_lognormal", predicted
+            )
+        leakage = mean_leakage * vdd * operation_time_s
+        delay_percentile = self._delay_percentile(
+            vdd, vt, sorted(shifts), variation.percentile
+        )
+        return StatisticalOperatingPoint(
+            vt=vt,
+            vdd=vdd,
+            stage_delay_s=self.delay(vdd, vt),
+            energy_per_cycle_j=switching + leakage,
+            switching_energy_j=switching,
+            leakage_energy_j=leakage,
+            percentile=variation.percentile,
+            delay_percentile_s=delay_percentile,
+            leakage_amplification=amplification,
+            lognormal_amplification=predicted,
+        )
+
     def locus_point(
         self, vt: float, target_delay_s: float, utilization: float = 1.0
     ) -> OperatingPoint:
@@ -531,13 +972,28 @@ class ModuleThroughputOptimizer:
 
         ``utilization`` < 1 means the module is clocked slower than its
         critical path allows (operation period = delay / utilization),
-        lengthening the leakage integration window.
+        lengthening the leakage integration window.  With a
+        ``variation`` spec the supply is solved for the p-th percentile
+        corner and the energy uses the statistical leakage mean.
         """
         if not 0.0 < utilization <= 1.0:
             raise OptimizationError("utilization must be in (0, 1]")
-        vdd = self.solve_vdd_for_delay(target_delay_s, vt)
-        return self.energy_per_operation(
-            vdd, vt, target_delay_s / utilization
+        spec = self.variation
+        if spec is None:
+            vdd = self.solve_vdd_for_delay(target_delay_s, vt)
+            return self.energy_per_operation(
+                vdd, vt, target_delay_s / utilization
+            )
+        vdd = self.solve_vdd_for_yield(
+            target_delay_s,
+            vt,
+            percentile=spec.percentile,
+            vt_sigma=spec.vt_sigma,
+            n_samples=spec.n_samples,
+            seed=spec.seed,
+        )
+        return self.statistical_energy_per_operation(
+            vdd, vt, target_delay_s / utilization, spec
         )
 
     def sweep(
@@ -545,8 +1001,16 @@ class ModuleThroughputOptimizer:
         vts: Sequence[float],
         target_delay_s: float,
         utilization: float = 1.0,
+        skip_infeasible: bool = True,
     ) -> List[OperatingPoint]:
-        """Fixed-throughput locus over a V_T list (Figs. 3-4 shape)."""
+        """Fixed-throughput locus over a V_T list (Figs. 3-4 shape).
+
+        ``skip_infeasible`` mirrors
+        :meth:`FixedThroughputOptimizer.sweep`: by default infeasible
+        V_T corners are dropped from the locus, but passing ``False``
+        lets configuration errors (bad utilization, unreachable
+        targets) surface instead of being silently swallowed.
+        """
         if not vts:
             raise OptimizationError("empty V_T sweep")
         points = []
@@ -557,7 +1021,8 @@ class ModuleThroughputOptimizer:
                         self.locus_point(vt, target_delay_s, utilization)
                     )
                 except OptimizationError:
-                    continue
+                    if not skip_infeasible:
+                        raise
         if not points:
             raise OptimizationError(
                 "no feasible V_T in the sweep for this delay target"

@@ -230,3 +230,88 @@ class TestFixedThroughputSweep:
     def test_infeasible_optimum_rejected(self, optimizer):
         with pytest.raises(OptimizationError, match="infeasible"):
             optimizer.optimum(1e-18)
+
+
+class TestGoldenTieBreaking:
+    def test_flat_plateau_ties_break_to_lowest_vt(self):
+        from repro.power.optimizer import _bracketed_golden_minimum
+
+        # Every candidate has the same energy: the explicit key must
+        # resolve the tie to the lowest V_T, not to float luck in
+        # tuple comparison.
+        assert _bracketed_golden_minimum(lambda vt: 1.0, 0.1, 0.5, 1e-3) == 0.1
+
+    def test_degenerate_bracket_on_entry(self):
+        from repro.power.optimizer import _bracketed_golden_minimum
+
+        # b - a <= tolerance before the first golden iteration: the
+        # refinement loop never runs and only the coarse-scan
+        # candidates compete.
+        result = _bracketed_golden_minimum(
+            lambda vt: (vt - 0.05) ** 2, 0.0, 1e-4, 1e-3
+        )
+        assert 0.0 <= result <= 1e-4
+        # A plateau inside the degenerate bracket still resolves to
+        # the lowest V_T.
+        assert (
+            _bracketed_golden_minimum(lambda vt: 7.0, 0.3, 0.3005, 1e-3)
+            == 0.3
+        )
+
+    def test_degenerate_vt_bounds_through_optimum(self, optimizer, target):
+        # End-to-end: bounds tighter than the tolerance-scaled bracket
+        # still produce a feasible point inside them.
+        best = optimizer.optimum(target, vt_bounds=(0.2, 0.201))
+        assert 0.2 <= best.vt <= 0.201
+        assert best.energy_per_cycle_j > 0.0
+
+
+class TestModuleSweepSkipInfeasible:
+    @pytest.fixture(scope="class")
+    def small_module_optimizer(self):
+        from repro.circuits.builders import ripple_carry_adder
+        from repro.power.optimizer import ModuleThroughputOptimizer
+        from repro.switchsim.simulator import SwitchLevelSimulator
+        from repro.switchsim.stimulus import random_bus_vectors
+
+        technology = soi_low_vt()
+        adder = ripple_carry_adder(4)
+        report = SwitchLevelSimulator(adder, technology, 1.0).run_vectors(
+            random_bus_vectors({"a": 4, "b": 4}, 30, seed=0)
+        )
+        return ModuleThroughputOptimizer(adder, technology, report)
+
+    @pytest.fixture(scope="class")
+    def small_module_target(self, small_module_optimizer):
+        base_vt = (
+            small_module_optimizer.technology.transistors.nmos.vt0
+        )
+        return 3.0 * small_module_optimizer.delay(1.0, base_vt)
+
+    def test_config_errors_surface(
+        self, small_module_optimizer, small_module_target
+    ):
+        # Regression: the bare ``continue`` used to swallow *every*
+        # OptimizationError, so a bad utilization surfaced only as a
+        # misleading "no feasible V_T in the sweep".
+        with pytest.raises(OptimizationError, match="utilization"):
+            small_module_optimizer.sweep(
+                [0.1, 0.2],
+                small_module_target,
+                utilization=0.0,
+                skip_infeasible=False,
+            )
+
+    def test_unreachable_target_surfaces(self, small_module_optimizer):
+        with pytest.raises(OptimizationError, match="unreachable"):
+            small_module_optimizer.sweep(
+                [0.25], 1e-18, skip_infeasible=False
+            )
+
+    def test_default_still_skips_infeasible(
+        self, small_module_optimizer, small_module_target
+    ):
+        points = small_module_optimizer.sweep(
+            [0.25], small_module_target
+        )
+        assert len(points) == 1

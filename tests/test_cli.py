@@ -153,6 +153,85 @@ class TestOptimizeCommand:
         output = capsys.readouterr().out
         assert "Optimum" in output
         assert "V_T" in output
+        assert "Yield" not in output
+
+    def test_yield_mode_reports_percentile_line(self, capsys):
+        code = main(
+            ["optimize", "--delay-factor", "4", "--stages", "11",
+             "--yield-percentile", "99", "--sigma", "0.03",
+             "--samples", "24"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Optimum" in output
+        assert "p99 delay" in output
+        assert "leakage amplification" in output
+
+    def test_yield_mode_raises_supply_over_nominal(self, capsys):
+        base = ["optimize", "--delay-factor", "4", "--stages", "11"]
+        assert main(base) == 0
+        nominal = capsys.readouterr().out
+        assert main(
+            base + ["--yield-percentile", "99", "--samples", "24"]
+        ) == 0
+        statistical = capsys.readouterr().out
+
+        def optimum_vdd(output):
+            return float(
+                re.search(r"V_DD = ([0-9.]+) V", output).group(1)
+            )
+
+        assert optimum_vdd(statistical) > optimum_vdd(nominal)
+
+    def test_yield_flags_parse(self):
+        args = build_parser().parse_args(
+            ["optimize", "--yield-percentile", "95", "--sigma", "0.05",
+             "--samples", "64", "--seed", "9"]
+        )
+        assert args.yield_percentile == 95.0
+        assert args.sigma == 0.05
+        assert args.samples == 64
+        assert args.seed == 9
+        # Off by default: nominal bit-identical behavior.
+        assert (
+            build_parser()
+            .parse_args(["optimize"])
+            .yield_percentile
+            is None
+        )
+
+    def test_compare_accepts_yield_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--yield-percentile", "99", "--samples", "32"]
+        )
+        assert args.yield_percentile == 99.0
+        assert args.samples == 32
+
+    def test_yield_record_includes_spec(self, tmp_path, capsys):
+        root = str(tmp_path / "runs")
+        code = main(
+            ["optimize", "--delay-factor", "4", "--stages", "11",
+             "--yield-percentile", "99", "--samples", "24",
+             "--record", "--runs-root", root]
+        )
+        assert code == 0
+        run_id = _recorded_run_id(capsys.readouterr().out)
+        assert main(["runs", "show", run_id, "--runs-root", root]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["inputs"]["yield"]["percentile"] == 99.0
+        assert manifest["inputs"]["yield"]["n_samples"] == 24
+
+    def test_nominal_record_has_no_yield_keys(self, tmp_path, capsys):
+        root = str(tmp_path / "runs")
+        code = main(
+            ["optimize", "--delay-factor", "4", "--stages", "11",
+             "--record", "--runs-root", root]
+        )
+        assert code == 0
+        run_id = _recorded_run_id(capsys.readouterr().out)
+        assert main(["runs", "show", run_id, "--runs-root", root]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert "yield" not in manifest["inputs"]
 
 
 class TestCompareCommand:
@@ -422,6 +501,17 @@ class TestRecordedStoreRun:
 class TestParallelCliPaths:
     def test_optimize_parallel_matches_serial(self, capsys):
         base = ["optimize", "--delay-factor", "4", "--stages", "11"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_optimize_yield_parallel_matches_serial(self, capsys):
+        base = [
+            "optimize", "--delay-factor", "4", "--stages", "11",
+            "--yield-percentile", "95", "--samples", "24",
+        ]
         assert main(base) == 0
         serial = capsys.readouterr().out
         assert main(base + ["--workers", "2"]) == 0

@@ -228,6 +228,56 @@ class TestOptimizerInstrumentation:
         assert vdd == pytest.approx(soi_low_vt().min_vdd)
         assert counters["optimizer.low_bound_clamps"] == 1
 
+    def test_delay_probes_match_characterizer_queries(self):
+        # Regression: probes used to be counted inside the solve's
+        # batched accounting, so energy_per_cycle / locus_point stage
+        # delays escaped the count.  Counting at the query site makes
+        # the invariant exact: every stage_delay is exactly one
+        # "fanout"-family memo access on the characterizer.
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        optimizer = FixedThroughputOptimizer(ring, cycle_stages=22)
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        with obs.enabled_scope():
+            optimizer.sweep([0.1, 0.2, 0.3], target)
+            optimizer.optimum(target, vt_bounds=(0.05, 0.45))
+            counters = obs.snapshot()["counters"]
+        fanout_queries = counters.get(
+            "characterizer.hits.fanout", 0
+        ) + counters.get("characterizer.misses.fanout", 0)
+        assert counters["optimizer.delay_probes"] == fanout_queries
+
+    def test_yield_solve_counters(self):
+        from repro.power.optimizer import VariationSpec
+
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        optimizer = FixedThroughputOptimizer(
+            ring, cycle_stages=22,
+            variation=VariationSpec(n_samples=20),
+        )
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        with obs.enabled_scope():
+            optimizer.locus_point(0.2, target)
+            snap = obs.snapshot()
+        counters = snap["counters"]
+        assert counters["optimizer.yield_solves"] == 1
+        # Bracket checks + bisection + the energy point's percentile.
+        assert counters["optimizer.mc_probes"] > 2
+        assert snap["gauges"]["optimizer.leakage_amplification"] > 1.0
+        assert (
+            snap["gauges"]["optimizer.leakage_amplification_lognormal"]
+            > 1.0
+        )
+
+    def test_nominal_solve_records_no_yield_counters(self):
+        ring = RingOscillatorModel(soi_low_vt(), stages=11)
+        optimizer = FixedThroughputOptimizer(ring, cycle_stages=22)
+        target = 4.0 * ring.stage_delay(1.0, 0.2)
+        with obs.enabled_scope():
+            optimizer.locus_point(0.2, target)
+            counters = obs.snapshot()["counters"]
+        assert "optimizer.yield_solves" not in counters
+        assert "optimizer.mc_probes" not in counters
+
 
 class TestMachineInstrumentation:
     SOURCE = "LI r1, 5\nloop: ADDI r1, r1, -1\nBNE r1, zero, loop\nHALT"
