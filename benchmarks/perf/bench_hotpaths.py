@@ -38,6 +38,11 @@ measurements to ``BENCH_hotpaths.json`` at the repo root:
    surface evaluates must be bit-identical to the uniform grid, the
    resolved contour cells must match exactly, and the adaptive pass
    must evaluate at most half the uniform grid's points.
+8. **Distributed scheduler** — the Fig. 10 contour workload drained
+   through the durable ``repro.sched`` queue by 1 and 2 local worker
+   subprocesses vs the plain serial loop.  Assembled surfaces must be
+   digest-identical to serial; the 2-worker/1-worker scaling ratio is
+   recorded honestly alongside ``os.cpu_count()``.
 
 Usage::
 
@@ -517,7 +522,78 @@ def bench_yield_optimum(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 9. Observability snapshot (instrumented rerun of small workloads)
+# 9. Distributed scheduler: serial vs durable queue + local workers
+# ----------------------------------------------------------------------
+def bench_scheduler(quick: bool) -> dict:
+    """Contour workload through the ``repro.sched`` queue.
+
+    The same :class:`ContourCellTask` grid is evaluated serially and
+    then drained through the durable queue by 1 and by 2 local worker
+    subprocesses.  Every assembled surface must be bit-identical (by
+    store digest) to the serial one; each run gets a fresh queue
+    directory so idempotent-resume caching cannot fake the timing.
+    """
+    import shutil
+    import tempfile
+
+    from repro.sched import Scheduler, scheduled_map_items
+    from repro.sched.workloads import (
+        ContourCellTask,
+        contour_grid,
+        contour_pairs,
+        demo_module,
+    )
+    from repro.store.hashing import digest
+
+    # repeat makes each chunk expensive enough that queue latency and
+    # worker startup do not drown the evaluation being distributed.
+    n = 8 if quick else 14
+    repeat = 3000 if quick else 10000
+    task = ContourCellTask(demo_module(), 1.0, 1e-6, repeat=repeat)
+    pairs = contour_pairs(contour_grid(n))
+
+    serial, serial_seconds = _timed(lambda: [task(pair) for pair in pairs])
+    serial_digest = digest(serial)
+
+    worker_runs = {}
+    identical = True
+    for workers in (1, 2):
+        root = tempfile.mkdtemp(prefix=f"repro-sched-bench-{workers}w-")
+        try:
+            with Scheduler(
+                root=root,
+                local_workers=workers,
+                lease_s=30.0,
+                poll_s=0.05,
+                timeout_s=300.0,
+                rescue_after_s=5.0,
+            ) as scheduler:
+                scheduled, seconds = _timed(
+                    lambda: scheduled_map_items(task, pairs, scheduler)
+                )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        identical = identical and digest(scheduled) == serial_digest
+        worker_runs[str(workers)] = {
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+        }
+
+    return {
+        "grid": [n, n],
+        "repeat": repeat,
+        "items": len(pairs),
+        "serial_seconds": serial_seconds,
+        "worker_runs": worker_runs,
+        "scaling_2w_over_1w": (
+            worker_runs["1"]["seconds"] / worker_runs["2"]["seconds"]
+        ),
+        "identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# 10. Observability snapshot (instrumented rerun of small workloads)
 # ----------------------------------------------------------------------
 def bench_observability(workers: int) -> dict:
     """A small instrumented pass recording the hot-path counters.
@@ -574,6 +650,7 @@ def run(quick: bool, workers: int) -> dict:
         "variation": bench_variation(quick),
         "contour": bench_contour_refine(quick),
         "yield_optimum": bench_yield_optimum(quick),
+        "scheduler": bench_scheduler(quick),
         "observability": bench_observability(workers),
     }
     return results
@@ -612,6 +689,7 @@ def main(argv=None) -> int:
     var = results["variation"]
     contour = results["contour"]
     yld = results["yield_optimum"]
+    sched = results["scheduler"]
     print(f"wrote {args.out}")
     print(
         f"simulator       {sim['speedup']:6.2f}x  "
@@ -667,6 +745,12 @@ def main(argv=None) -> int:
         f"over {yld['samples']} samples, "
         f"identical={yld['identical']})"
     )
+    print(
+        f"scheduler       {sched['worker_runs']['2']['speedup_vs_serial']:6.2f}x with 2 workers "
+        f"({sched['worker_runs']['1']['speedup_vs_serial']:.2f}x with 1, "
+        f"scaling {sched['scaling_2w_over_1w']:.2f}x over "
+        f"{sched['items']} items, identical={sched['identical']})"
+    )
     n_counters = len(results["observability"]["counters"])
     n_timers = len(results["observability"]["timers"])
     print(
@@ -685,6 +769,7 @@ def main(argv=None) -> int:
         and contour["identical"]
         and contour["contour_match"]
         and yld["identical"]
+        and sched["identical"]
     )
     if not ok:
         print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)

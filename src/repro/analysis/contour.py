@@ -301,6 +301,7 @@ def _evaluate_points(
     store,
     store_key: Optional[str],
     checkpoint_every: int,
+    scheduler=None,
 ) -> List[Optional[float]]:
     """Evaluate sparse lattice points, checkpointed when stored.
 
@@ -309,12 +310,13 @@ def _evaluate_points(
     run (which restores the same base grid bit-identically) addresses
     the same cells.
     """
-    from repro.analysis.parallel import _PairFn, map_items
+    from repro.analysis.parallel import _PairFn
+    from repro.analysis.sweep import _fanout_items
 
     pairs = [(xs[i], ys[j]) for i, j in points]
     if store is None:
-        return map_items(
-            _PairFn(cell), pairs, workers=workers, progress=progress
+        return _fanout_items(
+            _PairFn(cell), pairs, workers, scheduler, progress=progress
         )
     from repro.store.checkpoint import SweepCheckpoint
 
@@ -336,10 +338,11 @@ def _evaluate_points(
             values.update(chunk)
             checkpoint.record_many(chunk)
 
-        map_items(
+        _fanout_items(
             _PairFn(cell),
             [pairs[k] for k in missing],
-            workers=workers,
+            workers,
+            scheduler,
             progress=progress,
             chunk_done=on_chunk,
         )
@@ -358,6 +361,7 @@ def _refine_surface(
     progress,
     store,
     checkpoint_every: int,
+    scheduler=None,
 ) -> RefinedSurface:
     """Recursively subdivide only the cells near the zero contour."""
     cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
@@ -428,7 +432,7 @@ def _refine_surface(
                 )
             values = _evaluate_points(
                 cell, needed, xs, ys, workers, progress, store,
-                store_key, checkpoint_every,
+                store_key, checkpoint_every, scheduler=scheduler,
             )
             known.update(zip(needed, values))
         active = [
@@ -467,6 +471,7 @@ def energy_ratio_surface(
     checkpoint_every: int = 32,
     refine_levels: int = 0,
     refine_band: float = 0.15,
+    scheduler=None,
 ) -> RatioSurface:
     """Sample the Fig. 10 surface over a grid.
 
@@ -494,6 +499,11 @@ def energy_ratio_surface(
     each level checkpoints under its own digest so refinement resumes
     exactly like the base grid.  Every evaluated point is bit-identical
     to the same cell of a uniform finest-level grid.
+
+    ``scheduler`` (a :class:`repro.sched.Scheduler`) evaluates the
+    grid — and every refinement level — through the durable work
+    queue instead of the in-process pool; ``workers`` is then ignored
+    and the surface stays bit-identical to the serial path.
     """
     if refine_levels < 0:
         raise AnalysisError(
@@ -539,6 +549,7 @@ def energy_ratio_surface(
             store=store,
             store_key=store_key,
             checkpoint_every=checkpoint_every,
+            scheduler=scheduler,
         )
     refined = None
     if refine_levels > 0:
@@ -546,6 +557,7 @@ def energy_ratio_surface(
             refined = _refine_surface(
                 module, vdd, t_cycle_s, grid, refine_levels,
                 refine_band, workers, progress, store, checkpoint_every,
+                scheduler=scheduler,
             )
     return RatioSurface(
         module=module,

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -72,20 +73,66 @@ _DEFAULT_MAX_RETRIES = 2
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Worker count to use: ``None`` = one per CPU, ``0``/``1`` = serial."""
+    """Worker count to use: ``0``/``1`` = serial.
+
+    Precedence for ``workers=None``: the ``REPRO_WORKERS`` environment
+    variable if set, else one worker per CPU.  An explicit ``workers=``
+    argument always wins over the environment.  Scheduler worker
+    processes (:mod:`repro.sched.worker`) set ``REPRO_WORKERS=0`` so a
+    workload that internally calls :func:`map_items` with
+    ``workers=None`` does not fork a nested one-pool-per-CPU on an
+    already fully subscribed host.
+    """
     if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise AnalysisError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+            if workers < 0:
+                raise AnalysisError(
+                    f"REPRO_WORKERS must be >= 0, got {workers}"
+                )
+            return workers
         return max(os.cpu_count() or 1, 1)
     if workers < 0:
         raise AnalysisError(f"workers must be >= 0, got {workers}")
     return workers
 
 
+#: Per-callable memo for :func:`_picklable`.  ``map_items`` probes its
+#: function on every call; for module-level functions and bound plans
+#: with large captured state that probe re-pickles the whole closure
+#: each sweep.  Weak keys keep the memo from pinning dead callables.
+_PICKLABLE_MEMO: "weakref.WeakKeyDictionary[Callable, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _picklable(fn: Callable) -> bool:
     try:
+        cached = _PICKLABLE_MEMO.get(fn)
+    except TypeError:  # unhashable callable: probe every time
+        cached = None
+        memoizable = False
+    else:
+        memoizable = True
+    if cached is not None:
+        return cached
+    try:
         pickle.dumps(fn)
-        return True
+        result = True
     except Exception:
-        return False
+        result = False
+    if memoizable:
+        try:
+            _PICKLABLE_MEMO[fn] = result
+        except TypeError:  # not weak-referenceable (e.g. builtins)
+            pass
+    return result
 
 
 def _chunksize(n_items: int, n_workers: int) -> int:

@@ -99,6 +99,36 @@ def sweep_1d(
     )
 
 
+def _fanout_items(
+    fn,
+    items,
+    workers,
+    scheduler,
+    progress=None,
+    chunk_done=None,
+):
+    """``map_items`` or its scheduler drop-in, chosen by ``scheduler``.
+
+    The one dispatch point the sweep layers share: a non-None
+    ``scheduler`` (a :class:`repro.sched.Scheduler`) routes the fan-out
+    through the durable work queue — same input-order results, same
+    ``progress``/``chunk_done`` contract — otherwise the in-process
+    pool handles it exactly as before.
+    """
+    if scheduler is not None:
+        from repro.sched.client import scheduled_map_items
+
+        return scheduled_map_items(
+            fn, items, scheduler, progress=progress, chunk_done=chunk_done
+        )
+    from repro.analysis.parallel import map_items
+
+    return map_items(
+        fn, items, workers=workers, progress=progress,
+        chunk_done=chunk_done,
+    )
+
+
 def _checkpointed_grid(
     xs: Sequence[float],
     ys: Sequence[float],
@@ -108,6 +138,7 @@ def _checkpointed_grid(
     store,
     store_key: str,
     checkpoint_every: int,
+    scheduler=None,
 ) -> Tuple[Tuple[Optional[float], ...], ...]:
     """Store-backed grid evaluation: restore, compute the gap, persist.
 
@@ -118,7 +149,7 @@ def _checkpointed_grid(
     run, because restored cells JSON-round-trip exactly and computed
     cells are pure functions of their coordinates.
     """
-    from repro.analysis.parallel import _PairFn, map_items
+    from repro.analysis.parallel import _PairFn
     from repro.store.checkpoint import SweepCheckpoint
 
     n_y = len(ys)
@@ -150,10 +181,11 @@ def _checkpointed_grid(
             def shifted(done: int, _missing_total: int) -> None:
                 progress(restored_count + done, total)
 
-        map_items(
+        _fanout_items(
             _PairFn(fn),
             pairs,
-            workers=workers,
+            workers,
+            scheduler,
             progress=shifted,
             chunk_done=on_chunk,
         )
@@ -176,6 +208,7 @@ def sweep_2d(
     store=None,
     store_key: Optional[str] = None,
     checkpoint_every: int = 32,
+    scheduler=None,
 ) -> Sweep2D:
     """Sample ``fn`` over the cartesian grid; fn may return None.
 
@@ -194,6 +227,13 @@ def sweep_2d(
     ``checkpoint_every`` (immediately per chunk on the parallel path),
     a re-run restores them and computes only the gap, and the result
     is bit-identical to an unstored serial run.
+
+    ``scheduler`` (a :class:`repro.sched.Scheduler`) routes the
+    fan-out through the durable work queue instead of the in-process
+    pool — any number of worker processes/hosts evaluate the cells,
+    ``workers`` is ignored, and the assembled grid stays bit-identical
+    to the serial path (combinable with ``store`` for checkpointed
+    scheduler sweeps).
     """
     if not xs or not ys:
         raise AnalysisError("empty sweep grid")
@@ -205,7 +245,22 @@ def sweep_2d(
             )
         grid = _checkpointed_grid(
             xs, ys, fn, workers, progress, store, store_key,
-            checkpoint_every,
+            checkpoint_every, scheduler=scheduler,
+        )
+    elif scheduler is not None:
+        from repro.analysis.parallel import _PairFn
+
+        n_y = len(ys)
+        pairs = [(x, y) for x in xs for y in ys]
+        flat = _fanout_items(
+            _PairFn(fn), pairs, workers, scheduler, progress=progress
+        )
+        grid = tuple(
+            tuple(
+                None if value is None else float(value)
+                for value in flat[i * n_y : (i + 1) * n_y]
+            )
+            for i in range(len(xs))
         )
     elif workers == 0:
         total = len(xs) * len(ys)

@@ -183,6 +183,7 @@ class MonteCarloAnalyzer:
         workers: int = 0,
         store=None,
         progress=None,
+        scheduler=None,
     ):
         if vt_sigma < 0.0:
             raise AnalysisError("vt_sigma must be >= 0")
@@ -195,6 +196,11 @@ class MonteCarloAnalyzer:
         self.workers = workers
         self.store = store
         self.progress = progress
+        #: Optional :class:`repro.sched.Scheduler`: evaluates sample
+        #: chunks through the durable work queue instead of the
+        #: in-process pool (``workers`` is then ignored; chunk planning
+        #: follows the scheduler's deterministic ``plan_workers``).
+        self.scheduler = scheduler
         self._characterizer = CellCharacterizer(technology)
         self._tech_digest: str = ""
 
@@ -216,20 +222,32 @@ class MonteCarloAnalyzer:
     # ------------------------------------------------------------------
     # Evaluation paths (all plan-based)
     # ------------------------------------------------------------------
+    def _chunk_width(self) -> Optional[int]:
+        """Fan-out width used for chunk planning.
+
+        With a scheduler the plan must be deterministic across hosts
+        (it feeds the job id), so the scheduler's fixed
+        ``plan_workers`` replaces this process's worker count.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.plan_workers
+        return self.workers
+
     def _fanout(
         self, kind: str, cell: Cell, vdd: float, load_f: float, shifts
     ) -> Tuple[float, ...]:
         """Evaluate the shift vector across processes, chunk-batched."""
-        from repro.analysis.parallel import map_items
+        from repro.analysis.sweep import _fanout_items
 
         tasks = [
             (kind, self.technology, cell, vdd, load_f, chunk)
-            for chunk in _shift_chunks(shifts, self.workers)
+            for chunk in _shift_chunks(shifts, self._chunk_width())
         ]
-        chunks = map_items(
+        chunks = _fanout_items(
             _batched_chunk,
             tasks,
-            workers=self.workers,
+            self.workers,
+            self.scheduler,
             progress=self.progress,
         )
         return tuple(value for chunk in chunks for value in chunk)
@@ -247,14 +265,14 @@ class MonteCarloAnalyzer:
         identical to the per-sample checkpoint layout, so checkpoints
         written before the batched engine resume cleanly under it.
         """
-        from repro.analysis.parallel import map_items
+        from repro.analysis.sweep import _fanout_items
         from repro.store.checkpoint import SweepCheckpoint
 
         checkpoint = SweepCheckpoint(self.store, key, len(shifts))
         samples = checkpoint.restored()
         missing = [i for i in range(len(shifts)) if i not in samples]
         if missing:
-            if self.workers == 0:
+            if self.workers == 0 and self.scheduler is None:
                 plan = self._characterizer.plan_variation(cell, vdd, load_f)
                 evaluate = plan.delays if kind == "delay" else plan.leakages
                 # Evaluate in flush-sized batches so a crash loses at
@@ -268,7 +286,7 @@ class MonteCarloAnalyzer:
                         checkpoint.record(index, value)
             else:
                 chunks = _shift_chunks(
-                    [shifts[i] for i in missing], self.workers
+                    [shifts[i] for i in missing], self._chunk_width()
                 )
                 tasks = []
                 offsets = []
@@ -291,10 +309,11 @@ class MonteCarloAnalyzer:
                     samples.update(cells)
                     checkpoint.record_many(cells)
 
-                map_items(
+                _fanout_items(
                     _batched_chunk,
                     tasks,
-                    workers=self.workers,
+                    self.workers,
+                    self.scheduler,
                     progress=self.progress,
                     chunk_done=on_chunk,
                 )
@@ -309,7 +328,7 @@ class MonteCarloAnalyzer:
             samples = self._checkpointed_batches(
                 key, kind, cell, vdd, load_f, shifts
             )
-        elif self.workers == 0:
+        elif self.workers == 0 and self.scheduler is None:
             plan = self._characterizer.plan_variation(cell, vdd, load_f)
             evaluate = plan.delays if kind == "delay" else plan.leakages
             samples = tuple(evaluate(shifts))

@@ -462,13 +462,19 @@ def _cmd_contour(args: argparse.Namespace) -> int:
     report = flow.unit_activity(unit.netlist, unit.vectors)
     module = flow.module_parameters(unit.netlist, report)
     grid = [i / args.grid for i in range(1, args.grid + 1)]
-    surface = flow.ratio_surface(
-        module, grid, grid, workers=args.workers,
-        progress=_stderr_progress(args.progress),
-        store=_open_store(args),
-        refine_levels=args.refine,
-        refine_band=args.refine_band,
-    )
+    scheduler = _open_scheduler(args)
+    try:
+        surface = flow.ratio_surface(
+            module, grid, grid, workers=args.workers,
+            progress=_stderr_progress(args.progress),
+            store=_open_store(args),
+            refine_levels=args.refine,
+            refine_band=args.refine_band,
+            scheduler=scheduler,
+        )
+    finally:
+        if scheduler is not None:
+            scheduler.close()
     defined = [
         (fga, bga, value)
         for i, fga in enumerate(surface.grid.xs)
@@ -522,17 +528,22 @@ def _cmd_contour(args: argparse.Namespace) -> int:
             ),
         )
     )
+    inputs = {
+        "unit": args.unit,
+        "width": args.width,
+        "vectors": args.vectors,
+        "vdd": args.vdd,
+        "clock": args.clock,
+        "grid": args.grid,
+        "workers": args.workers,
+    }
+    if scheduler is not None:
+        # Conditional key so nominal (pool/serial) manifests keep
+        # their input digests from earlier releases.
+        inputs["scheduler"] = {"local_workers": args.workers}
     _record_run(
         args,
-        inputs={
-            "unit": args.unit,
-            "width": args.width,
-            "vectors": args.vectors,
-            "vdd": args.vdd,
-            "clock": args.clock,
-            "grid": args.grid,
-            "workers": args.workers,
-        },
+        inputs=inputs,
         result={
             "defined_cells": surface.grid.defined_cells(),
             "zs": [list(row) for row in surface.grid.zs],
@@ -567,6 +578,7 @@ def _cmd_variation(args: argparse.Namespace) -> int:
             f"{', '.join(sorted(cells))}"
         )
     cell = cells[args.cell]
+    scheduler = _open_scheduler(args)
     analyzer = MonteCarloAnalyzer(
         technology,
         vt_sigma=args.sigma,
@@ -575,11 +587,16 @@ def _cmd_variation(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=_open_store(args),
         progress=_stderr_progress(args.progress, noun="samples"),
+        scheduler=scheduler,
     )
     load_f = args.load_ff * 1e-15
-    delay = analyzer.delay_distribution(cell, args.vdd, load_f)
-    leakage = analyzer.leakage_distribution(cell, args.vdd)
-    amplification = analyzer.leakage_amplification(cell, args.vdd)
+    try:
+        delay = analyzer.delay_distribution(cell, args.vdd, load_f)
+        leakage = analyzer.leakage_distribution(cell, args.vdd)
+        amplification = analyzer.leakage_amplification(cell, args.vdd)
+    finally:
+        if scheduler is not None:
+            scheduler.close()
     predicted = lognormal_leakage_amplification(
         args.sigma, technology.transistors.nmos.subthreshold_swing
     )
@@ -615,18 +632,21 @@ def _cmd_variation(args: argparse.Namespace) -> int:
         f"\nLeakage amplification: measured {amplification:.3f}x, "
         f"lognormal closed form {predicted:.3f}x"
     )
+    inputs = {
+        "cell": args.cell,
+        "technology": args.technology,
+        "vdd": args.vdd,
+        "sigma": args.sigma,
+        "samples": args.samples,
+        "seed": args.seed,
+        "load_ff": args.load_ff,
+        "workers": args.workers,
+    }
+    if scheduler is not None:
+        inputs["scheduler"] = {"local_workers": args.workers}
     _record_run(
         args,
-        inputs={
-            "cell": args.cell,
-            "technology": args.technology,
-            "vdd": args.vdd,
-            "sigma": args.sigma,
-            "samples": args.samples,
-            "seed": args.seed,
-            "load_ff": args.load_ff,
-            "workers": args.workers,
-        },
+        inputs=inputs,
         result={
             "delay_samples": list(delay.samples),
             "leakage_samples": list(leakage.samples),
@@ -886,6 +906,91 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sched_worker(args: argparse.Namespace) -> int:
+    from repro.sched.worker import worker_main
+
+    committed = worker_main(
+        args.queue,
+        lease_s=args.lease_s,
+        poll_s=args.poll_s,
+        max_idle_s=args.max_idle_s,
+        once=args.once,
+        job_id=args.job,
+    )
+    print(f"worker drained {committed} chunk(s) from {args.queue}")
+    return 0
+
+
+def _cmd_sched_submit(args: argparse.Namespace) -> int:
+    from repro.sched import Scheduler
+    from repro.sched.workloads import (
+        ContourCellTask,
+        contour_grid,
+        contour_pairs,
+        demo_module,
+    )
+
+    task = ContourCellTask(
+        demo_module(), args.vdd, 1.0 / args.clock, repeat=args.repeat
+    )
+    pairs = contour_pairs(contour_grid(args.grid))
+    scheduler = Scheduler(root=args.queue, plan_workers=args.plan_workers)
+    record = scheduler.submit(
+        task, pairs,
+        note=args.note or f"contour {args.grid}x{args.grid}",
+    )
+    print(
+        f"Job submitted: {record.job_id} ({record.n_items} items in "
+        f"{record.n_chunks} chunks of {record.chunksize})"
+    )
+    return 0
+
+
+def _cmd_sched_status(args: argparse.Namespace) -> int:
+    from repro.sched import JobQueue
+
+    queue = JobQueue(args.queue)
+    job_ids = [args.job] if args.job else queue.list_jobs()
+    rows = []
+    for job_id in job_ids:
+        status = queue.status(job_id)
+        state = "cancelled" if status.cancelled else (
+            "finished" if status.finished else "running"
+        )
+        rows.append(
+            [
+                status.job_id,
+                state,
+                f"{status.done}/{status.n_chunks}",
+                status.leased,
+                status.queued,
+                status.n_items,
+                status.note,
+            ]
+        )
+    if rows:
+        print(
+            format_table(
+                ["job", "state", "done", "leased", "queued", "items",
+                 "note"],
+                rows,
+                title=f"Scheduler queue {args.queue}",
+            )
+        )
+    else:
+        print(f"Scheduler queue {args.queue}: no jobs")
+    print(f"queue depth: {queue.queue_depth()} claimable chunk(s)")
+    return 0
+
+
+def _cmd_sched_cancel(args: argparse.Namespace) -> int:
+    from repro.sched import JobQueue
+
+    JobQueue(args.queue).cancel(args.job)
+    print(f"Job cancelled: {args.job}")
+    return 0
+
+
 def _add_record_arguments(parser: argparse.ArgumentParser) -> None:
     """--record / --runs-root for the manifest-recording subcommands."""
     from repro.store.registry import DEFAULT_RUNS_ROOT
@@ -907,6 +1012,26 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         help="persist results under PATH for reuse and resumption "
         f"(e.g. {_DEFAULT_STORE_ROOT})",
     )
+
+
+def _add_scheduler_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler", default=None, metavar="DIR",
+        help="evaluate the fan-out through the durable work queue at "
+        "DIR instead of an in-process pool (workers started here "
+        "and/or externally with 'repro sched worker DIR' drain it; "
+        "--workers then means local scheduler workers to spawn)",
+    )
+
+
+def _open_scheduler(args: argparse.Namespace):
+    """The Scheduler named by ``--scheduler``, or None when absent."""
+    path = getattr(args, "scheduler", None)
+    if not path:
+        return None
+    from repro.sched import Scheduler
+
+    return Scheduler(root=path, local_workers=args.workers)
 
 
 def _add_parallel_arguments(
@@ -1069,6 +1194,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.15)",
     )
     _add_parallel_arguments(contour, "grid")
+    _add_scheduler_argument(contour)
     _add_store_argument(contour)
     _add_record_arguments(contour)
     _add_metrics_arguments(contour)
@@ -1089,6 +1215,7 @@ def build_parser() -> argparse.ArgumentParser:
     variation.add_argument("--load-ff", type=float, default=10.0)
     variation.add_argument("--percentile", type=float, default=99.0)
     _add_parallel_arguments(variation, "sample chunks")
+    _add_scheduler_argument(variation)
     _add_store_argument(variation)
     _add_record_arguments(variation)
     _add_metrics_arguments(variation)
@@ -1185,6 +1312,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="gc target size in MB (0 = remove everything)",
     )
     cache.set_defaults(handler=_cmd_cache)
+
+    sched = sub.add_parser(
+        "sched",
+        help="durable distributed sweep scheduler (queue of leased "
+        "chunks drained by worker processes)",
+    )
+    sched_sub = sched.add_subparsers(dest="sched_command", required=True)
+
+    sched_worker = sched_sub.add_parser(
+        "worker",
+        help="run a claim/evaluate/heartbeat/commit worker loop",
+    )
+    sched_worker.add_argument("queue", metavar="DIR")
+    sched_worker.add_argument(
+        "--lease-s", type=float, default=30.0,
+        help="lease duration granted per claimed chunk (default 30)",
+    )
+    sched_worker.add_argument(
+        "--poll-s", type=float, default=0.5,
+        help="sleep between claim attempts when idle (default 0.5)",
+    )
+    sched_worker.add_argument(
+        "--max-idle-s", type=float, default=None,
+        help="exit after this long with nothing claimable "
+        "(default: run forever)",
+    )
+    sched_worker.add_argument(
+        "--once", action="store_true",
+        help="process at most one chunk, then exit",
+    )
+    sched_worker.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="only claim chunks of this job",
+    )
+    sched_worker.set_defaults(handler=_cmd_sched_worker)
+
+    sched_submit = sched_sub.add_parser(
+        "submit", help="enqueue a demo contour job (idempotent)"
+    )
+    sched_submit.add_argument("queue", metavar="DIR")
+    sched_submit.add_argument(
+        "--kind", choices=["contour"], default="contour",
+        help="workload family (currently the Fig. 10 contour demo)",
+    )
+    sched_submit.add_argument("--grid", type=int, default=12)
+    sched_submit.add_argument("--vdd", type=float, default=1.0)
+    sched_submit.add_argument("--clock", type=float, default=1e6)
+    sched_submit.add_argument(
+        "--repeat", type=int, default=1,
+        help="re-evaluations per cell (tunable per-chunk cost)",
+    )
+    sched_submit.add_argument(
+        "--plan-workers", type=int, default=2,
+        help="planned fan-out for chunk sizing — part of the job id, "
+        "keep fixed across resumes (default 2)",
+    )
+    sched_submit.add_argument("--note", default="", metavar="TEXT")
+    sched_submit.set_defaults(handler=_cmd_sched_submit)
+
+    sched_status = sched_sub.add_parser(
+        "status", help="per-job chunk accounting and queue depth"
+    )
+    sched_status.add_argument("queue", metavar="DIR")
+    sched_status.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="show only this job",
+    )
+    sched_status.set_defaults(handler=_cmd_sched_status)
+
+    sched_cancel = sched_sub.add_parser(
+        "cancel", help="mark a job cancelled; workers stop claiming it"
+    )
+    sched_cancel.add_argument("queue", metavar="DIR")
+    sched_cancel.add_argument("job", metavar="JOB_ID")
+    sched_cancel.set_defaults(handler=_cmd_sched_cancel)
 
     return parser
 

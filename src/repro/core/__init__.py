@@ -21,6 +21,7 @@ from repro.core.scenarios import (
 )
 from repro.core.shutdown import (
     ActivityPeriod,
+    GracefulShutdown,
     OraclePolicy,
     PredictivePolicy,
     ShutdownCosts,
@@ -39,6 +40,7 @@ __all__ = [
     "OraclePolicy",
     "evaluate_policy",
     "synthetic_session_trace",
+    "GracefulShutdown",
     "LowVoltageDesignFlow",
     "UnitEvaluation",
     "ApplicationEvaluation",

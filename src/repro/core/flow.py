@@ -208,6 +208,7 @@ class LowVoltageDesignFlow:
         store=None,
         refine_levels: int = 0,
         refine_band: float = 0.15,
+        scheduler=None,
     ) -> RatioSurface:
         """Fig. 10 surface for one module (``workers`` fans out the grid).
 
@@ -216,7 +217,9 @@ class LowVoltageDesignFlow:
         :class:`repro.store.ResultStore`) makes the grid checkpointed
         and resumable; ``refine_levels``/``refine_band`` enable
         adaptive subdivision of the cells around the break-even
-        contour — see :func:`repro.analysis.contour.
+        contour; ``scheduler`` (a :class:`repro.sched.Scheduler`)
+        evaluates the grid through the durable work queue instead of
+        the in-process pool — see :func:`repro.analysis.contour.
         energy_ratio_surface`.
         """
         with obs.span("flow.ratio_surface"):
@@ -231,6 +234,7 @@ class LowVoltageDesignFlow:
                 store=store,
                 refine_levels=refine_levels,
                 refine_band=refine_band,
+                scheduler=scheduler,
             )
 
     # ------------------------------------------------------------------

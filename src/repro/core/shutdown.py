@@ -31,6 +31,7 @@ __all__ = [
     "OraclePolicy",
     "synthetic_session_trace",
     "evaluate_policy",
+    "GracefulShutdown",
 ]
 
 
@@ -294,3 +295,48 @@ def evaluate_policy(
         wakeups=wakeups,
         latency_penalty_cycles=latency,
     )
+
+
+class GracefulShutdown:
+    """Cooperative SIGTERM/SIGINT handling for long-running processes.
+
+    The scheduler's worker loop (:mod:`repro.sched.worker`) must stop
+    cleanly between work items: a chunk whose lease is abandoned
+    mid-evaluation is simply re-dispatched, but a chunk killed *during*
+    a commit would rely entirely on the store's atomic writes.  This
+    context manager converts the first SIGTERM/SIGINT into a
+    ``requested`` flag the loop polls, so the process finishes (or
+    abandons) the current item and exits by choice.  Handlers are
+    restored on exit; a second signal therefore behaves normally.
+
+    Only usable from the main thread (CPython restricts
+    :func:`signal.signal` to it); elsewhere, construct it with
+    ``install=False`` and call :meth:`request` manually.
+    """
+
+    def __init__(self, signals: Optional[tuple] = None, install: bool = True):
+        import signal as _signal
+
+        self._signal = _signal
+        self.signals = tuple(
+            signals if signals is not None
+            else (_signal.SIGTERM, _signal.SIGINT)
+        )
+        self.install = install
+        self.requested = False
+        self._previous: dict = {}
+
+    def request(self, signum: Optional[int] = None, frame: object = None) -> None:
+        """Mark shutdown as requested (also the installed signal handler)."""
+        self.requested = True
+
+    def __enter__(self) -> "GracefulShutdown":
+        if self.install:
+            for sig in self.signals:
+                self._previous[sig] = self._signal.signal(sig, self.request)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for sig, handler in self._previous.items():
+            self._signal.signal(sig, handler)
+        self._previous.clear()

@@ -23,6 +23,7 @@ __all__ = [
     "AnalysisError",
     "SerializationError",
     "StoreError",
+    "SchedulerError",
 ]
 
 
@@ -86,3 +87,7 @@ class SerializationError(DeviceModelError):
 
 class StoreError(ReproError):
     """Result-store misuse or damage (bad key, torn checkpoint, ...)."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler misuse or queue damage (bad job, lost lease, ...)."""

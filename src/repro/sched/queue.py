@@ -1,0 +1,551 @@
+"""Durable job/chunk/lease records for the sweep scheduler.
+
+A :class:`JobQueue` lives in one directory (usually on a filesystem
+shared by every worker host) and stores each record as one atomic
+store entry via :class:`repro.store.DiskBackend`:
+
+.. code-block:: text
+
+    <root>/
+      job/<job_id>/meta.json        job record: pickled (fn, items)
+                                    payload, chunk plan, format tag
+      job/<job_id>/lease/<n>.json   live lease on chunk n (worker id,
+                                    deadline); deleted on commit
+      job/<job_id>/result/<n>.json  committed values for chunk n
+      job/<job_id>/cancel.json      cancellation marker
+
+Protocol invariants (the reason SIGKILL never loses or duplicates a
+chunk):
+
+* **Claims are exclusive-create.**  The first lease on a chunk is
+  taken with ``O_CREAT | O_EXCL`` (:meth:`DiskBackend.put_new`), so
+  exactly one of any number of concurrent claimants wins.  An
+  *expired* lease is stolen with a plain atomic replace — the race
+  where two workers steal simultaneously is benign (next point).
+* **Commits are idempotent.**  Work functions are pure, so a chunk
+  evaluated twice produces identical values; the first commit wins and
+  later duplicates are dropped (counted as
+  ``sched.duplicate_commits``).  A committed chunk is never
+  re-leased.
+* **Every write is atomic.**  Records land via same-directory temp
+  file + ``os.replace`` (or exclusive create); a worker killed at any
+  instant leaves either the old record, the new record, or a corrupt
+  file that the store drops on read — never a torn record that parses.
+
+``job_id`` is a truncated canonical digest of the pickled payload and
+the chunk plan, so re-submitting the same work **resumes** it: chunks
+already committed (possibly by a previous, killed run) are simply not
+handed out again.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import SchedulerError
+from repro.store.backend import DiskBackend
+from repro.store.hashing import digest
+
+__all__ = ["JOB_FORMAT", "Claim", "JobQueue", "JobRecord", "JobStatus"]
+
+#: Format tag written into every job record.
+JOB_FORMAT = "repro-sched-job-v1"
+
+#: Default slack added to lease deadlines before another worker may
+#: steal the chunk, absorbing modest clock skew between hosts.
+DEFAULT_CLOCK_SKEW_S = 2.0
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable description of one submitted job."""
+
+    job_id: str
+    n_items: int
+    chunksize: int
+    n_chunks: int
+    submitted_unix: float
+    note: str = ""
+
+    def chunk_bounds(self, index: int) -> Tuple[int, int]:
+        """Input-order ``[start, stop)`` item range of chunk ``index``."""
+        if not 0 <= index < self.n_chunks:
+            raise SchedulerError(
+                f"chunk {index} out of range for job {self.job_id} "
+                f"({self.n_chunks} chunks)"
+            )
+        start = index * self.chunksize
+        return start, min(start + self.chunksize, self.n_items)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully leased chunk, ready to evaluate."""
+
+    job_id: str
+    chunk_index: int
+    worker_id: str
+    deadline_unix: float
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time chunk accounting for one job."""
+
+    job_id: str
+    n_items: int
+    n_chunks: int
+    done: int
+    leased: int
+    queued: int
+    cancelled: bool
+    note: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.done == self.n_chunks
+
+
+def _encode_payload(fn: Callable, items: Sequence) -> bytes:
+    try:
+        return pickle.dumps((fn, list(items)))
+    except Exception as exc:
+        raise SchedulerError(
+            f"job payload is not picklable: {exc}"
+        ) from exc
+
+
+def _json_exact(value) -> bool:
+    """True when JSON round-trips ``value`` bit-identically.
+
+    IEEE-754 doubles survive JSON exactly (repr round-trip), but
+    tuples come back as lists and arbitrary objects not at all — those
+    chunks fall back to a pickled encoding so assembled results stay
+    bit-identical to the serial path.
+    """
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return True
+    if isinstance(value, list):
+        return all(_json_exact(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_exact(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+def _encode_values(values: List) -> Dict[str, object]:
+    if _json_exact(values):
+        return {"enc": "json", "values": values}
+    blob = base64.b64encode(pickle.dumps(values)).decode("ascii")
+    return {"enc": "pickle", "values": blob}
+
+
+def _decode_values(payload, job_id: str, index: int) -> List:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("enc") not in ("json", "pickle")
+        or "values" not in payload
+    ):
+        raise SchedulerError(
+            f"corrupt result record for job {job_id} chunk {index}"
+        )
+    if payload["enc"] == "json":
+        return list(payload["values"])
+    return list(pickle.loads(base64.b64decode(payload["values"])))
+
+
+class JobQueue:
+    """File-backed work queue: jobs, chunk leases, committed results.
+
+    Parameters
+    ----------
+    root:
+        Queue directory; every cooperating worker/client must see the
+        same files (local disk for one host, NFS/shared mount for
+        many).
+    clock_skew_s:
+        Extra slack past a lease's deadline before another worker may
+        steal the chunk.  Raise it when worker-host clocks disagree by
+        more than a couple of seconds.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        clock_skew_s: float = DEFAULT_CLOCK_SKEW_S,
+        _now: Callable[[], float] = time.time,
+    ):
+        if clock_skew_s < 0:
+            raise SchedulerError(
+                f"clock_skew_s must be >= 0, got {clock_skew_s}"
+            )
+        # Deliberately a bare DiskBackend: ResultStore's in-memory LRU
+        # front would serve stale lease reads across processes.
+        self.backend = DiskBackend(root)
+        self.root = self.backend.root
+        self.clock_skew_s = clock_skew_s
+        self._now = _now
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable,
+        items: Sequence,
+        chunksize: int,
+        note: str = "",
+    ) -> JobRecord:
+        """Durably enqueue ``fn`` over ``items``; idempotent.
+
+        The job id is a digest of the pickled payload and the chunk
+        plan, so submitting identical work returns the existing job —
+        with whatever chunks it already committed — instead of
+        re-queueing it.  That is the resume path.
+        """
+        items = list(items)
+        if not items:
+            raise SchedulerError("cannot submit an empty job")
+        if chunksize < 1:
+            raise SchedulerError(f"chunksize must be >= 1, got {chunksize}")
+        payload = _encode_payload(fn, items)
+        job_id = digest(
+            ["sched-job", digest(base64.b64encode(payload).decode("ascii")),
+             chunksize]
+        )[:16]
+        existing = self.load_job(job_id, missing_ok=True)
+        if existing is not None:
+            return existing
+        n_chunks = -(-len(items) // chunksize)
+        record = JobRecord(
+            job_id=job_id,
+            n_items=len(items),
+            chunksize=chunksize,
+            n_chunks=n_chunks,
+            submitted_unix=self._now(),
+            note=note,
+        )
+        self.backend.put(
+            f"job/{job_id}/meta",
+            {
+                "format": JOB_FORMAT,
+                "n_items": record.n_items,
+                "chunksize": record.chunksize,
+                "n_chunks": record.n_chunks,
+                "submitted_unix": record.submitted_unix,
+                "note": note,
+                "payload": base64.b64encode(payload).decode("ascii"),
+            },
+        )
+        if obs.ENABLED:
+            obs.incr("sched.jobs")
+        return record
+
+    def load_job(
+        self, job_id: str, missing_ok: bool = False
+    ) -> Optional[JobRecord]:
+        """Job record for ``job_id`` (``None``/raise when absent)."""
+        meta = self.backend.get(f"job/{job_id}/meta")
+        if meta is None:
+            if missing_ok:
+                return None
+            raise SchedulerError(f"no such job: {job_id}")
+        if not isinstance(meta, dict) or meta.get("format") != JOB_FORMAT:
+            raise SchedulerError(
+                f"job {job_id} has unsupported format "
+                f"{meta.get('format') if isinstance(meta, dict) else meta!r}"
+            )
+        return JobRecord(
+            job_id=job_id,
+            n_items=int(meta["n_items"]),
+            chunksize=int(meta["chunksize"]),
+            n_chunks=int(meta["n_chunks"]),
+            submitted_unix=float(meta["submitted_unix"]),
+            note=str(meta.get("note", "")),
+        )
+
+    def payload(self, job_id: str) -> Tuple[Callable, List]:
+        """Unpickle ``(fn, items)`` for ``job_id``."""
+        meta = self.backend.get(f"job/{job_id}/meta")
+        if meta is None:
+            raise SchedulerError(f"no such job: {job_id}")
+        try:
+            fn, items = pickle.loads(base64.b64decode(meta["payload"]))
+        except Exception as exc:
+            raise SchedulerError(
+                f"cannot unpickle payload of job {job_id}: {exc}"
+            ) from exc
+        return fn, items
+
+    def list_jobs(self) -> List[str]:
+        """Submitted job ids, oldest first (by submission time)."""
+        jobs = []
+        for key in self.backend.keys("job/"):
+            parts = key.split("/")
+            if len(parts) == 3 and parts[2] == "meta":
+                record = self.load_job(parts[1], missing_ok=True)
+                if record is not None:
+                    jobs.append((record.submitted_unix, record.job_id))
+        return [job_id for _, job_id in sorted(jobs)]
+
+    # -- cancellation --------------------------------------------------
+
+    def cancel(self, job_id: str) -> None:
+        """Mark ``job_id`` cancelled; workers stop claiming its chunks."""
+        self.load_job(job_id)
+        self.backend.put(f"job/{job_id}/cancel", {"cancelled": True})
+
+    def is_cancelled(self, job_id: str) -> bool:
+        return self.backend.get(f"job/{job_id}/cancel") is not None
+
+    # -- leases --------------------------------------------------------
+
+    def _lease_key(self, job_id: str, index: int) -> str:
+        return f"job/{job_id}/lease/{index}"
+
+    def _result_key(self, job_id: str, index: int) -> str:
+        return f"job/{job_id}/result/{index}"
+
+    def result_indices(self, job_id: str) -> List[int]:
+        """Sorted indices of chunks with committed results."""
+        prefix = f"job/{job_id}/result/"
+        indices = []
+        for key in self.backend.keys(prefix):
+            tail = key[len(prefix):]
+            if tail.isdigit():
+                indices.append(int(tail))
+        return sorted(indices)
+
+    def _lease_payload(self, worker_id: str, lease_s: float) -> Dict:
+        now = self._now()
+        return {
+            "worker": worker_id,
+            "claimed_unix": now,
+            "deadline_unix": now + lease_s,
+        }
+
+    def _lease_expired(self, lease, now: float) -> bool:
+        try:
+            deadline = float(lease.get("deadline_unix", 0.0))
+        except (TypeError, AttributeError, ValueError):
+            return True
+        return deadline + self.clock_skew_s < now
+
+    def _try_lease(
+        self, job_id: str, index: int, worker_id: str, lease_s: float
+    ) -> bool:
+        key = self._lease_key(job_id, index)
+        payload = self._lease_payload(worker_id, lease_s)
+        if self.backend.put_new(key, payload):
+            return True
+        existing = self.backend.get(key)
+        if existing is None:
+            # Corrupt (dropped on read) or deleted between our two
+            # calls: retry the exclusive create once.
+            return self.backend.put_new(key, payload)
+        if self._lease_expired(existing, self._now()):
+            # Steal with an atomic replace.  Two workers stealing the
+            # same expired lease both proceed — double evaluation of a
+            # pure function, resolved by first-commit-wins.
+            self.backend.put(key, self._lease_payload(worker_id, lease_s))
+            if obs.ENABLED:
+                obs.incr("sched.leases_expired")
+            return True
+        return False
+
+    def claim(
+        self,
+        worker_id: str,
+        lease_s: float,
+        job_id: Optional[str] = None,
+    ) -> Optional[Claim]:
+        """Lease one uncommitted chunk, or ``None`` if nothing claimable.
+
+        Scans jobs oldest-first (or only ``job_id``), skipping
+        cancelled jobs, committed chunks, and chunks under a live
+        lease.
+        """
+        if lease_s <= 0:
+            raise SchedulerError(f"lease_s must be > 0, got {lease_s}")
+        job_ids: Iterable[str]
+        job_ids = [job_id] if job_id is not None else self.list_jobs()
+        for candidate in job_ids:
+            record = self.load_job(candidate, missing_ok=True)
+            if record is None or self.is_cancelled(candidate):
+                continue
+            done = set(self.result_indices(candidate))
+            if len(done) >= record.n_chunks:
+                continue
+            for index in range(record.n_chunks):
+                if index in done:
+                    continue
+                if self._try_lease(candidate, index, worker_id, lease_s):
+                    if obs.ENABLED:
+                        obs.incr("sched.chunks_claimed")
+                    return Claim(
+                        job_id=candidate,
+                        chunk_index=index,
+                        worker_id=worker_id,
+                        deadline_unix=self._now() + lease_s,
+                    )
+        return None
+
+    def heartbeat(
+        self, job_id: str, index: int, worker_id: str, lease_s: float
+    ) -> bool:
+        """Extend a held lease; ``False`` when it was lost or stolen.
+
+        A worker whose heartbeat fails must abandon the chunk without
+        committing (someone else owns it now); the values it computed
+        would have been identical anyway, this only avoids wasted work.
+        """
+        key = self._lease_key(job_id, index)
+        existing = self.backend.get(key)
+        if (
+            not isinstance(existing, dict)
+            or existing.get("worker") != worker_id
+        ):
+            return False
+        self.backend.put(key, self._lease_payload(worker_id, lease_s))
+        if obs.ENABLED:
+            obs.incr("sched.heartbeats")
+        return True
+
+    def release(self, job_id: str, index: int, worker_id: str) -> bool:
+        """Voluntarily drop a held lease (clean shutdown mid-claim)."""
+        key = self._lease_key(job_id, index)
+        existing = self.backend.get(key)
+        if (
+            not isinstance(existing, dict)
+            or existing.get("worker") != worker_id
+        ):
+            return False
+        return self.backend.delete(key)
+
+    def reap_expired(self, job_id: str) -> int:
+        """Delete expired leases on ``job_id``; returns how many.
+
+        Purely an accounting convenience for the drain loop — claims
+        already steal expired leases on their own — but deleting them
+        makes ``status()`` and ``queue_depth()`` reflect reality
+        promptly.
+        """
+        record = self.load_job(job_id)
+        now = self._now()
+        done = set(self.result_indices(job_id))
+        reaped = 0
+        for index in range(record.n_chunks):
+            key = self._lease_key(job_id, index)
+            lease = self.backend.get(key)
+            if lease is None:
+                continue
+            if index in done or self._lease_expired(lease, now):
+                if self.backend.delete(key):
+                    reaped += 1
+                    if index not in done and obs.ENABLED:
+                        obs.incr("sched.leases_expired")
+        return reaped
+
+    # -- results -------------------------------------------------------
+
+    def commit(
+        self, job_id: str, index: int, values: Sequence, worker_id: str = ""
+    ) -> bool:
+        """Durably record chunk ``index``'s values; first commit wins.
+
+        Returns ``False`` for a duplicate commit (another worker beat
+        this one to it) — never an error, because pure work functions
+        make duplicates bit-identical.
+        """
+        key = self._result_key(job_id, index)
+        record = self.load_job(job_id)
+        start, stop = record.chunk_bounds(index)
+        values = list(values)
+        if len(values) != stop - start:
+            raise SchedulerError(
+                f"chunk {index} of job {job_id} expects {stop - start} "
+                f"values, got {len(values)}"
+            )
+        if self.backend.get(key) is not None:
+            if obs.ENABLED:
+                obs.incr("sched.duplicate_commits")
+            self.release(job_id, index, worker_id)
+            return False
+        self.backend.put(key, _encode_values(values))
+        if obs.ENABLED:
+            obs.incr("sched.chunks_committed")
+        self.release(job_id, index, worker_id)
+        return True
+
+    def chunk_values(self, job_id: str, index: int) -> List:
+        """Committed values of chunk ``index`` (raises when absent)."""
+        payload = self.backend.get(self._result_key(job_id, index))
+        if payload is None:
+            raise SchedulerError(
+                f"chunk {index} of job {job_id} has no committed result"
+            )
+        return _decode_values(payload, job_id, index)
+
+    def assemble(self, job_id: str) -> List:
+        """All results, flattened in input order; raises if incomplete."""
+        record = self.load_job(job_id)
+        results: List = []
+        for index in range(record.n_chunks):
+            values = self.chunk_values(job_id, index)
+            start, stop = record.chunk_bounds(index)
+            if len(values) != stop - start:
+                raise SchedulerError(
+                    f"chunk {index} of job {job_id} holds {len(values)} "
+                    f"values, expected {stop - start}"
+                )
+            results.extend(values)
+        return results
+
+    # -- accounting ----------------------------------------------------
+
+    def status(self, job_id: str) -> JobStatus:
+        """Chunk accounting for one job at this instant."""
+        record = self.load_job(job_id)
+        now = self._now()
+        done = set(self.result_indices(job_id))
+        leased = 0
+        for index in range(record.n_chunks):
+            if index in done:
+                continue
+            lease = self.backend.get(self._lease_key(job_id, index))
+            if lease is not None and not self._lease_expired(lease, now):
+                leased += 1
+        return JobStatus(
+            job_id=job_id,
+            n_items=record.n_items,
+            n_chunks=record.n_chunks,
+            done=len(done),
+            leased=leased,
+            queued=record.n_chunks - len(done) - leased,
+            cancelled=self.is_cancelled(job_id),
+            note=record.note,
+        )
+
+    def queue_depth(self) -> int:
+        """Claimable chunks across all non-cancelled jobs."""
+        depth = 0
+        for job_id in self.list_jobs():
+            status = self.status(job_id)
+            if not status.cancelled:
+                depth += status.queued
+        if obs.ENABLED:
+            obs.gauge("sched.queue_depth", depth)
+        return depth
+
+    def delete_job(self, job_id: str) -> int:
+        """Remove every record of ``job_id``; returns entries deleted."""
+        removed = 0
+        for key in self.backend.keys(f"job/{job_id}/"):
+            removed += bool(self.backend.delete(key))
+        return removed

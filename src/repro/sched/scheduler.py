@@ -1,0 +1,140 @@
+"""Client-side planning and drain loop for the sweep scheduler.
+
+Two responsibilities:
+
+* :func:`plan_chunksize` — deterministic chunk planning.  It reuses
+  the process pool's ``_chunksize`` arithmetic but feeds it a *fixed*
+  planned worker count instead of ``os.cpu_count()``: the chunk plan
+  is part of the job id, so it must not depend on which machine
+  submitted the job.
+* :func:`drain` — wait for a job to finish while (a) streaming
+  committed chunks to ``progress``/``chunk_done`` callbacks in the
+  exact order/shape the in-process ``map_items`` uses (this is what
+  lets :class:`SweepCheckpoint` persist scheduler-evaluated sweeps
+  unchanged), (b) reaping expired leases so lost chunks re-dispatch
+  promptly, and (c) optionally rescuing stalled chunks in-process, so
+  a drain with zero live workers still completes (degrading to serial
+  evaluation rather than hanging).
+
+Assembly is input-order by construction — chunk ``n`` covers items
+``[n*chunksize, (n+1)*chunksize)`` — so the flattened result is
+bit-identical to ``[fn(x) for x in items]`` no matter how many workers
+evaluated it, in which order, or how many times a chunk was lost and
+re-dispatched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro import obs
+from repro.analysis.parallel import _chunksize
+from repro.errors import SchedulerError
+from repro.sched.queue import JobQueue
+from repro.sched.worker import Worker
+
+__all__ = ["plan_chunksize", "drain"]
+
+#: Planned fan-out used for chunk sizing when the caller does not pin
+#: one.  Deliberately NOT cpu_count(): job ids include the chunk plan,
+#: and resume must produce the same id on any machine.
+DEFAULT_PLAN_WORKERS = 2
+
+
+def plan_chunksize(
+    n_items: int,
+    plan_workers: int = DEFAULT_PLAN_WORKERS,
+    chunksize: Optional[int] = None,
+) -> int:
+    """Chunk size for ``n_items``: explicit override or pool arithmetic."""
+    if chunksize is not None:
+        if chunksize < 1:
+            raise SchedulerError(
+                f"chunksize must be >= 1, got {chunksize}"
+            )
+        return chunksize
+    if plan_workers < 1:
+        raise SchedulerError(
+            f"plan_workers must be >= 1, got {plan_workers}"
+        )
+    return _chunksize(n_items, plan_workers)
+
+
+def drain(
+    queue: JobQueue,
+    job_id: str,
+    poll_s: float = 0.1,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    chunk_done: Optional[Callable[[Sequence[int], Sequence], None]] = None,
+    rescue_after_s: Optional[float] = 1.0,
+    rescue_worker: Optional[Worker] = None,
+) -> List:
+    """Wait until ``job_id`` completes and return its assembled results.
+
+    ``chunk_done(item_indices, values)`` fires exactly once per chunk,
+    in commit order, with global input-order indices — the same
+    contract as ``map_items``.  ``progress(done_items, total_items)``
+    fires whenever new chunks land.
+
+    ``rescue_after_s``: when the queue makes no visible progress (no
+    new commits, no live leases) for that long, evaluate one chunk
+    in-process per poll.  ``None`` disables rescue — then the drain
+    relies entirely on external workers (and ``timeout_s`` is the only
+    guard against waiting forever on an empty worker fleet).
+    """
+    record = queue.load_job(job_id)
+    if poll_s < 0:
+        raise SchedulerError(f"poll_s must be >= 0, got {poll_s}")
+    deadline = None if timeout_s is None else time.time() + timeout_s
+    if rescue_worker is None and rescue_after_s is not None:
+        rescue_worker = Worker(queue, lease_s=max(30.0, 4 * poll_s))
+    seen: set = set()
+    done_items = 0
+    stalled_since: Optional[float] = None
+    with obs.span("sched.drain"):
+        while True:
+            if queue.is_cancelled(job_id):
+                raise SchedulerError(f"job {job_id} was cancelled")
+            committed = queue.result_indices(job_id)
+            fresh = [index for index in committed if index not in seen]
+            for index in fresh:
+                seen.add(index)
+                start, stop = record.chunk_bounds(index)
+                done_items += stop - start
+                if chunk_done is not None:
+                    chunk_done(
+                        range(start, stop), queue.chunk_values(job_id, index)
+                    )
+            if fresh and progress is not None:
+                progress(done_items, record.n_items)
+            if len(seen) >= record.n_chunks:
+                break
+            queue.reap_expired(job_id)
+            status = queue.status(job_id)
+            if obs.ENABLED:
+                obs.gauge("sched.queue_depth", status.queued)
+            now = time.time()
+            if fresh or status.leased:
+                stalled_since = None
+            elif stalled_since is None:
+                stalled_since = now
+            if (
+                rescue_worker is not None
+                and rescue_after_s is not None
+                and stalled_since is not None
+                and now - stalled_since >= rescue_after_s
+            ):
+                if obs.ENABLED:
+                    obs.incr("sched.rescues")
+                rescue_worker.run(job_id=job_id, once=True)
+                continue  # pick up the rescued chunk without sleeping
+            if deadline is not None and now >= deadline:
+                raise SchedulerError(
+                    f"job {job_id} did not finish within {timeout_s}s "
+                    f"({status.done}/{status.n_chunks} chunks done, "
+                    f"{status.leased} leased)"
+                )
+            time.sleep(poll_s)
+    return queue.assemble(job_id)

@@ -1,0 +1,203 @@
+"""The scheduler worker: claim → evaluate → heartbeat → commit.
+
+A worker is a plain process (``repro sched worker QUEUE_DIR``) that
+loops over :meth:`JobQueue.claim`, evaluates the leased chunk's items
+in input order, heartbeats the lease while it computes, and commits
+the values.  Any number of workers may point at the same queue
+directory; none of them coordinate beyond the lease files.
+
+Failure behavior:
+
+* **SIGKILL / power loss** — the held lease simply expires; another
+  worker (or the client's drain loop) re-dispatches the chunk.  The
+  partially computed values die with the process, which is safe
+  because nothing was committed.
+* **SIGTERM / SIGINT** — :class:`repro.core.GracefulShutdown` converts
+  the first signal into a flag checked between items; the worker
+  releases its lease (so the chunk is claimable immediately, without
+  waiting out the expiry) and exits cleanly.
+* **Lost heartbeat** — if the lease was stolen (e.g. this worker
+  stalled past its deadline), the worker abandons the chunk without
+  committing; the thief's commit wins.
+
+Workers export ``REPRO_WORKERS=0`` (unless the environment already
+says otherwise) so workloads that internally call ``map_items`` with
+``workers=None`` run serially instead of forking one pool per CPU per
+worker on an already saturated host.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.shutdown import GracefulShutdown
+from repro.errors import SchedulerError
+from repro.sched.queue import Claim, JobQueue
+
+__all__ = ["Worker", "worker_main", "DEFAULT_LEASE_S", "DEFAULT_POLL_S"]
+
+#: Default lease duration granted per claim.
+DEFAULT_LEASE_S = 30.0
+
+#: Default sleep between claim attempts when the queue is empty.
+DEFAULT_POLL_S = 0.5
+
+
+def default_worker_id() -> str:
+    """A queue-unique worker name: ``<host>-<pid>-<rand>``."""
+    return (
+        f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    )
+
+
+class Worker:
+    """One claim/evaluate/commit loop bound to a queue.
+
+    Usable in-process (the client's rescue path and the tests drive it
+    directly) or as the body of the ``repro sched worker`` process.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        worker_id: Optional[str] = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = DEFAULT_POLL_S,
+    ):
+        if lease_s <= 0:
+            raise SchedulerError(f"lease_s must be > 0, got {lease_s}")
+        if poll_s < 0:
+            raise SchedulerError(f"poll_s must be >= 0, got {poll_s}")
+        self.queue = queue
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        #: (fn, items) unpickled once per job, reused across its chunks.
+        self._payloads: Dict[str, Tuple[Callable, List]] = {}
+
+    def _payload(self, job_id: str) -> Tuple[Callable, List]:
+        cached = self._payloads.get(job_id)
+        if cached is None:
+            cached = self.queue.payload(job_id)
+            # Keep at most a handful of decoded payloads around.
+            if len(self._payloads) >= 4:
+                self._payloads.clear()
+            self._payloads[job_id] = cached
+        return cached
+
+    def run_chunk(
+        self, claim: Claim, shutdown: Optional[GracefulShutdown] = None
+    ) -> bool:
+        """Evaluate and commit one leased chunk.
+
+        Returns ``True`` if this worker's commit won (or the chunk
+        completed), ``False`` if the chunk was abandoned — lease lost,
+        shutdown requested, or a duplicate commit.
+        """
+        record = self.queue.load_job(claim.job_id)
+        fn, items = self._payload(claim.job_id)
+        start, stop = record.chunk_bounds(claim.chunk_index)
+        values: List = []
+        last_beat = time.time()
+        for item in items[start:stop]:
+            if shutdown is not None and shutdown.requested:
+                self.queue.release(
+                    claim.job_id, claim.chunk_index, self.worker_id
+                )
+                return False
+            values.append(fn(item))
+            now = time.time()
+            if now - last_beat > self.lease_s / 3.0:
+                if not self.queue.heartbeat(
+                    claim.job_id,
+                    claim.chunk_index,
+                    self.worker_id,
+                    self.lease_s,
+                ):
+                    # Lease stolen: the thief recomputes identical
+                    # values, so dropping ours loses nothing.
+                    return False
+                last_beat = now
+        return self.queue.commit(
+            claim.job_id, claim.chunk_index, values, self.worker_id
+        )
+
+    def run(
+        self,
+        shutdown: Optional[GracefulShutdown] = None,
+        job_id: Optional[str] = None,
+        once: bool = False,
+        max_idle_s: Optional[float] = None,
+    ) -> int:
+        """Drain the queue; returns the number of chunks committed.
+
+        ``once`` stops after the first claim attempt that yields work
+        (or immediately when the queue is empty).  ``max_idle_s`` stops
+        after that long with nothing claimable — the natural exit for
+        batch workers on shared clusters.
+        """
+        committed = 0
+        idle_since: Optional[float] = None
+        while True:
+            if shutdown is not None and shutdown.requested:
+                break
+            claim = self.queue.claim(
+                self.worker_id, self.lease_s, job_id=job_id
+            )
+            if claim is None:
+                if once:
+                    break
+                now = time.time()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    max_idle_s is not None
+                    and now - idle_since >= max_idle_s
+                ):
+                    break
+                time.sleep(self.poll_s)
+                continue
+            idle_since = None
+            if self.run_chunk(claim, shutdown):
+                committed += 1
+            if once:
+                break
+        return committed
+
+
+def worker_main(
+    root: str,
+    lease_s: float = DEFAULT_LEASE_S,
+    poll_s: float = DEFAULT_POLL_S,
+    max_idle_s: Optional[float] = None,
+    once: bool = False,
+    job_id: Optional[str] = None,
+    worker_id: Optional[str] = None,
+    install_signals: bool = True,
+) -> int:
+    """Entry point behind ``repro sched worker``; returns chunks done."""
+    # The guard must only cover this run: the CLI handler calls this
+    # in-process, and the caller's environment is not ours to keep.
+    had_env = "REPRO_WORKERS" in os.environ
+    os.environ.setdefault("REPRO_WORKERS", "0")
+    try:
+        queue = JobQueue(root)
+        worker = Worker(
+            queue, worker_id=worker_id, lease_s=lease_s, poll_s=poll_s
+        )
+        with GracefulShutdown(install=install_signals) as shutdown:
+            with obs.span("sched.worker"):
+                return worker.run(
+                    shutdown=shutdown,
+                    job_id=job_id,
+                    once=once,
+                    max_idle_s=max_idle_s,
+                )
+    finally:
+        if not had_env:
+            os.environ.pop("REPRO_WORKERS", None)

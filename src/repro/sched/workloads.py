@@ -1,0 +1,75 @@
+"""Picklable demo workloads for scheduler smoke tests and benchmarks.
+
+Scheduler jobs pickle their work function by reference, so anything
+submitted from a ``__main__`` script (the benchmark, CI heredocs, the
+CLI) must resolve to an importable module on the worker side.  This
+module is that place: a representative break-even-contour cell task
+with a tunable per-cell cost knob, plus the grid helpers the CLI's
+``repro sched submit --kind contour`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.contour import _ratio_cell
+from repro.errors import SchedulerError
+from repro.power.energy import ModuleEnergyParameters
+
+__all__ = [
+    "ContourCellTask",
+    "contour_grid",
+    "contour_pairs",
+    "demo_module",
+]
+
+
+def demo_module() -> ModuleEnergyParameters:
+    """A representative datapath module (the Fig. 10 operating regime)."""
+    return ModuleEnergyParameters(
+        name="sched-demo-adder",
+        switched_capacitance_f=45e-12,
+        leakage_low_vt_a=2.0e-6,
+        leakage_high_vt_a=4.0e-9,
+        back_gate_capacitance_f=18e-12,
+        back_gate_swing_v=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class ContourCellTask:
+    """``(fga, bga) -> log10 energy ratio``, repeated ``repeat`` times.
+
+    ``repeat`` re-evaluates the same closed-form cell to emulate
+    heavier per-cell work (a netlist-level energy model, a refinement
+    stack) without changing the answer — the returned value is the
+    last evaluation, identical to ``repeat=1``.  This gives benchmarks
+    and fault tests a workload whose chunk duration is tunable while
+    the result stays bit-comparable to the serial reference.
+    """
+
+    module: ModuleEnergyParameters
+    vdd: float
+    t_cycle_s: float
+    repeat: int = 1
+
+    def __call__(self, pair: Tuple[float, float]) -> Optional[float]:
+        fga, bga = pair
+        value: Optional[float] = None
+        for _ in range(max(1, self.repeat)):
+            value = _ratio_cell(self.module, self.vdd, self.t_cycle_s,
+                                fga, bga)
+        return value
+
+
+def contour_grid(n: int) -> List[float]:
+    """``n`` activity values spanning ``(0, 1]`` uniformly."""
+    if n < 1:
+        raise SchedulerError(f"grid size must be >= 1, got {n}")
+    return [index / n for index in range(1, n + 1)]
+
+
+def contour_pairs(grid: List[float]) -> List[Tuple[float, float]]:
+    """Row-major ``(fga, bga)`` pairs over ``grid`` x ``grid``."""
+    return [(fga, bga) for fga in grid for bga in grid]

@@ -66,6 +66,12 @@ class MemoryBackend:
     def put(self, key: str, payload) -> None:
         self._entries[_check_key(key)] = payload
 
+    def put_new(self, key: str, payload) -> bool:
+        if _check_key(key) in self._entries:
+            return False
+        self._entries[key] = payload
+        return True
+
     def delete(self, key: str) -> bool:
         return self._entries.pop(_check_key(key), None) is not None
 
@@ -145,6 +151,27 @@ class DiskBackend:
             except OSError:
                 pass
             raise
+
+    def put_new(self, key: str, payload) -> bool:
+        """Create ``key`` only if absent; return whether this call won.
+
+        Unlike :meth:`put` (atomic last-writer-wins replace), this uses
+        an exclusive ``O_CREAT | O_EXCL`` create, so exactly one of any
+        number of concurrent callers — including callers in other
+        processes or on other hosts sharing the filesystem — succeeds.
+        The scheduler builds chunk leases on this primitive.
+        """
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        envelope = {"format": STORE_FORMAT, "key": key, "payload": payload}
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, separators=(",", ":"))
+        return True
 
     def delete(self, key: str) -> bool:
         try:
@@ -298,6 +325,22 @@ class ResultStore:
         if obs.ENABLED:
             obs.incr("store.writes")
         self._remember(key, payload)
+
+    def put_new(self, key: str, payload) -> bool:
+        """Exclusive create (see :meth:`DiskBackend.put_new`).
+
+        Note the LRU front is process-local: a *lost* race still leaves
+        the winner's payload on the backend, and this store's front is
+        only updated when this call wins.  Cross-process coordination
+        (leases) should use a backend directly.
+        """
+        created = self.backend.put_new(key, payload)
+        if created:
+            self._writes += 1
+            if obs.ENABLED:
+                obs.incr("store.writes")
+            self._remember(key, payload)
+        return created
 
     def delete(self, key: str) -> bool:
         """Remove one entry from the backend and the front."""

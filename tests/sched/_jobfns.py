@@ -1,0 +1,37 @@
+"""Picklable work functions for the scheduler tests.
+
+Scheduler jobs pickle their function by reference, so anything a
+worker subprocess must evaluate has to live in an importable module —
+this one, imported as ``tests.sched._jobfns`` (the fault tests put
+the repo root on the worker's ``PYTHONPATH``).
+"""
+
+import os
+import time
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x):
+    """Square with enough latency that a chunk spans a kill window."""
+    time.sleep(0.15)
+    return x * x
+
+
+def tuple_echo(x):
+    """Returns a tuple — exercises the pickled result encoding."""
+    return (x, x * x)
+
+
+def log_and_square(task):
+    """Append the item to a log file, then square it.
+
+    The log records which process evaluated which item, letting the
+    resume tests assert that committed chunks are never recomputed.
+    """
+    value, log_path = task
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value} {os.getpid()}\n")
+    return value * value

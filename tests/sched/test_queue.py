@@ -1,0 +1,295 @@
+"""Unit tests for the durable job queue: leases, commits, assembly."""
+
+import pytest
+
+from repro import obs
+from repro.errors import SchedulerError
+from repro.sched.queue import JobQueue
+from repro.store.backend import DiskBackend, MemoryBackend
+from repro.store.hashing import digest
+
+from tests.sched._jobfns import square, tuple_echo
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(str(tmp_path / "queue"))
+
+
+class TestSubmit:
+    def test_submit_plans_chunks(self, queue):
+        record = queue.submit(square, list(range(10)), chunksize=3)
+        assert record.n_items == 10
+        assert record.n_chunks == 4
+        assert record.chunk_bounds(0) == (0, 3)
+        assert record.chunk_bounds(3) == (9, 10)
+
+    def test_submit_is_idempotent(self, queue):
+        first = queue.submit(square, [1, 2, 3], chunksize=2)
+        second = queue.submit(square, [1, 2, 3], chunksize=2)
+        assert first.job_id == second.job_id
+        assert queue.list_jobs() == [first.job_id]
+
+    def test_different_work_gets_different_ids(self, queue):
+        a = queue.submit(square, [1, 2, 3], chunksize=2)
+        b = queue.submit(square, [1, 2, 4], chunksize=2)
+        c = queue.submit(square, [1, 2, 3], chunksize=3)
+        assert len({a.job_id, b.job_id, c.job_id}) == 3
+
+    def test_empty_job_rejected(self, queue):
+        with pytest.raises(SchedulerError):
+            queue.submit(square, [], chunksize=1)
+
+    def test_bad_chunksize_rejected(self, queue):
+        with pytest.raises(SchedulerError):
+            queue.submit(square, [1], chunksize=0)
+
+    def test_unpicklable_payload_rejected(self, queue):
+        with pytest.raises(SchedulerError):
+            queue.submit(lambda x: x, [1, 2], chunksize=1)
+
+    def test_payload_round_trips(self, queue):
+        record = queue.submit(square, [4, 5], chunksize=1)
+        fn, items = queue.payload(record.job_id)
+        assert fn is square
+        assert items == [4, 5]
+
+    def test_missing_job_raises(self, queue):
+        with pytest.raises(SchedulerError, match="no such job"):
+            queue.load_job("deadbeef")
+        assert queue.load_job("deadbeef", missing_ok=True) is None
+
+
+class TestClaimCommit:
+    def test_claim_commit_assemble(self, queue):
+        record = queue.submit(square, list(range(7)), chunksize=3)
+        while True:
+            claim = queue.claim("w1", lease_s=30.0)
+            if claim is None:
+                break
+            fn, items = queue.payload(claim.job_id)
+            start, stop = record.chunk_bounds(claim.chunk_index)
+            values = [fn(item) for item in items[start:stop]]
+            assert queue.commit(
+                claim.job_id, claim.chunk_index, values, "w1"
+            )
+        assert queue.assemble(record.job_id) == [
+            x * x for x in range(7)
+        ]
+        assert queue.status(record.job_id).finished
+
+    def test_live_lease_blocks_other_workers(self, queue):
+        record = queue.submit(square, [1, 2], chunksize=1)
+        first = queue.claim("w1", lease_s=60.0, job_id=record.job_id)
+        second = queue.claim("w2", lease_s=60.0, job_id=record.job_id)
+        assert first.chunk_index != second.chunk_index
+        assert queue.claim("w3", lease_s=60.0, job_id=record.job_id) is None
+
+    def test_duplicate_commit_is_idempotent(self, queue):
+        record = queue.submit(square, [1, 2, 3], chunksize=3)
+        claim = queue.claim("w1", lease_s=30.0)
+        values = [1, 4, 9]
+        assert queue.commit(record.job_id, claim.chunk_index, values, "w1")
+        # A second worker that stole the lease and finished later
+        # commits the identical values; the first write wins silently.
+        with obs.enabled_scope():
+            assert not queue.commit(
+                record.job_id, claim.chunk_index, values, "w2"
+            )
+            assert obs.counter_value("sched.duplicate_commits") == 1
+        assert queue.assemble(record.job_id) == values
+
+    def test_commit_validates_chunk_length(self, queue):
+        record = queue.submit(square, [1, 2, 3], chunksize=3)
+        with pytest.raises(SchedulerError, match="expects 3 values"):
+            queue.commit(record.job_id, 0, [1], "w1")
+
+    def test_committed_chunk_never_reclaimed(self, queue):
+        record = queue.submit(square, [1, 2], chunksize=1)
+        claim = queue.claim("w1", lease_s=30.0)
+        queue.commit(record.job_id, claim.chunk_index, [1], "w1")
+        other = queue.claim("w2", lease_s=30.0)
+        assert other.chunk_index != claim.chunk_index
+        queue.commit(record.job_id, other.chunk_index, [4], "w2")
+        assert queue.claim("w3", lease_s=30.0) is None
+
+    def test_release_frees_chunk_immediately(self, queue):
+        record = queue.submit(square, [1], chunksize=1)
+        claim = queue.claim("w1", lease_s=600.0)
+        assert queue.claim("w2", lease_s=600.0) is None
+        assert queue.release(record.job_id, claim.chunk_index, "w1")
+        assert queue.claim("w2", lease_s=600.0) is not None
+
+    def test_cancel_stops_claims_everywhere(self, queue):
+        record = queue.submit(square, [1, 2], chunksize=1)
+        queue.cancel(record.job_id)
+        assert queue.is_cancelled(record.job_id)
+        assert queue.claim("w1", lease_s=30.0) is None
+        assert queue.queue_depth() == 0
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_is_stolen(self, tmp_path):
+        clock = [1000.0]
+        queue = JobQueue(
+            str(tmp_path), clock_skew_s=2.0, _now=lambda: clock[0]
+        )
+        record = queue.submit(square, [1], chunksize=1)
+        assert queue.claim("w1", lease_s=10.0) is not None
+        # Within lease + skew: still protected.
+        clock[0] += 11.0
+        assert queue.claim("w2", lease_s=10.0) is None
+        # Past lease + skew: stolen.
+        clock[0] += 2.0
+        with obs.enabled_scope():
+            stolen = queue.claim("w2", lease_s=10.0)
+            assert stolen is not None
+            assert obs.counter_value("sched.leases_expired") == 1
+        assert stolen.chunk_index == 0
+
+    def test_clock_skew_protects_slow_clocks(self, tmp_path):
+        """A generous skew keeps a lease alive well past its deadline.
+
+        Worker hosts whose clocks lag the client's must not have their
+        live leases stolen the instant the (fast) client clock passes
+        the deadline — ``clock_skew_s`` is that margin.
+        """
+        clock = [0.0]
+        generous = JobQueue(
+            str(tmp_path / "a"), clock_skew_s=30.0, _now=lambda: clock[0]
+        )
+        record = generous.submit(square, [1], chunksize=1)
+        assert generous.claim("w1", lease_s=5.0) is not None
+        clock[0] += 20.0  # 15 s past deadline, inside the 30 s skew
+        assert generous.claim("w2", lease_s=5.0) is None
+        status = generous.status(record.job_id)
+        assert status.leased == 1 and status.queued == 0
+
+        strict = JobQueue(
+            str(tmp_path / "b"), clock_skew_s=0.5, _now=lambda: clock[0]
+        )
+        strict.submit(square, [1], chunksize=1)
+        assert strict.claim("w1", lease_s=5.0) is not None
+        clock[0] += 20.0
+        assert strict.claim("w2", lease_s=5.0) is not None
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        clock = [0.0]
+        queue = JobQueue(
+            str(tmp_path), clock_skew_s=0.0, _now=lambda: clock[0]
+        )
+        record = queue.submit(square, [1], chunksize=1)
+        queue.claim("w1", lease_s=10.0)
+        clock[0] += 8.0
+        assert queue.heartbeat(record.job_id, 0, "w1", lease_s=10.0)
+        clock[0] += 8.0  # 16 s after claim, 8 s after heartbeat
+        assert queue.claim("w2", lease_s=10.0) is None
+
+    def test_heartbeat_fails_after_steal(self, tmp_path):
+        clock = [0.0]
+        queue = JobQueue(
+            str(tmp_path), clock_skew_s=0.0, _now=lambda: clock[0]
+        )
+        record = queue.submit(square, [1], chunksize=1)
+        queue.claim("w1", lease_s=5.0)
+        clock[0] += 10.0
+        assert queue.claim("w2", lease_s=5.0) is not None
+        assert not queue.heartbeat(record.job_id, 0, "w1", lease_s=5.0)
+
+    def test_reap_expired_updates_accounting(self, tmp_path):
+        clock = [0.0]
+        queue = JobQueue(
+            str(tmp_path), clock_skew_s=0.0, _now=lambda: clock[0]
+        )
+        record = queue.submit(square, [1, 2], chunksize=1)
+        queue.claim("w1", lease_s=5.0)
+        clock[0] += 10.0
+        assert queue.reap_expired(record.job_id) == 1
+        status = queue.status(record.job_id)
+        assert status.leased == 0 and status.queued == 2
+
+
+class TestResultEncoding:
+    def test_tuple_results_round_trip_exactly(self, queue):
+        record = queue.submit(tuple_echo, [1, 2, 3], chunksize=2)
+        for index in range(record.n_chunks):
+            claim = queue.claim("w1", lease_s=30.0)
+            fn, items = queue.payload(claim.job_id)
+            start, stop = record.chunk_bounds(claim.chunk_index)
+            queue.commit(
+                claim.job_id,
+                claim.chunk_index,
+                [fn(item) for item in items[start:stop]],
+                "w1",
+            )
+        assembled = queue.assemble(record.job_id)
+        assert assembled == [tuple_echo(x) for x in [1, 2, 3]]
+        assert all(isinstance(value, tuple) for value in assembled)
+
+    def test_float_results_digest_identical(self, queue):
+        items = [0.1 * k for k in range(9)]
+        record = queue.submit(square, items, chunksize=4)
+        while (claim := queue.claim("w1", lease_s=30.0)) is not None:
+            fn, job_items = queue.payload(claim.job_id)
+            start, stop = record.chunk_bounds(claim.chunk_index)
+            queue.commit(
+                claim.job_id,
+                claim.chunk_index,
+                [fn(item) for item in job_items[start:stop]],
+                "w1",
+            )
+        serial = [square(x) for x in items]
+        assert digest(queue.assemble(record.job_id)) == digest(serial)
+
+
+class TestObsCounters:
+    def test_scheduler_counters_recorded(self, queue):
+        with obs.enabled_scope():
+            record = queue.submit(square, [1, 2, 3, 4], chunksize=2)
+            claim = queue.claim("w1", lease_s=30.0)
+            queue.heartbeat(
+                record.job_id, claim.chunk_index, "w1", lease_s=30.0
+            )
+            queue.commit(record.job_id, claim.chunk_index, [1, 4], "w1")
+            depth = queue.queue_depth()
+            snapshot = obs.snapshot()
+        counters = snapshot["counters"]
+        assert counters["sched.jobs"] == 1
+        assert counters["sched.chunks_claimed"] == 1
+        assert counters["sched.heartbeats"] == 1
+        assert counters["sched.chunks_committed"] == 1
+        assert depth == 1
+        assert snapshot["gauges"]["sched.queue_depth"] == 1
+
+
+class TestBackendPutNew:
+    def test_disk_put_new_is_exclusive(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        assert backend.put_new("lease/0", {"worker": "a"})
+        assert not backend.put_new("lease/0", {"worker": "b"})
+        assert backend.get("lease/0") == {"worker": "a"}
+
+    def test_memory_put_new_is_exclusive(self):
+        backend = MemoryBackend()
+        assert backend.put_new("k", 1)
+        assert not backend.put_new("k", 2)
+        assert backend.get("k") == 1
+
+    def test_put_new_after_delete_succeeds(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put_new("k", 1)
+        backend.delete("k")
+        assert backend.put_new("k", 2)
+        assert backend.get("k") == 2
+
+    def test_torn_put_new_self_heals(self, tmp_path):
+        """A file torn mid-``put_new`` reads as absent and is dropped."""
+        backend = DiskBackend(str(tmp_path))
+        path = backend._path("lease/0")
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-store-v1", "key": "lea')
+        assert backend.get("lease/0") is None  # dropped as corrupt
+        assert backend.put_new("lease/0", {"worker": "a"})

@@ -1,0 +1,190 @@
+"""Fault-injection tests for the distributed scheduler.
+
+Real worker subprocesses are killed mid-run (SIGKILL — the OOM
+killer's signal) and the lease protocol is asserted end to end: the
+dead worker's lease expires, the chunk is re-dispatched, no chunk is
+lost or duplicated, and the assembled result is bit-identical (by
+store digest) to the serial evaluation.  SIGTERM is the clean
+counterpart: the worker abandons its chunk, releases the lease, and
+exits 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.sched.queue import JobQueue
+from repro.sched.scheduler import drain
+from repro.store.hashing import digest
+
+from tests.sched._jobfns import slow_square
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="fault injection uses POSIX signals"
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _worker_env():
+    """Workers must import both ``repro`` and ``tests.sched._jobfns``."""
+    env = dict(os.environ)
+    parts = [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    existing = env.get("PYTHONPATH")
+    if existing:
+        parts.append(existing)
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+def _spawn_worker(root, lease_s, poll_s=0.05):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "sched",
+            "worker",
+            str(root),
+            "--lease-s",
+            str(lease_s),
+            "--poll-s",
+            str(poll_s),
+        ],
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for(predicate, timeout_s=30.0, poll_s=0.02):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+class TestSigkill:
+    def test_killed_worker_chunk_redispatched_digest_identical(
+        self, tmp_path
+    ):
+        """SIGKILL mid-run: lease expires, chunk re-dispatched, final
+        digest equals the serial evaluation's."""
+        root = str(tmp_path / "queue")
+        queue = JobQueue(root, clock_skew_s=0.2)
+        items = list(range(8))
+        record = queue.submit(slow_square, items, chunksize=2)
+        worker = _spawn_worker(root, lease_s=1.0)
+        try:
+            # Let it commit at least one chunk, then kill it while the
+            # next chunk is mid-evaluation (each chunk takes ~0.3 s).
+            assert _wait_for(
+                lambda: len(queue.result_indices(record.job_id)) >= 1
+            ), "worker never committed a chunk"
+            worker.send_signal(signal.SIGKILL)
+            worker.wait()
+            committed_at_kill = set(queue.result_indices(record.job_id))
+            assert len(committed_at_kill) < record.n_chunks
+            leased_at_kill = queue.status(record.job_id).leased
+
+            with obs.enabled_scope():
+                result = drain(
+                    queue,
+                    record.job_id,
+                    poll_s=0.05,
+                    timeout_s=60.0,
+                    rescue_after_s=0.1,
+                )
+                expired = obs.counter_value("sched.leases_expired")
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait()
+        serial = [x * x for x in items]
+        assert result == serial
+        assert digest(result) == digest(serial)
+        # Exactly one result per chunk: nothing lost, nothing duplicated.
+        assert queue.result_indices(record.job_id) == list(
+            range(record.n_chunks)
+        )
+        # If the worker died holding a lease, that lease had to expire
+        # (and be stolen or reaped) before the chunk was re-dispatched.
+        if leased_at_kill:
+            assert expired >= 1
+        # Re-submitting the identical job resumes as already-finished.
+        again = queue.submit(slow_square, items, chunksize=2)
+        assert again.job_id == record.job_id
+        assert queue.status(record.job_id).finished
+
+    def test_surviving_worker_finishes_after_peer_killed(self, tmp_path):
+        """Two workers, one killed: the survivor drains everything and
+        the drain loop never has to rescue in-process."""
+        root = str(tmp_path / "queue")
+        queue = JobQueue(root, clock_skew_s=0.2)
+        items = list(range(10))
+        record = queue.submit(slow_square, items, chunksize=2)
+        workers = [
+            _spawn_worker(root, lease_s=1.0),
+            _spawn_worker(root, lease_s=1.0),
+        ]
+        try:
+            assert _wait_for(
+                lambda: len(queue.result_indices(record.job_id)) >= 1
+            ), "no worker committed a chunk"
+            workers[0].send_signal(signal.SIGKILL)
+            workers[0].wait()
+            result = drain(
+                queue,
+                record.job_id,
+                poll_s=0.05,
+                timeout_s=60.0,
+                rescue_after_s=None,  # recovery must come from the peer
+            )
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in workers:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        serial = [x * x for x in items]
+        assert result == serial
+        assert digest(result) == digest(serial)
+
+
+class TestSigterm:
+    def test_sigterm_releases_lease_and_exits_zero(self, tmp_path):
+        """Clean shutdown: the worker abandons its chunk mid-evaluation,
+        releases the lease (no expiry wait), and exits 0."""
+        root = str(tmp_path / "queue")
+        queue = JobQueue(root, clock_skew_s=0.2)
+        # One big slow chunk (~1.2 s) so SIGTERM lands mid-chunk.
+        record = queue.submit(slow_square, list(range(8)), chunksize=8)
+        worker = _spawn_worker(root, lease_s=30.0)
+        try:
+            assert _wait_for(
+                lambda: queue.status(record.job_id).leased == 1
+            ), "worker never claimed the chunk"
+            worker.terminate()
+            assert worker.wait(timeout=30) == 0
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait()
+        status = queue.status(record.job_id)
+        # Nothing committed (the chunk was abandoned), and the lease
+        # was released voluntarily — claimable again immediately.
+        assert status.done == 0
+        assert status.leased == 0
+        assert queue.claim("w2", lease_s=30.0) is not None

@@ -544,3 +544,115 @@ class TestCharacterizeCommand:
         assert code == 0
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-liberty-lite-v1"
+
+
+class TestSchedParserArgs:
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["sched", "worker", "q"])
+        assert args.queue == "q"
+        assert args.lease_s == 30.0
+        assert args.poll_s == 0.5
+        assert args.max_idle_s is None
+        assert args.once is False
+        assert args.job is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["sched", "submit", "q"])
+        assert args.kind == "contour"
+        assert args.grid == 12
+        assert args.plan_workers == 2
+
+    def test_sched_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sched"])
+
+    def test_cancel_requires_job_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sched", "cancel", "q"])
+
+    def test_contour_accepts_scheduler_dir(self):
+        args = build_parser().parse_args(["contour", "--scheduler", "d"])
+        assert args.scheduler == "d"
+        assert build_parser().parse_args(["contour"]).scheduler is None
+
+    def test_variation_accepts_scheduler_dir(self):
+        args = build_parser().parse_args(
+            ["variation", "--scheduler", "d"]
+        )
+        assert args.scheduler == "d"
+
+
+class TestSchedCommand:
+    def test_submit_worker_status_cancel_round_trip(
+        self, tmp_path, capsys
+    ):
+        queue = str(tmp_path / "queue")
+        assert main(
+            ["sched", "submit", queue, "--grid", "4", "--note", "smoke"]
+        ) == 0
+        submitted = capsys.readouterr().out
+        match = re.search(r"Job submitted: (\S+) \((\d+) items", submitted)
+        assert match, submitted
+        job_id, n_items = match.group(1), int(match.group(2))
+        assert n_items == 16
+
+        assert main(["sched", "status", queue]) == 0
+        status = capsys.readouterr().out
+        assert job_id in status
+        assert "running" in status
+        assert "smoke" in status
+        assert "queue depth:" in status
+
+        assert main(
+            ["sched", "worker", queue, "--max-idle-s", "0.2",
+             "--poll-s", "0.05"]
+        ) == 0
+        drained = capsys.readouterr().out
+        assert re.search(r"worker drained \d+ chunk\(s\)", drained)
+
+        assert main(["sched", "status", queue, "--job", job_id]) == 0
+        finished = capsys.readouterr().out
+        assert "finished" in finished
+        assert "queue depth: 0" in finished
+
+    def test_submit_is_idempotent_across_invocations(
+        self, tmp_path, capsys
+    ):
+        queue = str(tmp_path / "queue")
+        assert main(["sched", "submit", queue, "--grid", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["sched", "submit", queue, "--grid", "3"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_cancel_marks_job_cancelled(self, tmp_path, capsys):
+        queue = str(tmp_path / "queue")
+        assert main(["sched", "submit", queue, "--grid", "3"]) == 0
+        job_id = re.search(
+            r"Job submitted: (\S+)", capsys.readouterr().out
+        ).group(1)
+        assert main(["sched", "cancel", queue, job_id]) == 0
+        assert f"Job cancelled: {job_id}" in capsys.readouterr().out
+        assert main(["sched", "status", queue]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_empty_queue_status(self, tmp_path, capsys):
+        queue = str(tmp_path / "queue")
+        assert main(["sched", "status", queue]) == 0
+        output = capsys.readouterr().out
+        assert "no jobs" in output
+        assert "queue depth: 0" in output
+
+    def test_contour_with_scheduler_matches_serial(self, tmp_path, capsys):
+        base = ["contour", "--grid", "5", "--vdd", "1.0"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            base + ["--scheduler", str(tmp_path / "queue"), "--workers", "1"]
+        ) == 0
+        scheduled = capsys.readouterr().out
+        # Identical except the title line that names the worker count.
+        strip = lambda text: [
+            line for line in text.splitlines() if "workers" not in line
+        ]
+        assert strip(scheduled) == strip(serial)
