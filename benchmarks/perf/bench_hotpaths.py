@@ -43,6 +43,12 @@ measurements to ``BENCH_hotpaths.json`` at the repo root:
    subprocesses vs the plain serial loop.  Assembled surfaces must be
    digest-identical to serial; the 2-worker/1-worker scaling ratio is
    recorded honestly alongside ``os.cpu_count()``.
+9. **Batched (V_DD, V_T) energy surface** — the per-point chain (one
+   ``fanout_delay``/``energy_per_transition``/``leakage_current`` call
+   stack per grid cell, one cached characterizer per V_T corner) vs
+   the plan-based Fig. 3/4 ``energy_surface`` whose rows run through
+   decoded operating plans.  Grids must be bit-identical; the
+   acceptance target is a >=3x speedup.
 
 Usage::
 
@@ -200,9 +206,16 @@ def _bench_grid_module() -> ModuleEnergyParameters:
 
 
 def bench_contour(quick: bool, workers: int) -> dict:
+    from repro.analysis.parallel import _MIN_PARALLEL_ITEMS
+
     n = 24 if quick else 64
     grid = [i / n for i in range(1, n + 1)]
     module = _bench_grid_module()
+
+    # Warm the characterizer memos before timing either strategy:
+    # whichever call runs second in this process hits warm memos and
+    # would otherwise be credited with a fictitious cache speedup.
+    energy_ratio_surface(module, 1.0, 1e-6, grid, grid)
 
     serial, serial_seconds = _timed(
         lambda: energy_ratio_surface(module, 1.0, 1e-6, grid, grid)
@@ -215,6 +228,10 @@ def bench_contour(quick: bool, workers: int) -> dict:
     return {
         "grid": [n, n],
         "workers": workers,
+        # Below the min-items threshold the workers= path deliberately
+        # runs serially (the small-grid fan-out regression fix), so the
+        # ratio measures fallback overhead, not pool scaling.
+        "min_items_fallback": n * n < _MIN_PARALLEL_ITEMS,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "parallel_speedup": serial_seconds / parallel_seconds,
@@ -522,7 +539,78 @@ def bench_yield_optimum(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 9. Distributed scheduler: serial vs durable queue + local workers
+# 9. Batched energy surface: per-point chain vs decoded operating plans
+# ----------------------------------------------------------------------
+def bench_surface(quick: bool) -> dict:
+    """The Fig. 3/4 plane: per-point characterization vs plan kernels.
+
+    The reference replicates what the surface does cell by cell with
+    the pre-plan call chain — one cached characterizer per V_T corner,
+    a full ``fanout_delay`` feasibility probe and (where feasible) the
+    ``energy_per_transition``/``leakage_current`` pair per V_DD point,
+    associated exactly like ``RingOscillatorModel.energy_per_cycle``.
+    The plan path must reproduce it float for float.
+    """
+    from repro.analysis.surface import energy_surface
+
+    n_vt = 10 if quick else 20
+    n_vdd = 16 if quick else 40
+    stages = 11
+    activity = 1.0
+    t_cycle_s = 5e-8  # 20 MHz: part of the plane is infeasible
+    cycle_stages = 2 * stages
+    target = t_cycle_s / cycle_stages
+    technology = soi_low_vt()
+    vts = [0.08 + 0.4 * i / (n_vt - 1) for i in range(n_vt)]
+    vdds = [0.2 + 1.3 * j / (n_vdd - 1) for j in range(n_vdd)]
+    inverter = standard_cells()["INV"]
+
+    def per_point_chain():
+        rows = []
+        for vt in vts:
+            corner = CellCharacterizer(technology.with_vt(vt))
+            row = []
+            for vdd in vdds:
+                if corner.fanout_delay(inverter, vdd, fanout=1) > target:
+                    row.append(None)
+                    continue
+                load = inverter.input_capacitance(corner.technology, vdd)
+                switching = stages * activity * corner.energy_per_transition(
+                    inverter, vdd, load
+                )
+                leakage_current = stages * corner.leakage_current(
+                    inverter, vdd
+                )
+                row.append(
+                    switching + leakage_current * vdd * t_cycle_s
+                )
+            rows.append(tuple(row))
+        return tuple(rows)
+
+    reference, ref_seconds = _timed(per_point_chain)
+    planned, plan_seconds = _timed(
+        lambda: energy_surface(
+            technology, vts, vdds, t_cycle_s,
+            stages=stages, activity=activity, cycle_stages=cycle_stages,
+        )
+    )
+    cells = n_vt * n_vdd
+    return {
+        "grid": [n_vt, n_vdd],
+        "stages": stages,
+        "t_cycle_s": t_cycle_s,
+        "feasible_cells": planned.grid.defined_cells(),
+        "reference_seconds": ref_seconds,
+        "planned_seconds": plan_seconds,
+        "reference_cells_per_s": cells / ref_seconds,
+        "planned_cells_per_s": cells / plan_seconds,
+        "speedup": ref_seconds / plan_seconds,
+        "identical": planned.grid.zs == reference,
+    }
+
+
+# ----------------------------------------------------------------------
+# 10. Distributed scheduler: serial vs durable queue + local workers
 # ----------------------------------------------------------------------
 def bench_scheduler(quick: bool) -> dict:
     """Contour workload through the ``repro.sched`` queue.
@@ -593,7 +681,7 @@ def bench_scheduler(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 10. Observability snapshot (instrumented rerun of small workloads)
+# 11. Observability snapshot (instrumented rerun of small workloads)
 # ----------------------------------------------------------------------
 def bench_observability(workers: int) -> dict:
     """A small instrumented pass recording the hot-path counters.
@@ -651,6 +739,7 @@ def run(quick: bool, workers: int) -> dict:
         "contour": bench_contour_refine(quick),
         "yield_optimum": bench_yield_optimum(quick),
         "scheduler": bench_scheduler(quick),
+        "surface": bench_surface(quick),
         "observability": bench_observability(workers),
     }
     return results
@@ -690,6 +779,7 @@ def main(argv=None) -> int:
     contour = results["contour"]
     yld = results["yield_optimum"]
     sched = results["scheduler"]
+    surf = results["surface"]
     print(f"wrote {args.out}")
     print(
         f"simulator       {sim['speedup']:6.2f}x  "
@@ -703,10 +793,15 @@ def main(argv=None) -> int:
         f"(cold {opt['cold_speedup']:.2f}x, warm {opt['warm_speedup']:.2f}x, "
         f"identical={opt['points_identical']})"
     )
+    grid_mode = (
+        "small-grid serial fallback"
+        if grid["min_items_fallback"]
+        else f"on {results['meta']['cpu_count']} CPU(s)"
+    )
     print(
         f"contour grid    {grid['parallel_speedup']:6.2f}x with "
-        f"workers={grid['workers']} on {results['meta']['cpu_count']} CPU(s) "
-        f"(identical={grid['grids_identical']})"
+        f"workers={grid['workers']} ({grid_mode}, "
+        f"identical={grid['grids_identical']})"
     )
     print(
         f"monte carlo     {mc['parallel_speedup']:6.2f}x with "
@@ -751,6 +846,13 @@ def main(argv=None) -> int:
         f"scaling {sched['scaling_2w_over_1w']:.2f}x over "
         f"{sched['items']} items, identical={sched['identical']})"
     )
+    print(
+        f"energy surface  {surf['speedup']:6.2f}x  "
+        f"({surf['reference_cells_per_s']:.0f} -> "
+        f"{surf['planned_cells_per_s']:.0f} cells/s over a "
+        f"{surf['grid'][0]}x{surf['grid'][1]} (V_T, V_DD) grid, "
+        f"identical={surf['identical']})"
+    )
     n_counters = len(results["observability"]["counters"])
     n_timers = len(results["observability"]["timers"])
     print(
@@ -770,6 +872,7 @@ def main(argv=None) -> int:
         and contour["contour_match"]
         and yld["identical"]
         and sched["identical"]
+        and surf["identical"]
     )
     if not ok:
         print("ERROR: fast/parallel paths diverged from reference", file=sys.stderr)

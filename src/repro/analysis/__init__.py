@@ -9,6 +9,7 @@ from repro.analysis.contour import (
     zero_crossing_cells,
     ApplicationPoint,
 )
+from repro.analysis.surface import EnergySurface, energy_surface
 from repro.analysis.comparator import (
     TechnologyComparator,
     TechnologyVerdict,
@@ -42,6 +43,8 @@ __all__ = [
     "breakeven_bga",
     "zero_crossing_cells",
     "ApplicationPoint",
+    "EnergySurface",
+    "energy_surface",
     "TechnologyComparator",
     "TechnologyVerdict",
     "format_table",

@@ -302,13 +302,18 @@ def _evaluate_points(
     store_key: Optional[str],
     checkpoint_every: int,
     scheduler=None,
+    min_parallel_items=None,
 ) -> List[Optional[float]]:
     """Evaluate sparse lattice points, checkpointed when stored.
 
     ``points`` must be deterministic for a given base surface — the
     flat position of each point keys its checkpoint cell, so a resumed
     run (which restores the same base grid bit-identically) addresses
-    the same cells.
+    the same cells.  ``min_parallel_items`` follows the
+    :func:`repro.analysis.parallel.map_items` contract: refinement
+    levels usually produce far fewer points than the base grid, so
+    callers with cheap cells pass the library threshold to keep small
+    fan-outs off the pool.
     """
     from repro.analysis.parallel import _PairFn
     from repro.analysis.sweep import _fanout_items
@@ -316,7 +321,8 @@ def _evaluate_points(
     pairs = [(xs[i], ys[j]) for i, j in points]
     if store is None:
         return _fanout_items(
-            _PairFn(cell), pairs, workers, scheduler, progress=progress
+            _PairFn(cell), pairs, workers, scheduler, progress=progress,
+            min_parallel_items=min_parallel_items,
         )
     from repro.store.checkpoint import SweepCheckpoint
 
@@ -345,6 +351,7 @@ def _evaluate_points(
             scheduler,
             progress=progress,
             chunk_done=on_chunk,
+            min_parallel_items=min_parallel_items,
         )
     checkpoint.finalize()
     return [values[k] for k in range(len(points))]
@@ -364,6 +371,8 @@ def _refine_surface(
     scheduler=None,
 ) -> RefinedSurface:
     """Recursively subdivide only the cells near the zero contour."""
+    from repro.analysis.parallel import _MIN_PARALLEL_ITEMS
+
     cell = functools.partial(_ratio_cell, module, vdd, t_cycle_s)
     stride = 1 << levels
     xs = _subdivide_axis(grid.xs, levels)
@@ -433,6 +442,7 @@ def _refine_surface(
             values = _evaluate_points(
                 cell, needed, xs, ys, workers, progress, store,
                 store_key, checkpoint_every, scheduler=scheduler,
+                min_parallel_items=_MIN_PARALLEL_ITEMS,
             )
             known.update(zip(needed, values))
         active = [

@@ -41,13 +41,18 @@ Observability (:mod:`repro.obs`, when enabled):
 * ``parallel.timeouts`` — chunks abandoned for exceeding ``timeout_s``,
 * ``parallel.fallbacks`` — times the engine degraded to the serial
   path (for any reason),
-* ``parallel.items`` — work items completed (either path).
+* ``parallel.items`` — work items completed (either path),
+* ``parallel.min_items_fallbacks`` — parallel requests served serially
+  because the work list was below ``min_parallel_items``,
+* ``parallel.pickle_fallbacks`` — parallel requests served serially
+  because the function was unpicklable (also warned once per process).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -70,6 +75,22 @@ _CHUNKS_PER_WORKER = 4
 #: Pool rebuilds attempted after ``BrokenProcessPool`` before the
 #: remaining chunks degrade to the serial path.
 _DEFAULT_MAX_RETRIES = 2
+
+#: Below this many work items a process pool loses outright for cheap
+#: cell functions: spawning workers and pickling chunks costs more than
+#: the evaluation itself (the seed benchmark measured a 64x64 contour
+#: grid ~14x *slower* at 2 workers than serial).  Grid fan-outs with
+#: closed-form cells (``map_grid``, the contour/ratio-surface
+#: pipelines) opt in to this threshold by default; callers whose items
+#: are individually expensive (Monte-Carlo chunk tasks, ring-oscillator
+#: surface cells) pass ``min_parallel_items=0`` — or an explicit
+#: ``chunksize``, which always bypasses the gate — to keep the pool.
+_MIN_PARALLEL_ITEMS = 8192
+
+#: One-time flag for the unpicklable-function warning (satellite of the
+#: silent-serial-fallback fix): users asking for ``workers=8`` with a
+#: closure should learn they got 1, once, not per sweep.
+_PICKLE_FALLBACK_WARNED = False
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -301,6 +322,7 @@ def map_items(
     progress: Optional[Callable[[int, int], None]] = None,
     max_retries: int = _DEFAULT_MAX_RETRIES,
     chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]] = None,
+    min_parallel_items: Optional[int] = None,
 ) -> List[_R]:
     """``[fn(item) for item in items]``, possibly across processes.
 
@@ -332,10 +354,46 @@ def map_items(
         (serial path: per item).  This is the checkpointing hook — a
         chunk handed to ``chunk_done`` is complete and will never be
         re-dispatched, so persisting it is safe.
+    min_parallel_items:
+        Work lists shorter than this are evaluated serially even when
+        ``workers`` asks for a pool (counted in
+        ``parallel.min_items_fallbacks``) — below the threshold the
+        pool's spawn/IPC overhead dominates cheap per-item work.
+        ``None`` (the default) disables the gate; an explicit
+        ``chunksize`` also bypasses it (the caller has already sized
+        the IPC trade-off).  See :data:`_MIN_PARALLEL_ITEMS`.
     """
     work = list(items)
     n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(work) <= 1 or not _picklable(fn):
+    serial = n_workers <= 1 or len(work) <= 1
+    if not serial and not _picklable(fn):
+        # The caller asked for a pool it cannot have: say so once
+        # (and count every occurrence) instead of silently running on
+        # one core.
+        serial = True
+        if obs.ENABLED:
+            obs.incr("parallel.pickle_fallbacks")
+        global _PICKLE_FALLBACK_WARNED
+        if not _PICKLE_FALLBACK_WARNED:
+            _PICKLE_FALLBACK_WARNED = True
+            warnings.warn(
+                f"map_items: {fn!r} is not picklable (a lambda or "
+                f"closure?); the requested {n_workers} workers degrade "
+                "to serial evaluation. Use a module-level function or "
+                "a picklable callable class for actual parallelism.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if (
+        not serial
+        and chunksize is None
+        and min_parallel_items is not None
+        and len(work) < min_parallel_items
+    ):
+        serial = True
+        if obs.ENABLED:
+            obs.incr("parallel.min_items_fallbacks")
+    if serial:
         if obs.ENABLED and work:
             obs.incr("parallel.items", len(work))
         results = []
@@ -383,6 +441,7 @@ def map_grid(
     progress: Optional[Callable[[int, int], None]] = None,
     max_retries: int = _DEFAULT_MAX_RETRIES,
     chunk_done: Optional[Callable[[Sequence[int], Sequence[_R]], None]] = None,
+    min_parallel_items: Optional[int] = _MIN_PARALLEL_ITEMS,
 ) -> List[List[_R]]:
     """Evaluate ``fn`` over the cartesian grid, row-major.
 
@@ -392,6 +451,12 @@ def map_grid(
     fault-tolerance, timeout, progress, and ``chunk_done`` semantics
     are those of :func:`map_items` (``chunk_done`` indices address the
     row-major flattening: cell ``(i, j)`` is index ``i * len(ys) + j``).
+
+    Grids below ``min_parallel_items`` cells run serially by default —
+    pool overhead dominates cheap grid cells there (results are
+    bit-identical either way).  Pass ``min_parallel_items=0`` for grids
+    of individually expensive cells, or an explicit ``chunksize``,
+    which bypasses the gate.
     """
     x_list = list(xs)
     y_list = list(ys)
@@ -405,6 +470,7 @@ def map_grid(
         progress=progress,
         max_retries=max_retries,
         chunk_done=chunk_done,
+        min_parallel_items=min_parallel_items,
     )
     n_y = len(y_list)
     return [flat[i * n_y : (i + 1) * n_y] for i in range(len(x_list))]

@@ -106,6 +106,7 @@ def _fanout_items(
     scheduler,
     progress=None,
     chunk_done=None,
+    min_parallel_items=None,
 ):
     """``map_items`` or its scheduler drop-in, chosen by ``scheduler``.
 
@@ -113,7 +114,12 @@ def _fanout_items(
     ``scheduler`` (a :class:`repro.sched.Scheduler`) routes the fan-out
     through the durable work queue — same input-order results, same
     ``progress``/``chunk_done`` contract — otherwise the in-process
-    pool handles it exactly as before.
+    pool handles it exactly as before.  ``min_parallel_items`` is
+    forwarded to :func:`~repro.analysis.parallel.map_items` on the
+    pool path only (grid pipelines with cheap cells pass the library
+    threshold; callers with few expensive items — Monte-Carlo chunk
+    tasks — leave it ``None``); a scheduler fan-out is already paying
+    queue latency by design, so it is never gated.
     """
     if scheduler is not None:
         from repro.sched.client import scheduled_map_items
@@ -125,7 +131,7 @@ def _fanout_items(
 
     return map_items(
         fn, items, workers=workers, progress=progress,
-        chunk_done=chunk_done,
+        chunk_done=chunk_done, min_parallel_items=min_parallel_items,
     )
 
 
@@ -139,6 +145,7 @@ def _checkpointed_grid(
     store_key: str,
     checkpoint_every: int,
     scheduler=None,
+    min_parallel_items=None,
 ) -> Tuple[Tuple[Optional[float], ...], ...]:
     """Store-backed grid evaluation: restore, compute the gap, persist.
 
@@ -188,6 +195,7 @@ def _checkpointed_grid(
             scheduler,
             progress=shifted,
             chunk_done=on_chunk,
+            min_parallel_items=min_parallel_items,
         )
     checkpoint.finalize()
     return tuple(
@@ -209,15 +217,21 @@ def sweep_2d(
     store_key: Optional[str] = None,
     checkpoint_every: int = 32,
     scheduler=None,
+    min_parallel_items: Optional[int] = None,
 ) -> Sweep2D:
     """Sample ``fn`` over the cartesian grid; fn may return None.
 
     ``workers`` fans the grid out over processes via
     :func:`repro.analysis.parallel.map_grid` (0 = serial, None = one
     per CPU).  ``fn`` must be picklable for actual parallelism — a
-    closure silently falls back to the serial path; results are
-    identical either way.  ``progress(done_cells, total_cells)`` is
-    invoked as cells complete (per chunk on the parallel path, per
+    closure falls back to the serial path with a one-time
+    ``RuntimeWarning`` (counted in ``parallel.pickle_fallbacks``);
+    results are identical either way.  Grids below
+    ``min_parallel_items`` cells (``None`` = the library default,
+    :data:`repro.analysis.parallel._MIN_PARALLEL_ITEMS`; ``0``
+    disables the gate) also run serially — pool overhead dominates
+    cheap cells on small grids.  ``progress(done_cells, total_cells)``
+    is invoked as cells complete (per chunk on the parallel path, per
     cell on the serial one).
 
     With ``store`` (a :class:`repro.store.ResultStore`) and
@@ -237,6 +251,10 @@ def sweep_2d(
     """
     if not xs or not ys:
         raise AnalysisError("empty sweep grid")
+    if min_parallel_items is None:
+        from repro.analysis.parallel import _MIN_PARALLEL_ITEMS
+
+        min_parallel_items = _MIN_PARALLEL_ITEMS
     if store is not None:
         if not store_key:
             raise AnalysisError(
@@ -246,6 +264,7 @@ def sweep_2d(
         grid = _checkpointed_grid(
             xs, ys, fn, workers, progress, store, store_key,
             checkpoint_every, scheduler=scheduler,
+            min_parallel_items=min_parallel_items,
         )
     elif scheduler is not None:
         from repro.analysis.parallel import _PairFn
@@ -284,7 +303,8 @@ def sweep_2d(
                 None if value is None else float(value) for value in row
             )
             for row in map_grid(
-                fn, xs, ys, workers=workers, progress=progress
+                fn, xs, ys, workers=workers, progress=progress,
+                min_parallel_items=min_parallel_items,
             )
         )
     return Sweep2D(

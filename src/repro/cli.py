@@ -1,6 +1,6 @@
 """Command-line interface to the toolkit.
 
-Five subcommands mirror the paper's tool chain, six more cover the
+Five subcommands mirror the paper's tool chain, seven more cover the
 extensions::
 
     python -m repro profile --workload idea            # Tables 1-3
@@ -8,6 +8,7 @@ extensions::
     python -m repro optimize --delay-factor 4          # Figs. 3-4
     python -m repro compare --duty 0.2                 # Fig. 10
     python -m repro contour --grid 24 --refine 2       # Fig. 10 surface
+    python -m repro surface --grid 12 --refine 2       # Fig. 3/4 plane
     python -m repro variation --cell INV --vdd 0.5     # V_T Monte-Carlo
     python -m repro characterize --vdd 0.8 1.0 1.2     # liberty-lite
     python -m repro margins --floor 0.3                # V_DD floor
@@ -555,6 +556,132 @@ def _cmd_contour(args: argparse.Namespace) -> int:
                 "evaluated": refined.evaluated,
                 "total_points": refined.total_points,
                 "zero_cells": [list(cell) for cell in refined.zero_cells()],
+            },
+        },
+        wall_time_s=time.perf_counter() - started,
+    )
+    return 0
+
+
+def _cmd_surface(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    if args.grid < 2:
+        raise ReproError("surface grid must be at least 2 x 2")
+    if not args.vt_min < args.vt_max:
+        raise ReproError("--vt-min must be below --vt-max")
+    if not 0.0 < args.vdd_min < args.vdd_max:
+        raise ReproError("need 0 < --vdd-min < --vdd-max")
+    flow = LowVoltageDesignFlow(
+        technology=_TECHNOLOGIES[args.technology](), clock_hz=args.clock
+    )
+    steps = args.grid - 1
+    vt_values = [
+        args.vt_min + (args.vt_max - args.vt_min) * i / steps
+        for i in range(args.grid)
+    ]
+    vdd_values = [
+        args.vdd_min + (args.vdd_max - args.vdd_min) * j / steps
+        for j in range(args.grid)
+    ]
+    scheduler = _open_scheduler(args)
+    try:
+        surface = flow.energy_surface(
+            vt_values,
+            vdd_values,
+            stages=args.stages,
+            activity=args.activity,
+            workers=args.workers,
+            progress=_stderr_progress(args.progress),
+            store=_open_store(args),
+            refine_levels=args.refine,
+            refine_band=args.refine_band,
+            scheduler=scheduler,
+        )
+    finally:
+        if scheduler is not None:
+            scheduler.close()
+    locus = surface.optimum_locus()
+    if not locus:
+        raise ReproError(
+            "no feasible (V_DD, V_T) cell at this clock; widen the "
+            "V_DD range or slow the clock"
+        )
+    vdd_best, vt_best, energy_best = surface.optimum()
+    rows = [
+        ["grid", f"{args.grid} x {args.grid}", "", ""],
+        ["feasible cells", surface.grid.defined_cells(), "", ""],
+        [
+            "stage-delay budget",
+            f"{surface.target_stage_delay_s:.3e} s",
+            "",
+            "",
+        ],
+        ["optimum energy", f"{energy_best:.3e} J", vdd_best, vt_best],
+    ]
+    for vt, vdd, energy in locus:
+        rows.append(["locus", f"{energy:.3e} J", f"{vdd:.3f}", f"{vt:.3f}"])
+    refined = surface.refined
+    if refined is not None:
+        rows.extend(
+            [
+                [
+                    "refined grid",
+                    f"{len(refined.xs)} x {len(refined.ys)}",
+                    "",
+                    "",
+                ],
+                [
+                    "points evaluated",
+                    f"{refined.evaluated}/{refined.total_points} "
+                    f"({100.0 * refined.coverage:.1f}%)",
+                    "",
+                    "",
+                ],
+                [
+                    "cells refined/skipped",
+                    f"{refined.cells_refined}/{refined.cells_skipped}",
+                    "",
+                    "",
+                ],
+            ]
+        )
+    print(
+        format_table(
+            ["quantity", "value", "vdd", "vt"],
+            rows,
+            title=(
+                f"{args.technology} energy surface at {args.clock:g} Hz, "
+                f"{args.stages} stages (workers {args.workers})"
+            ),
+        )
+    )
+    inputs = {
+        "technology": args.technology,
+        "clock": args.clock,
+        "stages": args.stages,
+        "activity": args.activity,
+        "grid": args.grid,
+        "vt_range": [args.vt_min, args.vt_max],
+        "vdd_range": [args.vdd_min, args.vdd_max],
+        "workers": args.workers,
+    }
+    if scheduler is not None:
+        inputs["scheduler"] = {"local_workers": args.workers}
+    _record_run(
+        args,
+        inputs=inputs,
+        result={
+            "feasible_cells": surface.grid.defined_cells(),
+            "optimum": [vdd_best, vt_best, energy_best],
+            "locus": [list(row) for row in locus],
+            "zs": [list(row) for row in surface.grid.zs],
+            "refined": None
+            if refined is None
+            else {
+                "levels": refined.levels,
+                "band": refined.band,
+                "evaluated": refined.evaluated,
+                "total_points": refined.total_points,
             },
         },
         wall_time_s=time.perf_counter() - started,
@@ -1199,6 +1326,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_record_arguments(contour)
     _add_metrics_arguments(contour)
     contour.set_defaults(handler=_cmd_contour)
+
+    surface = sub.add_parser(
+        "surface",
+        help="Fig. 3/4 energy surface over a (V_T, V_DD) grid",
+    )
+    surface.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="soi"
+    )
+    surface.add_argument("--clock", type=float, default=1e6)
+    surface.add_argument("--stages", type=int, default=101)
+    surface.add_argument("--activity", type=float, default=1.0)
+    surface.add_argument("--grid", type=int, default=12)
+    surface.add_argument("--vt-min", type=float, default=0.1)
+    surface.add_argument("--vt-max", type=float, default=0.5)
+    surface.add_argument("--vdd-min", type=float, default=0.2)
+    surface.add_argument("--vdd-max", type=float, default=1.5)
+    surface.add_argument(
+        "--refine", type=int, default=0, metavar="N",
+        help="adaptive subdivision levels around the optimum-energy "
+        "locus (0 = uniform grid only)",
+    )
+    surface.add_argument(
+        "--refine-band", type=float, default=0.2, metavar="B",
+        help="relative distance from the per-V_T energy minimum that "
+        "marks a cell for refinement (default: 0.2)",
+    )
+    _add_parallel_arguments(surface, "grid")
+    _add_scheduler_argument(surface)
+    _add_store_argument(surface)
+    _add_record_arguments(surface)
+    _add_metrics_arguments(surface)
+    surface.set_defaults(handler=_cmd_surface)
 
     variation = sub.add_parser(
         "variation",

@@ -237,6 +237,51 @@ class LowVoltageDesignFlow:
                 scheduler=scheduler,
             )
 
+    def energy_surface(
+        self,
+        vt_values: Sequence[float],
+        vdd_values: Sequence[float],
+        stages: int = 101,
+        activity: float = 1.0,
+        cycle_stages: Optional[int] = None,
+        workers: int = 0,
+        progress: Optional[Callable[[int, int], None]] = None,
+        store=None,
+        refine_levels: int = 0,
+        refine_band: float = 0.2,
+        scheduler=None,
+    ) -> "EnergySurface":
+        """Fig. 3/4 energy plane at this flow's clock rate.
+
+        The ring-oscillator cycle energy over a (V_T, V_DD) grid, with
+        cells that miss the per-stage delay budget (``t_cycle_s /
+        cycle_stages``, ``cycle_stages`` defaulting to ``2 * stages``
+        like :meth:`throughput_optimizer`) marked infeasible.
+        ``workers``/``progress``/``store``/``refine_levels``/
+        ``refine_band``/``scheduler`` follow the :meth:`ratio_surface`
+        contract — refinement here sharpens the optimum-energy locus
+        instead of a zero contour; see
+        :func:`repro.analysis.surface.energy_surface`.
+        """
+        from repro.analysis.surface import energy_surface
+
+        with obs.span("flow.energy_surface"):
+            return energy_surface(
+                self.technology,
+                vt_values,
+                vdd_values,
+                self.t_cycle_s,
+                stages=stages,
+                activity=activity,
+                cycle_stages=cycle_stages,
+                workers=workers,
+                progress=progress,
+                store=store,
+                refine_levels=refine_levels,
+                refine_band=refine_band,
+                scheduler=scheduler,
+            )
+
     # ------------------------------------------------------------------
     # Fixed-throughput (V_DD, V_T) optimization
     # ------------------------------------------------------------------

@@ -322,17 +322,22 @@ class RingOscillatorModel:
     def stage_delay(self, vdd: float, vt: float) -> float:
         """Fanout-1 inverter delay at a corner [s].
 
-        Every call is exactly one characterizer fanout-delay query, and
-        ``optimizer.delay_probes`` counts it here — at the query site —
-        so the counter matches the actual characterizer traffic even
-        for probes issued outside a solve (``energy_per_cycle``'s
-        re-probe, ``locus_point``, direct calls).
+        Every call is exactly one characterizer fanout-delay query
+        (served through the corner's decoded
+        :class:`~repro.tech.opplan.OperatingPlan` — same memo family,
+        same floats), and ``optimizer.delay_probes`` counts it here —
+        at the query site — so the counter matches the actual
+        characterizer traffic even for probes issued outside a solve
+        (``energy_per_cycle``'s re-probe, ``locus_point``, direct
+        calls).
         """
         if vdd <= 0.0:
             raise OptimizationError("vdd must be positive")
         if obs.ENABLED:
             obs.incr("optimizer.delay_probes")
-        return self._corner(vt).fanout_delay(self._inverter, vdd, fanout=1)
+        return self._corner(vt).planned_fanout_delay(
+            self._inverter, vdd, fanout=1
+        )
 
     def oscillation_period(self, vdd: float, vt: float) -> float:
         """Ring period: two traversals of the chain [s]."""
@@ -369,24 +374,32 @@ class RingOscillatorModel:
             raise OptimizationError(f"bad vdd bounds [{low}, {high}]")
         if obs.ENABLED:
             obs.incr("optimizer.vdd_solves")
-        if self.stage_delay(high, vt) > target_stage_delay_s:
+        # One decoded plan serves the bracket checks and every
+        # bisection step: the V_DD-invariant drive constants and
+        # capacitance geometry are resolved once per solve instead of
+        # once per probe, and each probe is bit-identical to a
+        # stage_delay call at the same corner.
+        plan = self._corner(vt).plan_operating(self._inverter, fanout=1)
+        delay_at = plan.delay
+        if delay_at(high) > target_stage_delay_s:
             raise OptimizationError(
                 f"target {target_stage_delay_s:.3e} s unreachable: still "
                 f"slower at V_DD = {high} V (V_T = {vt} V)"
             )
-        if self.stage_delay(low, vt) < target_stage_delay_s:
+        if delay_at(low) < target_stage_delay_s:
             if obs.ENABLED:
                 obs.incr("optimizer.low_bound_clamps")
             return low
         for _ in range(_BISECTION_STEPS):
             mid = 0.5 * (low + high)
-            if self.stage_delay(mid, vt) > target_stage_delay_s:
+            if delay_at(mid) > target_stage_delay_s:
                 low = mid
             else:
                 high = mid
-        # Probes are counted in stage_delay itself, so the counter is
-        # exact: one increment per characterizer query, bracket checks
-        # and bisection steps included.
+        # Plan-kernel probes bypass the characterizer memo, so
+        # ``optimizer.delay_probes`` keeps matching the characterizer's
+        # fanout-family traffic: both drop the solve's internal probes
+        # together.
         return 0.5 * (low + high)
 
     def energy_per_cycle(
@@ -401,15 +414,14 @@ class RingOscillatorModel:
         """
         if cycle_time_s <= 0.0:
             raise OptimizationError("cycle time must be positive")
-        corner = self._corner(vt)
-        load = self._inverter.input_capacitance(corner.technology, vdd)
-        switching_per_stage = corner.energy_per_transition(
-            self._inverter, vdd, load
-        )
+        # The plan's energies kernel returns the raw (E_transition,
+        # I_leak) pair — the same floats the scalar input_capacitance /
+        # energy_per_transition / leakage_current chain produced — so
+        # the stages/activity/cycle association below is unchanged.
+        plan = self._corner(vt).plan_operating(self._inverter, fanout=1)
+        switching_per_stage, leak_per_stage = plan.energies((vdd,))[0]
         switching = self.stages * self.activity * switching_per_stage
-        leakage_current = self.stages * corner.leakage_current(
-            self._inverter, vdd
-        )
+        leakage_current = self.stages * leak_per_stage
         leakage = leakage_current * vdd * cycle_time_s
         return OperatingPoint(
             vt=vt,
@@ -632,7 +644,15 @@ class FixedThroughputOptimizer:
         target_stage_delay_s: float,
         skip_infeasible: bool = True,
     ) -> List[OperatingPoint]:
-        """Fig. 3/4 data: the fixed-delay locus over a V_T list."""
+        """Fig. 3/4 data: the fixed-delay locus over a V_T list.
+
+        Each V_T's solve and energy evaluation run through that
+        corner's decoded :class:`~repro.tech.opplan.OperatingPlan`
+        (built once per corner, reused by the bracket checks, all
+        bisection steps and the energy query), so the whole axis is
+        evaluated through batched kernels while staying bit-identical
+        to the scalar per-probe chain.
+        """
         if not vts:
             raise OptimizationError("empty V_T sweep")
         points: List[OperatingPoint] = []

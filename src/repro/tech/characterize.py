@@ -108,8 +108,9 @@ class CellCharacterizer:
         self._misses = 0
         self._nmos_stacks = StackLeakageModel(technology.transistors.nmos)
         self._pmos_stacks = StackLeakageModel(technology.transistors.pmos)
-        # Decoded variation plans (repro.tech.batch); they share the
-        # stack models above, so both caches are dropped together.
+        # Decoded variation and operating plans (repro.tech.batch,
+        # repro.tech.opplan); they share the stack models above, so
+        # both caches are dropped together.
         self._plans: dict = {}
         # Persistence: stored entries wait in _pending_store keyed by
         # cell digest until their cell is interned, then move into the
@@ -543,6 +544,100 @@ class CellCharacterizer:
             if _obs.ENABLED:
                 _obs.incr("variation.plan_builds")
         return plan
+
+    # ------------------------------------------------------------------
+    # Batched operating (V_DD) evaluation
+    # ------------------------------------------------------------------
+    def plan_operating(
+        self,
+        cell: Cell,
+        load_f: float = 0.0,
+        fanout=None,
+        output_high_probability: float = 0.5,
+    ):
+        """Decode a (cell, load) pair for vectorized V_DD sweeps.
+
+        Returns a :class:`repro.tech.opplan.OperatingPlan` whose
+        ``delays``/``leakages``/``energies`` kernels evaluate whole
+        supply vectors bit-identically to the per-point
+        :meth:`propagation_delay` / :meth:`fanout_delay` /
+        :meth:`leakage_current` / :meth:`energy_per_transition` chain.
+        With ``fanout`` set (an integer >= 1), the plan drives
+        ``fanout`` copies of the cell's own V_DD-dependent input
+        capacitance, exactly as :meth:`fanout_delay` does; otherwise it
+        drives the fixed external ``load_f``.  Plans are memoized per
+        (cell, load) pair (when caching is on) and share this
+        characterizer's stack-leakage memos, so plan and per-point
+        evaluations feed the same caches.
+        """
+        if load_f < 0.0:
+            raise CharacterizationError("load must be >= 0")
+        if fanout is not None and fanout < 1:
+            raise CharacterizationError("fanout must be >= 1")
+        if not 0.0 <= output_high_probability <= 1.0:
+            raise CharacterizationError(
+                "output_high_probability must be in [0, 1]"
+            )
+        from repro.tech.opplan import OperatingPlan
+
+        if not self.cache_enabled:
+            if _obs.ENABLED:
+                _obs.incr("optimizer.plan_builds")
+            return OperatingPlan.build(
+                self, cell, load_f, fanout, output_high_probability
+            )
+        key = (
+            "oplan",
+            self._token(cell),
+            load_f,
+            fanout,
+            output_high_probability,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = OperatingPlan.build(
+                self, cell, load_f, fanout, output_high_probability
+            )
+            self._plans[key] = plan
+            if _obs.ENABLED:
+                _obs.incr("optimizer.plan_builds")
+        return plan
+
+    def planned_fanout_delay(
+        self,
+        cell: Cell,
+        vdd: float,
+        fanout: int = 1,
+        vt_shift: float = 0.0,
+    ) -> float:
+        """:meth:`fanout_delay` evaluated through an operating plan.
+
+        Same memo family, keys and hit/miss accounting as
+        :meth:`fanout_delay` — the two entry points are interchangeable
+        and bit-identical — but a miss is served by the decoded
+        :class:`~repro.tech.opplan.OperatingPlan` kernel instead of the
+        scalar capacitance/drive chain, which is what makes optimizer
+        probe loops cheap.
+        """
+        if fanout < 1:
+            raise CharacterizationError("fanout must be >= 1")
+        if not self.cache_enabled:
+            plan = self.plan_operating(cell, fanout=fanout)
+            return plan.delays((vdd,), vt_shift)[0]
+        key = ("fanout", self._token(cell), vdd, fanout, vt_shift)
+        result = self._memo.get(key, _MISS)
+        if result is not _MISS:
+            self._hits += 1
+            if _obs.ENABLED:
+                self._note("fanout", True)
+            return result
+        self._misses += 1
+        if _obs.ENABLED:
+            self._note("fanout", False)
+        plan = self.plan_operating(cell, fanout=fanout)
+        result = plan.delays((vdd,), vt_shift)[0]
+        self._memo[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # One-call corner characterization

@@ -1,0 +1,595 @@
+"""Decoded batch evaluation of V_DD operating sweeps.
+
+The Fig. 3/4 experiments ask the mirror image of the variation
+question answered by :mod:`repro.tech.batch`: *the same cell, under
+the same load, at many supply voltages*.  Every optimizer probe —
+bisection steps in ``solve_vdd_for_delay``, energy evaluations along
+the optimum locus, whole (V_DD, V_T) surface grids — walks the scalar
+``fanout_delay`` / ``propagation_delay`` / ``leakage_current`` chain,
+re-resolving attribute chains, capacitance views, thermal voltage and
+Mosfet constructions although none of them depend on V_DD.
+
+:class:`OperatingPlan` is the decode/run split applied along the
+supply axis: :meth:`CellCharacterizer.plan_operating
+<repro.tech.characterize.CellCharacterizer.plan_operating>` resolves
+every V_DD-invariant quantity once (gate/junction geometry products,
+per-flavour drive prefactors, the leakage stack constants), and
+:meth:`OperatingPlan.delays` / :meth:`OperatingPlan.leakages` /
+:meth:`OperatingPlan.energies` then evaluate a whole vector of
+supplies in a tight loop that recomputes only the V_DD-dependent
+terms (the non-linear C(V) views and the drive exponentials).
+
+The batched results are **bit-identical** to the per-point chain:
+every precomputed partial product preserves the reference float-op
+association order (``a*b*c*d`` folds left, so hoisting ``a*b`` is
+exact), the non-linear ``switched_capacitance`` views are evaluated
+once per point through the *same* model methods the per-point path
+calls, the inlined ``_bounded_exp`` clamps reproduce
+``max(-60, min(60, x))`` on the reachable side, and the leakage path
+*shares* the characterizer's
+:class:`~repro.device.leakage.StackLeakageModel` memo dicts — key
+construction included — so the rounded-key reuse semantics of the
+per-point path are replicated exactly.  The differential tests in
+``tests/property/test_opplan_differential.py`` assert equality corner
+for corner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro import obs as _obs
+from repro.device.leakage import stack_leakage_current
+from repro.device.mosfet import Mosfet, MosfetParameters
+from repro.errors import CharacterizationError, DeviceModelError
+from repro.tech.characterize import _DELAY_CONSTANT
+
+__all__ = ["OperatingPlan"]
+
+#: Mirrors ``repro.device.mosfet._MAX_EXP_ARG``; the inlined loops only
+#: ever clamp from below (their exponent arguments are always <= 0).
+_MAX_EXP_ARG = 60.0
+
+
+def _drive_constants(parameters: MosfetParameters, width_um: float) -> tuple:
+    """V_DD-invariant on-current constants for one flavour.
+
+    Constructing the :class:`Mosfet` first keeps the validation (and
+    its error) identical to the per-point path.
+    """
+    device = Mosfet(parameters, width_um=width_um)
+    phi_t = parameters.thermal_voltage
+    return (
+        parameters.vt0,
+        parameters.dibl,
+        parameters.ideality * phi_t,
+        phi_t,
+        parameters.i_spec * device.width_um,
+        parameters.k_drive * device.width_um,
+        parameters.alpha,
+        parameters.alpha / 2.0,
+        parameters.vdsat_coeff,
+        parameters.channel_length_modulation,
+    )
+
+
+class _StackPlan:
+    """Decoded leakage-stack evaluator for one polarity of one cell.
+
+    Unlike its fixed-V_DD twin in :mod:`repro.tech.batch`, this plan is
+    *parameterized* by V_DD: single-device stacks (every inverter, and
+    therefore every ring-oscillator probe) evaluate the inlined
+    ``off_current`` with per-point DIBL and drain-factor terms, while
+    multi-device stacks fall through to the reference
+    :func:`~repro.device.leakage.stack_leakage_current` bisection —
+    both share the owning characterizer's ``StackLeakageModel._cache``
+    with the same rounded keys as the per-point path.
+    """
+
+    __slots__ = (
+        "parameters",
+        "cache",
+        "widths",
+        "widths_key",
+        "single",
+        "vt0",
+        "dibl",
+        "n_phi",
+        "phi_t",
+        "iw",
+        "kw",
+        "alpha",
+        "half_alpha",
+        "vdsat_coeff",
+        "clm",
+    )
+
+    def __init__(
+        self,
+        parameters: MosfetParameters,
+        widths_um: Sequence[float],
+        cache: dict,
+    ):
+        if not widths_um:
+            # Same guard (and error) as stack_leakage_current, hoisted
+            # to decode time.
+            raise DeviceModelError("stack must contain at least one device")
+        # Same construction (and validation) as stack_leakage_current.
+        devices = [Mosfet(parameters, width_um=w) for w in widths_um]
+        self.parameters = parameters
+        self.cache = cache
+        self.widths = tuple(widths_um)
+        self.widths_key = tuple(round(w, 6) for w in widths_um)
+        self.single = len(devices) == 1
+        phi_t = parameters.thermal_voltage
+        self.vt0 = parameters.vt0
+        self.dibl = parameters.dibl
+        self.n_phi = parameters.ideality * phi_t
+        self.phi_t = phi_t
+        self.iw = parameters.i_spec * devices[0].width_um
+        self.kw = parameters.k_drive * devices[0].width_um
+        self.alpha = parameters.alpha
+        self.half_alpha = parameters.alpha / 2.0
+        self.vdsat_coeff = parameters.vdsat_coeff
+        self.clm = parameters.channel_length_modulation
+
+    def _off_current(self, vdd: float, vt_shift: float) -> float:
+        """``Mosfet.off_current(vdd, vt_shift)`` with hoisted constants.
+
+        See :mod:`repro.device.mosfet` for the reference float-op
+        sequence this replicates verbatim (V_gs = 0, V_ds = V_DD).
+        """
+        exp = math.exp
+        vt = (self.vt0 + vt_shift) - self.dibl * vdd
+        gate_drive = 0.0 - vt
+        overdrive = gate_drive
+        if gate_drive > 0.0:
+            gate_drive = 0.0
+        exponent = gate_drive / self.n_phi
+        if exponent < -_MAX_EXP_ARG:
+            exponent = -_MAX_EXP_ARG
+        drain_arg = -vdd / self.phi_t
+        if drain_arg < -_MAX_EXP_ARG:
+            drain_arg = -_MAX_EXP_ARG
+        current = self.iw * exp(exponent) * (1.0 - exp(drain_arg))
+        if overdrive > 0.0:
+            i_dsat = self.kw * overdrive**self.alpha
+            vdsat = self.vdsat_coeff * overdrive**self.half_alpha
+            if vdd >= vdsat:
+                current += i_dsat * (1.0 + self.clm * (vdd - vdsat))
+            else:
+                ratio = vdd / vdsat
+                current += i_dsat * ratio * (2.0 - ratio)
+        return current
+
+    def lookup(self, vdd: float, vt_shift: float, shift_key: float) -> float:
+        """``StackLeakageModel.current`` with the shift key precomputed.
+
+        Consults (and fills) the shared memo with the same rounded key
+        the per-point path builds.
+        """
+        key = (self.widths_key, round(vdd, 6), shift_key)
+        value = self.cache.get(key)
+        if value is None:
+            if self.single:
+                value = self._off_current(vdd, vt_shift)
+            else:
+                value = stack_leakage_current(
+                    self.parameters, self.widths, vdd, vt_shift
+                )
+            self.cache[key] = value
+        return value
+
+
+class OperatingPlan:
+    """A (cell, load) pair decoded for vectorized V_DD sweeps.
+
+    Produced by :meth:`CellCharacterizer.plan_operating
+    <repro.tech.characterize.CellCharacterizer.plan_operating>`; holds
+    only plain floats, the two capacitance models (their non-linear
+    ``switched_capacitance`` views are the only model calls left in the
+    kernels) and the shared stack memo dicts.
+
+    The load is specified either as a fixed external ``load_f`` [F]
+    (mirroring :meth:`~repro.tech.characterize.CellCharacterizer.
+    propagation_delay`) or as a ``fanout`` multiple of the cell's own
+    V_DD-dependent input capacitance (mirroring
+    :meth:`~repro.tech.characterize.CellCharacterizer.fanout_delay` —
+    the ring-oscillator configuration).
+    """
+
+    __slots__ = (
+        "cell_name",
+        "load_f",
+        "fanout",
+        "output_high_probability",
+        "_gate_cap",
+        "_junction_cap",
+        "_gate_area_n",
+        "_gate_area_p",
+        "_drain_area_n",
+        "_drain_area_p",
+        "_nmos_drive",
+        "_pmos_drive",
+        "_nmos_stack",
+        "_pmos_stack",
+    )
+
+    def __init__(
+        self,
+        cell_name: str,
+        load_f: float,
+        fanout: Optional[int],
+        output_high_probability: float,
+        gate_cap,
+        junction_cap,
+        gate_area_n: float,
+        gate_area_p: float,
+        drain_area_n: float,
+        drain_area_p: float,
+        nmos_drive: tuple,
+        pmos_drive: tuple,
+        nmos_stack: _StackPlan,
+        pmos_stack: _StackPlan,
+    ):
+        self.cell_name = cell_name
+        self.load_f = load_f
+        self.fanout = fanout
+        self.output_high_probability = output_high_probability
+        self._gate_cap = gate_cap
+        self._junction_cap = junction_cap
+        self._gate_area_n = gate_area_n
+        self._gate_area_p = gate_area_p
+        self._drain_area_n = drain_area_n
+        self._drain_area_p = drain_area_p
+        self._nmos_drive = nmos_drive
+        self._pmos_drive = pmos_drive
+        self._nmos_stack = nmos_stack
+        self._pmos_stack = pmos_stack
+
+    @classmethod
+    def build(
+        cls,
+        characterizer,
+        cell,
+        load_f: float = 0.0,
+        fanout: Optional[int] = None,
+        output_high_probability: float = 0.5,
+    ) -> "OperatingPlan":
+        """Decode one (cell, load) pair of ``characterizer``'s technology.
+
+        Called through :meth:`CellCharacterizer.plan_operating`, which
+        validates the arguments and memoizes the plan.
+        """
+        technology = characterizer.technology
+        length = technology.drawn_length_um
+        extent = technology.drain_extent_um
+        # Same dimension guard (and error) the capacitance models apply
+        # on every per-point call, hoisted to decode time.
+        widths = (
+            cell.input_nmos_width_um,
+            cell.input_pmos_width_um,
+            cell.input_nmos_width_um * cell.nmos_drains_on_output,
+            cell.input_pmos_width_um * cell.pmos_drains_on_output,
+        )
+        if length <= 0.0 or extent <= 0.0 or any(w <= 0.0 for w in widths):
+            raise DeviceModelError("device dimensions must be positive")
+        nmos = technology.transistors.nmos
+        pmos = technology.transistors.pmos
+        return cls(
+            cell_name=cell.name,
+            load_f=load_f,
+            fanout=fanout,
+            output_high_probability=output_high_probability,
+            gate_cap=technology.gate_cap,
+            junction_cap=technology.junction_cap,
+            # gate_capacitance folds (w * l) * C_sw(V_DD); hoist (w * l).
+            gate_area_n=cell.input_nmos_width_um * length,
+            gate_area_p=cell.input_pmos_width_um * length,
+            # drain_capacitance folds ((w * drains) * extent) * C_sw.
+            drain_area_n=(
+                cell.input_nmos_width_um * cell.nmos_drains_on_output
+            )
+            * extent,
+            drain_area_p=(
+                cell.input_pmos_width_um * cell.pmos_drains_on_output
+            )
+            * extent,
+            nmos_drive=_drive_constants(
+                nmos,
+                cell.series_equivalent_width(cell.nmos_path_widths_um),
+            ),
+            pmos_drive=_drive_constants(
+                pmos,
+                cell.series_equivalent_width(cell.pmos_path_widths_um),
+            ),
+            nmos_stack=_StackPlan(
+                nmos,
+                cell.nmos_path_widths_um,
+                characterizer._nmos_stacks._cache,
+            ),
+            pmos_stack=_StackPlan(
+                pmos,
+                cell.pmos_path_widths_um,
+                characterizer._pmos_stacks._cache,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-point loads (the only V_DD-dependent model calls left)
+    # ------------------------------------------------------------------
+    def _load_and_cout(self, vdd: float) -> Tuple[float, float]:
+        """(external load, output capacitance) at one supply [F].
+
+        Fanout mode touches the gate C(V) view *first*, so an invalid
+        supply raises the same ``DeviceModelError`` as the per-point
+        ``fanout_delay`` chain; fixed-load mode raises the
+        characterizer's ``CharacterizationError`` instead, exactly as
+        ``propagation_delay`` would.
+        """
+        fanout = self.fanout
+        if fanout is not None:
+            gate_sw = self._gate_cap.switched_capacitance(vdd)
+            cin = self._gate_area_n * gate_sw + self._gate_area_p * gate_sw
+            load = fanout * cin
+        else:
+            if vdd <= 0.0:
+                raise CharacterizationError(
+                    f"vdd must be positive, got {vdd}"
+                )
+            load = self.load_f
+        junction_sw = self._junction_cap.switched_capacitance(vdd)
+        cout = (
+            self._drain_area_n * junction_sw
+            + self._drain_area_p * junction_sw
+        )
+        return load, cout
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    def delays(
+        self, vdds: Sequence[float], vt_shift: float = 0.0
+    ) -> List[float]:
+        """The per-point delay chain at every supply, bit-identically.
+
+        Fanout mode mirrors ``fanout_delay``; fixed-load mode mirrors
+        ``propagation_delay`` — see :mod:`repro.device.mosfet` for the
+        reference float-op sequences the drive loop replicates.
+        """
+        exp = math.exp
+        load_and_cout = self._load_and_cout
+        n_vt0, n_dibl, n_phi_n, n_phi_t, n_iw, n_kw, n_alpha, \
+            n_half_alpha, n_vdsat_c, n_clm = self._nmos_drive
+        p_vt0, p_dibl, n_phi_p, p_phi_t, p_iw, p_kw, p_alpha, \
+            p_half_alpha, p_vdsat_c, p_clm = self._pmos_drive
+        n_vt0s = n_vt0 + vt_shift
+        p_vt0s = p_vt0 + vt_shift
+        out: List[float] = []
+        append = out.append
+        for vdd in vdds:
+            load, cout = load_and_cout(vdd)
+            total_load = load + cout
+            numerator = _DELAY_CONSTANT * total_load * vdd
+            # Pull-down (NMOS) on-current.
+            vt = n_vt0s - n_dibl * vdd
+            drive = vdd - vt
+            gate_drive = drive
+            if gate_drive > 0.0:
+                gate_drive = 0.0
+            exponent = gate_drive / n_phi_n
+            if exponent < -_MAX_EXP_ARG:
+                exponent = -_MAX_EXP_ARG
+            drain_arg = -vdd / n_phi_t
+            if drain_arg < -_MAX_EXP_ARG:
+                drain_arg = -_MAX_EXP_ARG
+            pull_down = n_iw * exp(exponent) * (1.0 - exp(drain_arg))
+            if drive > 0.0:
+                i_dsat = n_kw * drive**n_alpha
+                vdsat = n_vdsat_c * drive**n_half_alpha
+                if vdd >= vdsat:
+                    pull_down += i_dsat * (1.0 + n_clm * (vdd - vdsat))
+                else:
+                    ratio = vdd / vdsat
+                    pull_down += i_dsat * ratio * (2.0 - ratio)
+            # Pull-up (PMOS) on-current.
+            vt = p_vt0s - p_dibl * vdd
+            drive = vdd - vt
+            gate_drive = drive
+            if gate_drive > 0.0:
+                gate_drive = 0.0
+            exponent = gate_drive / n_phi_p
+            if exponent < -_MAX_EXP_ARG:
+                exponent = -_MAX_EXP_ARG
+            drain_arg = -vdd / p_phi_t
+            if drain_arg < -_MAX_EXP_ARG:
+                drain_arg = -_MAX_EXP_ARG
+            pull_up = p_iw * exp(exponent) * (1.0 - exp(drain_arg))
+            if drive > 0.0:
+                i_dsat = p_kw * drive**p_alpha
+                vdsat = p_vdsat_c * drive**p_half_alpha
+                if vdd >= vdsat:
+                    pull_up += i_dsat * (1.0 + p_clm * (vdd - vdsat))
+                else:
+                    ratio = vdd / vdsat
+                    pull_up += i_dsat * ratio * (2.0 - ratio)
+            weakest = pull_down if pull_down <= pull_up else pull_up
+            if weakest <= 0.0:
+                raise CharacterizationError(
+                    f"cell {self.cell_name} has no drive at "
+                    f"V_DD = {vdd} V"
+                )
+            append(numerator / weakest)
+        if _obs.ENABLED and out:
+            _obs.incr("opplan.points_batched", len(out))
+        return out
+
+    def leakages(
+        self, vdds: Sequence[float], vt_shift: float = 0.0
+    ) -> List[float]:
+        """``leakage_current`` at every supply, bit-identically.
+
+        Consults (and fills) the shared stack memos with the same
+        rounded keys and in the same order as the per-point path.
+        """
+        p_high = self.output_high_probability
+        p_low = 1.0 - p_high
+        nmos = self._nmos_stack
+        pmos = self._pmos_stack
+        shift_key = round(vt_shift, 6)
+        out: List[float] = []
+        append = out.append
+        for vdd in vdds:
+            if vdd <= 0.0:
+                raise CharacterizationError(
+                    f"vdd must be positive, got {vdd}"
+                )
+            nmos_leak = nmos.lookup(vdd, vt_shift, shift_key)
+            pmos_leak = pmos.lookup(vdd, vt_shift, shift_key)
+            append(p_high * nmos_leak + p_low * pmos_leak)
+        if _obs.ENABLED and out:
+            _obs.incr("opplan.points_batched", len(out))
+        return out
+
+    def energies(
+        self, vdds: Sequence[float], vt_shift: float = 0.0
+    ) -> List[Tuple[float, float]]:
+        """Raw ``(E_transition, I_leak)`` pairs at every supply.
+
+        ``E_transition`` is ``energy_per_transition`` at this plan's
+        load [J] and ``I_leak`` is ``leakage_current`` [A] — the two
+        numbers the ring oscillator's ``energy_per_cycle`` chain
+        combines with its stage count, activity and cycle time
+        (``E = stages * activity * E_tr + (stages * I_leak) * V * T``).
+        Returning the raw pair keeps every downstream association order
+        in the caller, bit-identical to the per-point chain.
+        """
+        p_high = self.output_high_probability
+        p_low = 1.0 - p_high
+        nmos = self._nmos_stack
+        pmos = self._pmos_stack
+        shift_key = round(vt_shift, 6)
+        load_and_cout = self._load_and_cout
+        out: List[Tuple[float, float]] = []
+        append = out.append
+        for vdd in vdds:
+            load, cout = load_and_cout(vdd)
+            total = load + cout
+            transition = total * vdd * vdd
+            nmos_leak = nmos.lookup(vdd, vt_shift, shift_key)
+            pmos_leak = pmos.lookup(vdd, vt_shift, shift_key)
+            leak = p_high * nmos_leak + p_low * pmos_leak
+            append((transition, leak))
+        if _obs.ENABLED and out:
+            _obs.incr("opplan.points_batched", len(out))
+        return out
+
+    def operating_points(
+        self,
+        vdds: Sequence[float],
+        vt_shift: float = 0.0,
+        max_delay_s: Optional[float] = None,
+    ) -> List[Tuple[float, Optional[float], Optional[float]]]:
+        """Fused ``(delay, E_transition, I_leak)`` triples per supply.
+
+        Evaluates :meth:`delays` and :meth:`energies` in one pass,
+        computing the V_DD-dependent load exactly once per point — the
+        capacitance views are pure functions of V_DD, so sharing the
+        ``load + cout`` floats between the delay numerator and the
+        ``C * V^2`` transition energy reproduces both per-point chains
+        bit-identically.
+
+        When ``max_delay_s`` is given, points whose delay exceeds it
+        return ``(delay, None, None)`` and skip the leakage-stack
+        lookups entirely — the surface engine's infeasible cells never
+        consume their energies, so eliding the work changes nothing.
+        """
+        exp = math.exp
+        load_and_cout = self._load_and_cout
+        n_vt0, n_dibl, n_phi_n, n_phi_t, n_iw, n_kw, n_alpha, \
+            n_half_alpha, n_vdsat_c, n_clm = self._nmos_drive
+        p_vt0, p_dibl, n_phi_p, p_phi_t, p_iw, p_kw, p_alpha, \
+            p_half_alpha, p_vdsat_c, p_clm = self._pmos_drive
+        n_vt0s = n_vt0 + vt_shift
+        p_vt0s = p_vt0 + vt_shift
+        p_high = self.output_high_probability
+        p_low = 1.0 - p_high
+        nmos = self._nmos_stack
+        pmos = self._pmos_stack
+        shift_key = round(vt_shift, 6)
+        out: List[Tuple[float, Optional[float], Optional[float]]] = []
+        append = out.append
+        for vdd in vdds:
+            load, cout = load_and_cout(vdd)
+            total_load = load + cout
+            numerator = _DELAY_CONSTANT * total_load * vdd
+            # Pull-down (NMOS) on-current.
+            vt = n_vt0s - n_dibl * vdd
+            drive = vdd - vt
+            gate_drive = drive
+            if gate_drive > 0.0:
+                gate_drive = 0.0
+            exponent = gate_drive / n_phi_n
+            if exponent < -_MAX_EXP_ARG:
+                exponent = -_MAX_EXP_ARG
+            drain_arg = -vdd / n_phi_t
+            if drain_arg < -_MAX_EXP_ARG:
+                drain_arg = -_MAX_EXP_ARG
+            pull_down = n_iw * exp(exponent) * (1.0 - exp(drain_arg))
+            if drive > 0.0:
+                i_dsat = n_kw * drive**n_alpha
+                vdsat = n_vdsat_c * drive**n_half_alpha
+                if vdd >= vdsat:
+                    pull_down += i_dsat * (1.0 + n_clm * (vdd - vdsat))
+                else:
+                    ratio = vdd / vdsat
+                    pull_down += i_dsat * ratio * (2.0 - ratio)
+            # Pull-up (PMOS) on-current.
+            vt = p_vt0s - p_dibl * vdd
+            drive = vdd - vt
+            gate_drive = drive
+            if gate_drive > 0.0:
+                gate_drive = 0.0
+            exponent = gate_drive / n_phi_p
+            if exponent < -_MAX_EXP_ARG:
+                exponent = -_MAX_EXP_ARG
+            drain_arg = -vdd / p_phi_t
+            if drain_arg < -_MAX_EXP_ARG:
+                drain_arg = -_MAX_EXP_ARG
+            pull_up = p_iw * exp(exponent) * (1.0 - exp(drain_arg))
+            if drive > 0.0:
+                i_dsat = p_kw * drive**p_alpha
+                vdsat = p_vdsat_c * drive**p_half_alpha
+                if vdd >= vdsat:
+                    pull_up += i_dsat * (1.0 + p_clm * (vdd - vdsat))
+                else:
+                    ratio = vdd / vdsat
+                    pull_up += i_dsat * ratio * (2.0 - ratio)
+            weakest = pull_down if pull_down <= pull_up else pull_up
+            if weakest <= 0.0:
+                raise CharacterizationError(
+                    f"cell {self.cell_name} has no drive at "
+                    f"V_DD = {vdd} V"
+                )
+            delay = numerator / weakest
+            if max_delay_s is not None and delay > max_delay_s:
+                append((delay, None, None))
+                continue
+            transition = total_load * vdd * vdd
+            nmos_leak = nmos.lookup(vdd, vt_shift, shift_key)
+            pmos_leak = pmos.lookup(vdd, vt_shift, shift_key)
+            leak = p_high * nmos_leak + p_low * pmos_leak
+            append((delay, transition, leak))
+        if _obs.ENABLED and out:
+            _obs.incr("opplan.points_batched", len(out))
+        return out
+
+    # Single-point conveniences (tests and spot checks).
+    def delay(self, vdd: float, vt_shift: float = 0.0) -> float:
+        """One delay sample through the plan."""
+        return self.delays((vdd,), vt_shift)[0]
+
+    def leakage(self, vdd: float, vt_shift: float = 0.0) -> float:
+        """One ``leakage_current`` sample through the plan."""
+        return self.leakages((vdd,), vt_shift)[0]

@@ -1,0 +1,118 @@
+"""Small-fan-out gating and pickle-fallback diagnostics in map_items.
+
+The pool only pays off when there are enough cheap items to amortize
+worker startup and IPC — the seed benchmark showed a 64x64 contour
+grid running ~14x *slower* with two workers than serially.  These
+tests pin the ``min_parallel_items`` gate (small grids fall back to
+the serial path, counted in ``parallel.min_items_fallbacks``) and the
+no-longer-silent pickle fallback (one-time ``RuntimeWarning`` plus
+``parallel.pickle_fallbacks``).
+"""
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.analysis import parallel
+from repro.analysis.parallel import map_grid, map_items
+from repro.analysis.sweep import sweep_2d
+
+
+def _add(x, y):
+    return x + y
+
+
+def _sum_pair(pair):
+    return pair[0] + pair[1]
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestMinItemsGate:
+    def test_small_grid_falls_back_and_matches_serial(self):
+        xs = [float(i) for i in range(8)]
+        ys = [float(j) for j in range(8)]
+        with obs.enabled_scope():
+            grid = map_grid(_add, xs, ys, workers=2)
+            counters = obs.snapshot()["counters"]
+        assert counters["parallel.min_items_fallbacks"] == 1
+        assert grid == map_grid(_add, xs, ys, workers=0)
+
+    def test_explicit_chunksize_bypasses_gate(self):
+        xs = [float(i) for i in range(3)]
+        ys = [float(j) for j in range(4)]
+        with obs.enabled_scope():
+            grid = map_grid(_add, xs, ys, workers=2, chunksize=2)
+            counters = obs.snapshot()["counters"]
+        assert "parallel.min_items_fallbacks" not in counters
+        assert grid == map_grid(_add, xs, ys, workers=0)
+
+    def test_zero_disables_gate(self):
+        xs = [float(i) for i in range(3)]
+        ys = [float(j) for j in range(4)]
+        with obs.enabled_scope():
+            grid = map_grid(
+                _add, xs, ys, workers=2, min_parallel_items=0
+            )
+            counters = obs.snapshot()["counters"]
+        assert "parallel.min_items_fallbacks" not in counters
+        assert grid == map_grid(_add, xs, ys, workers=0)
+
+    def test_map_items_defaults_to_no_gate(self):
+        items = [(float(k), float(k)) for k in range(6)]
+        with obs.enabled_scope():
+            values = map_items(_sum_pair, items, workers=2)
+            counters = obs.snapshot()["counters"]
+        assert "parallel.min_items_fallbacks" not in counters
+        assert values == [x + y for x, y in items]
+
+    def test_serial_requests_are_not_counted(self):
+        xs = [float(i) for i in range(4)]
+        ys = [float(j) for j in range(4)]
+        with obs.enabled_scope():
+            map_grid(_add, xs, ys, workers=0)
+            counters = obs.snapshot()["counters"]
+        assert "parallel.min_items_fallbacks" not in counters
+
+    def test_sweep_2d_inherits_library_threshold(self):
+        xs = [float(i) for i in range(5)]
+        ys = [float(j) for j in range(5)]
+        with obs.enabled_scope():
+            swept = sweep_2d("x", "y", "z", xs, ys, _add, workers=2)
+            counters = obs.snapshot()["counters"]
+        assert counters["parallel.min_items_fallbacks"] == 1
+        reference = sweep_2d("x", "y", "z", xs, ys, _add, workers=0)
+        assert swept.zs == reference.zs
+
+
+class TestPickleFallback:
+    def test_warns_once_and_counts(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_PICKLE_FALLBACK_WARNED", False)
+        items = [(float(k), float(k)) for k in range(3)]
+        closure = lambda pair: pair[0] + pair[1]  # noqa: E731
+        with obs.enabled_scope():
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                first = map_items(closure, items, workers=2)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                second = map_items(closure, items, workers=2)
+            counters = obs.snapshot()["counters"]
+        assert counters["parallel.pickle_fallbacks"] == 2
+        assert first == second == [x + y for x, y in items]
+
+    def test_picklable_fn_does_not_warn_or_count(self):
+        items = [(float(k), float(k)) for k in range(3)]
+        with obs.enabled_scope():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                map_items(
+                    _sum_pair, items, workers=2, min_parallel_items=0
+                )
+            counters = obs.snapshot()["counters"]
+        assert "parallel.pickle_fallbacks" not in counters

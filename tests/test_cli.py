@@ -332,6 +332,63 @@ class TestContourRefineCommand:
         assert "refined grid" not in capsys.readouterr().out
 
 
+class TestSurfaceCommand:
+    #: Small/fast surface invocation reused across the tests.
+    BASE = [
+        "surface", "--grid", "5", "--stages", "11", "--clock", "2e7",
+    ]
+
+    def test_prints_optimum_and_locus(self, capsys):
+        assert main(self.BASE) == 0
+        output = capsys.readouterr().out
+        assert "feasible cells" in output
+        assert "optimum energy" in output
+        assert "locus" in output
+        assert "refined grid" not in output
+
+    def test_refine_rows_printed(self, capsys):
+        assert main(self.BASE + ["--refine", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "refined grid" in output
+        assert "points evaluated" in output
+        assert "cells refined/skipped" in output
+
+    def test_workers_match_serial_output(self, capsys):
+        assert main(self.BASE) == 0
+        serial = capsys.readouterr().out.splitlines()[1:]
+        assert main(self.BASE + ["--workers", "2"]) == 0
+        fanned = capsys.readouterr().out.splitlines()[1:]
+        assert serial == fanned
+
+    def test_infeasible_surface_reports_error(self, capsys):
+        assert main(self.BASE[:-1] + ["1e12"]) == 1
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_bad_ranges_rejected(self, capsys):
+        assert main(self.BASE + ["--vt-min", "0.6"]) == 1
+        assert "--vt-min" in capsys.readouterr().err
+        assert main(self.BASE + ["--vdd-min", "0"]) == 1
+        assert "--vdd-min" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["surface"])
+        assert args.technology == "soi"
+        assert args.grid == 12
+        assert args.refine == 0
+        assert args.refine_band == 0.2
+        assert args.workers == 0
+        assert args.store is None
+        assert args.scheduler is None
+
+    def test_metrics_include_surface_spans(self, capsys):
+        # The process-wide ring cache may serve a warm run entirely
+        # from decoded plans, so only the spans are guaranteed.
+        assert main(self.BASE + ["--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "flow.energy_surface" in output
+        assert "analysis.energy_surface" in output
+
+
 class TestStoreParserArgs:
     def test_optimize_accepts_store_and_parallel_flags(self):
         args = build_parser().parse_args(

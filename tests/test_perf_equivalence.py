@@ -210,6 +210,10 @@ class TestParallelEquivalence:
             _item_fn(x) for x in items
         ]
 
+    # The fallback now announces itself once per process (see
+    # tests/analysis/test_parallel_thresholds.py); this test only cares
+    # about the results.
+    @pytest.mark.filterwarnings("ignore:map_items:RuntimeWarning")
     def test_closure_falls_back_to_serial(self):
         offset = 2.0
         rows = map_grid(
